@@ -1,0 +1,53 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+
+* refined search region (descendant-MBR corridor) vs full ellipse;
+* dummy-lower-bound corridor test on vs off.
+
+Both are CPU optimisations: results must not change (asserted), only
+cost.
+"""
+
+import pytest
+
+from repro.bench.workload import query_vertices
+
+
+@pytest.mark.parametrize("refined", [True, False], ids=["refined", "ellipse"])
+def test_refined_search_region(benchmark, bh_engine, bench_query, refined):
+    benchmark(
+        lambda: bh_engine.query(
+            bench_query, 9, step_length=1, use_refined_region=refined
+        )
+    )
+
+
+@pytest.mark.parametrize("dummy", [True, False], ids=["dummy-lb", "full-lb"])
+def test_dummy_lower_bound(benchmark, bh_engine, bench_query, dummy):
+    benchmark(
+        lambda: bh_engine.query(
+            bench_query, 9, step_length=1, use_dummy_lb=dummy
+        )
+    )
+
+
+def test_ablations_preserve_results(bh_engine):
+    """The optimisations are pure performance knobs: every switch
+    combination returns the same k-NN set."""
+    qv = query_vertices(bh_engine.mesh, 2, seed=9)[1]
+    reference = None
+    for refined in (True, False):
+        for dummy in (True, False):
+            for integrate in (True, False):
+                result = bh_engine.query(
+                    qv,
+                    6,
+                    step_length=2,
+                    use_refined_region=refined,
+                    use_dummy_lb=dummy,
+                    integrate_io=integrate,
+                )
+                ids = set(result.object_ids)
+                if reference is None:
+                    reference = ids
+                else:
+                    assert ids == reference

@@ -1,0 +1,65 @@
+"""Fig. 7 — exact (Chen-Han class) vs approximate (Kanai-Suzuki)
+single-pair surface distance.
+
+The paper's claim: the exact algorithm's cost explodes with mesh size
+(quadratic window growth) while the selective-refinement
+approximation stays flat, making the approximation the only viable
+``ub`` oracle.  Timed here at two sizes; the growth-ratio assertion
+encodes the figure's shape.
+"""
+
+import pytest
+
+from repro.bench.workload import mesh_for, vertex_pairs
+from repro.geodesic.exact import ExactGeodesic
+from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
+
+
+def _pair(size):
+    mesh = mesh_for("BH", size)
+    a, b = vertex_pairs(mesh, 1, seed=3)[0]
+    return mesh, a, b
+
+
+@pytest.mark.parametrize("size", [13, 25])
+def test_exact_geodesic(benchmark, size):
+    mesh, a, b = _pair(size)
+    benchmark(lambda: ExactGeodesic(mesh, a).distance_to(b))
+
+
+@pytest.mark.parametrize("size", [13, 25])
+def test_kanai_suzuki(benchmark, size):
+    mesh, a, b = _pair(size)
+    benchmark(lambda: kanai_suzuki_distance(mesh, a, b, tolerance=0.03))
+
+
+def test_fig7_shape():
+    """The exact algorithm's *work* (windows created) grows much
+    faster than the approximation's (graph size), and the exact run
+    is the slower of the two at the larger size.
+
+    Work counters rather than raw timing keep this stable on noisy
+    CI machines; the timed comparison lives in the benchmark cases
+    above.
+    """
+    windows = {}
+    for size in (13, 29):
+        mesh, a, b = _pair(size)
+        geo = ExactGeodesic(mesh, a)
+        geo.distance_to(b)
+        windows[size] = geo.windows_created
+    vertex_growth = (29 * 29) / (13 * 13)
+    window_growth = windows[29] / max(windows[13], 1)
+    # Superlinear window growth — the quadratic blow-up of Fig. 7.
+    assert window_growth > vertex_growth
+
+    import time
+
+    mesh, a, b = _pair(29)
+    t0 = time.process_time()
+    ExactGeodesic(mesh, a).distance_to(b)
+    ch = time.process_time() - t0
+    t0 = time.process_time()
+    kanai_suzuki_distance(mesh, a, b)
+    ea = time.process_time() - t0
+    assert ch > ea

@@ -1,0 +1,54 @@
+"""Fig. 8 — distance-range accuracy ε = lb/ub vs resolution.
+
+Benchmarks the bound estimators at low and high resolution and
+asserts the figure's shape: accuracy grows with both DMTM and SDN
+resolution, and the SDN lower bound beats the Euclidean baseline at
+full resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig8
+from repro.bench.workload import build_engine, vertex_pairs
+from repro.multires.dmtm import RESOLUTION_PATHNET
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_engine("BH", size=25, density=6.0, with_storage=False)
+
+
+@pytest.fixture(scope="module")
+def pair(engine):
+    return vertex_pairs(engine.mesh, 1, seed=5)[0]
+
+
+@pytest.mark.parametrize("res", [0.05, 0.5, RESOLUTION_PATHNET])
+def test_upper_bound_estimation(benchmark, engine, pair, res):
+    a, b = pair
+    benchmark(lambda: engine.dmtm.upper_bound(a, b, res))
+
+
+@pytest.mark.parametrize("res", [0.25, 1.0])
+def test_lower_bound_estimation(benchmark, engine, pair, res):
+    a, b = pair
+    pa, pb = engine.mesh.vertices[a], engine.mesh.vertices[b]
+    benchmark(lambda: engine.msdn.lower_bound(pa, pb, res))
+
+
+def test_fig8_shape():
+    out = fig8(quick=True, size=25, num_pairs=3)
+    rows = out["rows"]
+    # Accuracy rises along the DMTM axis for every SDN column...
+    for col in ("euclid_lb", "sdn_25%", "sdn_100%"):
+        series = [row[col] for row in rows]
+        assert series == sorted(series)
+    # ...and along the SDN axis within each row.
+    for row in rows:
+        assert row["euclid_lb"] <= row["sdn_25%"] + 1e-9
+        assert row["sdn_25%"] <= row["sdn_100%"] + 1e-9
+    # The full-resolution pair is the most accurate cell.
+    assert rows[-1]["sdn_100%"] == max(
+        row[c] for row in rows for c in row if c != "dmtm_pct"
+    )

@@ -1,0 +1,39 @@
+"""Fig. 9 — effect of the integrated I/O region.
+
+Benchmarks an sk-NN query with integration on vs off (s = 2, the
+figure's configuration) and asserts the shape: integration never
+costs pages, and its saving grows with k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig9
+from repro.bench.workload import query_vertices
+
+
+@pytest.mark.parametrize("integrate", [True, False], ids=["on", "off"])
+def test_query_io_integration(benchmark, bh_engine, bench_query, integrate):
+    benchmark(
+        lambda: bh_engine.query(
+            bench_query, 9, step_length=2, integrate_io=integrate
+        )
+    )
+
+
+def test_fig9_shape(bh_engine):
+    queries = query_vertices(bh_engine.mesh, 1, seed=9)
+    pages = {}
+    for k in (3, 12):
+        for option in (True, False):
+            result = bh_engine.query(
+                queries[0], k, step_length=2, integrate_io=option
+            )
+            pages[(k, option)] = result.metrics.pages_accessed
+    # Integration never accesses more pages...
+    assert pages[(3, True)] <= pages[(3, False)]
+    assert pages[(12, True)] <= pages[(12, False)]
+    # ...and the relative saving grows with k (the figure's story).
+    saving_small = 1 - pages[(3, True)] / max(pages[(3, False)], 1)
+    saving_large = 1 - pages[(12, True)] / max(pages[(12, False)], 1)
+    assert saving_large >= saving_small - 0.02

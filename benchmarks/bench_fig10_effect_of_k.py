@@ -1,0 +1,52 @@
+"""Fig. 10 — effect of k: MR3 (s = 1, 2, 3) vs the EA benchmark on
+both datasets; total time, CPU time, pages accessed.
+
+Benchmarks each series at one k and asserts the headline shape: MR3
+beats EA on CPU, and s = 1 pays the most pages among the MR3
+schedules (the paper's trade-off: extra cheap I/O buys the dominant
+CPU reduction).
+"""
+
+import pytest
+
+from repro.bench.workload import query_vertices
+
+
+@pytest.mark.parametrize("step", [1, 2, 3])
+def test_mr3_query(benchmark, bh_engine, bench_query, step):
+    benchmark(lambda: bh_engine.query(bench_query, 9, step_length=step))
+
+
+def test_ea_query(benchmark, bh_engine, bench_query):
+    benchmark(lambda: bh_engine.query(bench_query, 9, method="ea"))
+
+
+def _series(engine, qv, k):
+    out = {}
+    for label, kwargs in (
+        ("s=1", dict(step_length=1)),
+        ("s=2", dict(step_length=2)),
+        ("s=3", dict(step_length=3)),
+        ("EA", dict(method="ea")),
+    ):
+        res = engine.query(qv, k, **kwargs)
+        out[label] = res.metrics
+    return out
+
+
+def test_fig10_shape_bh(bh_engine):
+    qv = query_vertices(bh_engine.mesh, 1, seed=9)[0]
+    m = _series(bh_engine, qv, 12)
+    # MR3's best schedule beats the benchmark on CPU.
+    best_mr3_cpu = min(m[s].cpu_seconds for s in ("s=1", "s=2", "s=3"))
+    assert best_mr3_cpu < m["EA"].cpu_seconds
+    # s=1 pays the most pages among MR3 schedules (paper: "it takes
+    # most database page accesses").
+    assert m["s=1"].pages_accessed >= m["s=3"].pages_accessed
+
+
+def test_fig10_costs_grow_with_k(bh_engine):
+    qv = query_vertices(bh_engine.mesh, 1, seed=9)[0]
+    small = bh_engine.query(qv, 3, step_length=2).metrics
+    large = bh_engine.query(qv, 15, step_length=2).metrics
+    assert large.pages_accessed >= small.pages_accessed

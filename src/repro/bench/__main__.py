@@ -1,0 +1,43 @@
+"""Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
+
+Figures: fig7, fig8, fig9, fig10, fig11, all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments
+from repro.bench.runner import run_experiment
+
+_FIGURES = {
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+    "fig10": experiments.fig10,
+    "fig11": experiments.fig11,
+    "related": experiments.related,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures as tables.",
+    )
+    parser.add_argument(
+        "figure", choices=sorted(_FIGURES) + ["all"], help="which figure to run"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps (CI-sized)"
+    )
+    args = parser.parse_args(argv)
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        run_experiment(_FIGURES[name], quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""Experiment drivers — one per figure of the paper's Section 5.
+
+Every driver returns ``{"tables": [str, ...], "rows": ...}`` where
+``rows`` holds the raw series for programmatic checks (the pytest
+benches assert the paper's qualitative shapes on them).  All drivers
+take a ``quick`` flag: quick mode shrinks sweeps for CI; full mode is
+what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.runner import format_table
+from repro.bench.workload import build_engine, mesh_for, query_vertices, vertex_pairs
+from repro.geodesic.exact import ExactGeodesic
+from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
+from repro.multires.dmtm import RESOLUTION_PATHNET
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — Chen & Han (exact) vs Enhanced Approximation, response time
+# ----------------------------------------------------------------------
+
+def fig7(quick: bool = False, sizes=None, pairs_per_size: int = 2) -> dict:
+    """Single-pair surface distance: exact window propagation (our
+    Chen-Han stand-in, "CH") vs Kanai-Suzuki selective refinement
+    ("EA"), as mesh size grows.  The paper's Fig. 7 shows CH blowing
+    up quadratically while EA stays flat."""
+    if sizes is None:
+        sizes = (9, 13, 17, 25) if quick else (9, 13, 17, 25, 33, 41, 49)
+    rows = []
+    for size in sizes:
+        mesh = mesh_for("BH", size)
+        pairs = vertex_pairs(mesh, pairs_per_size, seed=3)
+        ch_time = 0.0
+        ea_time = 0.0
+        for a, b in pairs:
+            t0 = time.process_time()
+            ExactGeodesic(mesh, a).distance_to(b)
+            ch_time += time.process_time() - t0
+            t0 = time.process_time()
+            kanai_suzuki_distance(mesh, a, b, tolerance=0.03)
+            ea_time += time.process_time() - t0
+        rows.append(
+            {
+                "vertices": mesh.num_vertices,
+                "ch_seconds": ch_time / len(pairs),
+                "ea_seconds": ea_time / len(pairs),
+                "ratio": (ch_time / ea_time) if ea_time > 0 else None,
+            }
+        )
+    table = format_table(
+        "Fig. 7 — exact (CH) vs approximate (EA) single-pair time",
+        ["vertices", "ch_seconds", "ea_seconds", "ratio"],
+        rows,
+    )
+    return {"tables": [table], "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — distance range accuracy ε = lb/ub
+# ----------------------------------------------------------------------
+
+def fig8(quick: bool = False, size: int = 33, num_pairs: int | None = None) -> dict:
+    """Accuracy ε = lb/ub against DMTM resolution, one curve per SDN
+    resolution plus the Euclidean-lb baseline (paper Fig. 8)."""
+    if num_pairs is None:
+        num_pairs = 4 if quick else 10
+    dmtm_levels = (
+        (0.05, 0.5, 1.0, RESOLUTION_PATHNET)
+        if quick
+        else (0.05, 0.125, 0.25, 0.5, 0.75, 1.0, RESOLUTION_PATHNET)
+    )
+    sdn_levels = (0.25, 0.5, 1.0) if quick else (0.25, 0.375, 0.5, 0.75, 1.0)
+    engine = build_engine("BH", size=size, with_storage=False)
+    mesh = engine.mesh
+    pairs = vertex_pairs(mesh, num_pairs, seed=5)
+
+    euclid = {
+        (a, b): float(np.linalg.norm(mesh.vertices[a] - mesh.vertices[b]))
+        for a, b in pairs
+    }
+    rows = []
+    for res_u in dmtm_levels:
+        ubs = {}
+        for a, b in pairs:
+            result = engine.dmtm.upper_bound(a, b, res_u)
+            ubs[(a, b)] = result.value if result is not None else None
+        row = {"dmtm_pct": res_u * 100.0}
+        # Euclidean-lb baseline.
+        accs = [
+            euclid[p] / ubs[p] for p in pairs if ubs[p]
+        ]
+        row["euclid_lb"] = float(np.mean(accs)) if accs else None
+        for res_l in sdn_levels:
+            accs = []
+            for a, b in pairs:
+                if not ubs[(a, b)]:
+                    continue
+                lb = engine.msdn.lower_bound(
+                    mesh.vertices[a], mesh.vertices[b], res_l
+                ).value
+                accs.append(min(lb, ubs[(a, b)]) / ubs[(a, b)])
+            row[f"sdn_{res_l * 100:g}%"] = float(np.mean(accs)) if accs else None
+        rows.append(row)
+    columns = ["dmtm_pct", "euclid_lb"] + [f"sdn_{r * 100:g}%" for r in sdn_levels]
+    table = format_table(
+        "Fig. 8 — distance range accuracy (mean lb/ub)", columns, rows
+    )
+    return {"tables": [table], "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — effect of the integrated I/O region
+# ----------------------------------------------------------------------
+
+def fig9(
+    quick: bool = False,
+    size: int | None = None,
+    density: float = 4.0,
+    ks=None,
+    queries_per_k: int | None = None,
+) -> dict:
+    """Pages accessed vs k with I/O-region integration on vs off
+    (paper Fig. 9; o = 4, s = 2)."""
+    if size is None:
+        size = 33 if quick else 49
+    if ks is None:
+        ks = (3, 9, 15) if quick else (3, 6, 9, 12, 15, 18, 21, 24, 27, 30)
+    if queries_per_k is None:
+        queries_per_k = 1 if quick else 2
+    engine = build_engine("BH", size=size, density=density)
+    queries = query_vertices(engine.mesh, queries_per_k, seed=9)
+    rows = []
+    for k in ks:
+        pages = {True: [], False: []}
+        for option in (True, False):
+            for qv in queries:
+                result = engine.query(
+                    qv, k, step_length=2, integrate_io=option
+                )
+                pages[option].append(result.metrics.pages_accessed)
+        rows.append(
+            {
+                "k": k,
+                "pages_on": float(np.mean(pages[True])),
+                "pages_off": float(np.mean(pages[False])),
+                "saving": 1.0 - float(np.mean(pages[True])) / max(
+                    float(np.mean(pages[False])), 1.0
+                ),
+            }
+        )
+    table = format_table(
+        "Fig. 9 — integrated I/O region (pages accessed, s=2, o=4)",
+        ["k", "pages_on", "pages_off", "saving"],
+        rows,
+    )
+    return {"tables": [table], "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Related-work comparison (§2.1): network k-NN vs surface k-NN
+# ----------------------------------------------------------------------
+
+def related(quick: bool = False, size: int | None = None, k: int = 5) -> dict:
+    """Not a paper figure, but its §2.1 argument made measurable:
+    network k-NN (INE / IER over the mesh edge network) vs MR3 vs the
+    exact surface answer — CPU cost and answer agreement."""
+    from repro.core.baseline import exact_knn
+    from repro.core.network_baselines import ier_knn, ine_knn
+
+    if size is None:
+        size = 17 if quick else 33
+    engine = build_engine("BH", size=size, density=6.0, with_storage=False)
+    queries = query_vertices(engine.mesh, 2 if quick else 5, seed=21)
+    # Exact distances once per query, for both agreement metrics.
+    truth_sets: dict[int, set] = {}
+    truth_dists: dict[int, dict] = {}
+    for qv in queries:
+        pairs = exact_knn(engine.mesh, engine.objects, qv, len(engine.objects))
+        truth_dists[qv] = dict(pairs)
+        truth_sets[qv] = {obj for obj, _d in pairs[:k]}
+
+    def tie_tolerant_match(qv, got: set) -> bool:
+        """Exact-set match, or the extras are all within the 3 %
+        surface-distance tolerance of the true k-th distance."""
+        want = truth_sets[qv]
+        if got == want:
+            return True
+        kth = sorted(truth_dists[qv].values())[k - 1]
+        return all(truth_dists[qv][obj] <= kth * 1.03 for obj in got - want)
+
+    rows = []
+    for name, runner in (
+        ("INE (network)", lambda qv: ine_knn(engine.mesh, engine.objects, qv, k)),
+        ("IER (network)", lambda qv: ier_knn(engine.mesh, engine.objects, qv, k)),
+        ("MR3 s=1", lambda qv: [
+            (obj, None) for obj in engine.query(qv, k, step_length=1).object_ids
+        ]),
+        ("exact surface", lambda qv: exact_knn(engine.mesh, engine.objects, qv, k)),
+    ):
+        cpu = 0.0
+        exact_agree = 0
+        tied_agree = 0
+        for qv in queries:
+            t0 = time.process_time()
+            result = runner(qv)
+            cpu += time.process_time() - t0
+            got = {obj for obj, _d in result}
+            exact_agree += got == truth_sets[qv]
+            tied_agree += tie_tolerant_match(qv, got)
+        rows.append(
+            {
+                "method": name,
+                "cpu_seconds": cpu / len(queries),
+                "agreement": exact_agree / len(queries),
+                "agreement_3pct": tied_agree / len(queries),
+            }
+        )
+    table = format_table(
+        f"Related work — network vs surface k-NN (k={k}, BH)",
+        ["method", "cpu_seconds", "agreement", "agreement_3pct"],
+        rows,
+    )
+    return {"tables": [table], "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Figs 10 & 11 — effect of k and of object density
+# ----------------------------------------------------------------------
+
+_SERIES = (("s=1", "mr3", 1), ("s=2", "mr3", 2), ("s=3", "mr3", 3), ("EA", "ea", 1))
+
+
+def _run_series(engine, queries, k) -> dict:
+    """Mean metrics of each algorithm configuration over the queries."""
+    out = {}
+    for label, method, step in _SERIES:
+        total, cpu, pages = [], [], []
+        for qv in queries:
+            result = engine.query(qv, k, method=method, step_length=step)
+            total.append(result.metrics.total_seconds)
+            cpu.append(result.metrics.cpu_seconds)
+            pages.append(result.metrics.pages_accessed)
+        out[label] = {
+            "total": float(np.mean(total)),
+            "cpu": float(np.mean(cpu)),
+            "pages": float(np.mean(pages)),
+        }
+    return out
+
+
+def _metric_tables(title_prefix: str, xlabel: str, per_x: dict) -> list[str]:
+    tables = []
+    labels = [label for label, _m, _s in _SERIES]
+    for metric, name in (
+        ("total", "total time (s)"),
+        ("cpu", "CPU time (s)"),
+        ("pages", "pages accessed"),
+    ):
+        rows = [
+            {xlabel: x, **{label: series[label][metric] for label in labels}}
+            for x, series in per_x.items()
+        ]
+        tables.append(
+            format_table(f"{title_prefix} — {name}", [xlabel] + labels, rows)
+        )
+    return tables
+
+
+def fig10(
+    quick: bool = False,
+    size: int | None = None,
+    density: float = 4.0,
+    ks=None,
+    queries_per_k: int | None = None,
+    datasets=("BH", "EP"),
+) -> dict:
+    """Effect of k (o = 4): total time, CPU time and pages accessed
+    for MR3 at s = 1, 2, 3 vs the EA benchmark, on both datasets
+    (paper Fig. 10 a-f)."""
+    if size is None:
+        size = 33 if quick else 49
+    if ks is None:
+        ks = (3, 9, 15) if quick else (3, 6, 9, 12, 15, 18, 21, 24, 27, 30)
+    if queries_per_k is None:
+        queries_per_k = 1 if quick else 2
+    tables = []
+    rows: dict[str, dict] = {}
+    for name in datasets:
+        engine = build_engine(name, size=size, density=density)
+        queries = query_vertices(engine.mesh, queries_per_k, seed=9)
+        per_k = {k: _run_series(engine, queries, k) for k in ks}
+        rows[name] = per_k
+        tables.extend(
+            _metric_tables(f"Fig. 10 ({name}) — effect of k", "k", per_k)
+        )
+    return {"tables": tables, "rows": rows}
+
+
+def fig11(
+    quick: bool = False,
+    size: int | None = None,
+    k: int = 10,
+    densities=None,
+    queries_per_o: int | None = None,
+    datasets=("BH", "EP"),
+) -> dict:
+    """Effect of object density (k = 10), same series and metrics as
+    Fig. 10 (paper Fig. 11 a-f)."""
+    if size is None:
+        size = 33 if quick else 49
+    if densities is None:
+        densities = (2, 5, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+    if queries_per_o is None:
+        queries_per_o = 1 if quick else 2
+    tables = []
+    rows: dict[str, dict] = {}
+    for name in datasets:
+        engine = build_engine(name, size=size, density=max(densities))
+        queries = query_vertices(engine.mesh, queries_per_o, seed=9)
+        per_o = {}
+        for density in densities:
+            engine.set_objects(density=density, seed=1)
+            if k > len(engine.objects):
+                continue
+            per_o[density] = _run_series(engine, queries, k)
+        rows[name] = per_o
+        tables.extend(
+            _metric_tables(
+                f"Fig. 11 ({name}) — effect of object density", "o", per_o
+            )
+        )
+    return {"tables": tables, "rows": rows}

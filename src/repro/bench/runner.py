@@ -1,0 +1,50 @@
+"""Experiment runner and plain-text table formatting.
+
+The paper reports line charts; we print the same series as aligned
+text tables (one row per x value, one column per series) so shapes —
+who wins, by what factor, where crossovers happen — are readable in a
+terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def format_table(title: str, columns: list[str], rows: list[dict]) -> str:
+    """Render rows (dicts keyed by column name) as an aligned table."""
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [columns] + [[fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    out = [title, "=" * len(title)]
+    header = "  ".join(c.rjust(w) for c, w in zip(columns, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for line in table[1:]:
+        out.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def run_experiment(func, *args, verbose: bool = True, **kwargs):
+    """Run an experiment driver and print its table(s)."""
+    start = time.time()
+    result = func(*args, **kwargs)
+    elapsed = time.time() - start
+    if verbose:
+        for table in result.get("tables", []):
+            print(table)
+            print()
+        print(f"[{func.__name__} completed in {elapsed:.1f}s]")
+    return result

@@ -1,0 +1,103 @@
+"""Workload construction shared by all experiments.
+
+The paper evaluates on two real DEM datasets — Bearhead Mountain (BH,
+rugged) and Eagle Peak (EP, smoother) — with uniformly distributed
+objects of density 1-10/km² and randomly placed queries.  This module
+builds the synthetic stand-ins at laptop scale and caches engines so
+a sweep over k reuses one set of structures, exactly as the paper's
+pre-created DMTM/MSDN are reused across queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import SurfaceKNNEngine
+from repro.errors import QueryError
+from repro.terrain.dem import DemGrid
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import bearhead_like, eagle_peak_like
+
+_DATASETS = {
+    "BH": bearhead_like,
+    "EP": eagle_peak_like,
+}
+
+_engine_cache: dict[tuple, SurfaceKNNEngine] = {}
+_mesh_cache: dict[tuple, TriangleMesh] = {}
+
+
+def dataset(name: str, size: int = 33) -> DemGrid:
+    """One of the paper's datasets by name ("BH" or "EP")."""
+    try:
+        factory = _DATASETS[name]
+    except KeyError:
+        raise QueryError(f"unknown dataset {name!r}; use 'BH' or 'EP'") from None
+    return factory(size=size)
+
+
+def mesh_for(name: str, size: int = 33) -> TriangleMesh:
+    """Cached triangulated mesh for a dataset."""
+    key = (name, size)
+    if key not in _mesh_cache:
+        _mesh_cache[key] = TriangleMesh.from_dem(dataset(name, size))
+    return _mesh_cache[key]
+
+
+def build_engine(
+    name: str,
+    size: int = 33,
+    density: float = 4.0,
+    seed: int = 1,
+    **kwargs,
+) -> SurfaceKNNEngine:
+    """Cached engine for (dataset, size, density)."""
+    key = (name, size, density, seed, tuple(sorted(kwargs.items())))
+    if key not in _engine_cache:
+        _engine_cache[key] = SurfaceKNNEngine(
+            mesh_for(name, size), density=density, seed=seed, **kwargs
+        )
+    return _engine_cache[key]
+
+
+def query_vertices(mesh, count: int, seed: int = 7) -> list[int]:
+    """Deterministic random query vertices, away from the boundary
+    (boundary queries have clipped search regions and higher
+    variance)."""
+    rng = np.random.default_rng(seed)
+    bounds = mesh.xy_bounds()
+    margin = 0.15 * float(min(bounds.extents))
+    inner_lo = np.asarray(bounds.lo) + margin
+    inner_hi = np.asarray(bounds.hi) - margin
+    chosen: list[int] = []
+    attempts = 0
+    while len(chosen) < count and attempts < count * 50:
+        attempts += 1
+        vid = int(rng.integers(0, mesh.num_vertices))
+        xy = mesh.vertices[vid][:2]
+        if np.all(xy >= inner_lo) and np.all(xy <= inner_hi) and vid not in chosen:
+            chosen.append(vid)
+    while len(chosen) < count:
+        chosen.append(int(rng.integers(0, mesh.num_vertices)))
+    return chosen
+
+
+def vertex_pairs(mesh, count: int, seed: int = 11, min_separation: float = 0.3):
+    """Deterministic random vertex pairs separated by at least
+    ``min_separation`` of the terrain diagonal (used by Figs 7-8)."""
+    rng = np.random.default_rng(seed)
+    bounds = mesh.xy_bounds()
+    diag = float(np.linalg.norm(bounds.extents))
+    pairs: list[tuple[int, int]] = []
+    attempts = 0
+    while len(pairs) < count and attempts < count * 200:
+        attempts += 1
+        a, b = rng.integers(0, mesh.num_vertices, size=2)
+        if a == b:
+            continue
+        d = float(np.linalg.norm(mesh.vertices[a][:2] - mesh.vertices[b][:2]))
+        if d >= min_separation * diag:
+            pairs.append((int(a), int(b)))
+    if not pairs:
+        raise QueryError("could not sample separated vertex pairs")
+    return pairs

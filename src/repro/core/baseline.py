@@ -1,0 +1,63 @@
+"""Baselines: exact (Chen-Han class) sk-NN and helpers for the EA
+benchmark.
+
+* :func:`exact_knn` — ground truth: exact geodesic distances from the
+  query to every object (single window-propagation source, queried
+  lazily nearest-first).  Used by tests to validate MR3/EA results
+  and by Fig. 7 style comparisons.
+* The EA benchmark itself is :class:`repro.core.mr3.MR3QueryProcessor`
+  with ``ResolutionSchedule.preset("ea")`` — the paper builds EA from
+  the same filter framework, just without multiresolution levels
+  ("the benchmark algorithm also apply the same filter techniques as
+  MR3").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geodesic.exact import ExactGeodesic
+
+
+def exact_knn(
+    mesh,
+    objects,
+    query_vertex: int,
+    k: int,
+    max_windows: int | None = None,
+) -> list[tuple[int, float]]:
+    """The true k nearest objects by exact surface distance.
+
+    Returns ``[(object_id, dS), ...]`` ascending.  Cost is one exact
+    geodesic propagation — the expensive thing MR3 exists to avoid —
+    so keep meshes modest.
+    """
+    if k < 1:
+        raise QueryError("k must be >= 1")
+    if k > len(objects):
+        raise QueryError(f"k={k} exceeds {len(objects)} objects")
+    geo = ExactGeodesic(mesh, query_vertex, max_windows=max_windows)
+    q_pos = mesh.vertices[query_vertex]
+    # Query targets nearest-first (by Euclidean), so the lazy
+    # propagation usually stops early.
+    order = sorted(
+        range(len(objects)),
+        key=lambda obj: float(
+            np.linalg.norm(q_pos - objects.position_of(obj))
+        ),
+    )
+    results: list[tuple[int, float]] = []
+    kth = float("inf")
+    for obj in order:
+        euclid = float(np.linalg.norm(q_pos - objects.position_of(obj)))
+        if len(results) >= k and euclid >= kth:
+            # dS >= dE >= kth: this and all later objects are out.
+            break
+        d = geo.distance_to(objects.vertex_of(obj))
+        results.append((obj, d))
+        if len(results) >= k:
+            results.sort(key=lambda t: t[1])
+            kth = results[k - 1][1]
+    results.sort(key=lambda t: (t[1], t[0]))
+    return results[:k]

@@ -1,0 +1,76 @@
+"""Embedding arbitrary surface points as query sources.
+
+"When an object point is not a vertex in the surface model, an
+embedding process is used to add the point as a new vertex in the
+surface model by connecting it to the vertices of the same triangular
+facet." (paper, §3.2)
+
+For a height-field facet the connecting segments lie inside the
+(planar) facet, hence on the surface — so for any target t
+
+    dS(p, t)  <=  |p v|  +  dS(v, t)        for each facet vertex v
+
+and every anchor-based upper bound stays a genuine path length.
+Lower bounds need no embedding at all: the MSDN takes raw 3D points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.triangle import barycentric_2d
+
+_SNAP_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class EmbeddedQuery:
+    """An on-surface query point expressed through facet anchors.
+
+    ``anchors`` holds ``(vertex_id, offset)`` pairs where each offset
+    is the in-facet straight-line distance from the point to that
+    vertex.
+    """
+
+    position: tuple  # (x, y, z) on the surface
+    anchors: tuple  # ((vertex, offset), ...)
+
+    @property
+    def xy(self) -> tuple:
+        return self.position[:2]
+
+
+def embed_point(mesh, x: float, y: float):
+    """Embed (x, y) on the surface.
+
+    Returns a plain vertex id when the point coincides with a mesh
+    vertex, otherwise an :class:`EmbeddedQuery` anchored at the three
+    vertices of the containing facet.
+    """
+    fi = mesh.locate_face(x, y)
+    face = mesh.faces[fi]
+    a, b, c = mesh.face_points(fi)
+    wa, wb, wc = barycentric_2d((x, y), a, b, c)
+    z = float(wa * a[2] + wb * b[2] + wc * c[2])
+    p = np.array([x, y, z])
+    anchors = []
+    for vid in face:
+        offset = float(np.linalg.norm(p - mesh.vertices[int(vid)]))
+        if offset <= _SNAP_EPS:
+            return int(vid)
+        anchors.append((int(vid), offset))
+    return EmbeddedQuery(position=tuple(p), anchors=tuple(anchors))
+
+
+def source_of(mesh, query) -> tuple[np.ndarray, tuple]:
+    """Normalize a query (vertex id or EmbeddedQuery) into
+    ``(position, anchors)``."""
+    if isinstance(query, EmbeddedQuery):
+        return np.asarray(query.position, dtype=float), query.anchors
+    if not 0 <= int(query) <= mesh.num_vertices - 1:
+        raise QueryError(f"query vertex {query} out of range")
+    vid = int(query)
+    return mesh.vertices[vid], ((vid, 0.0),)

@@ -1,0 +1,340 @@
+"""The public facade: build everything once, query many times.
+
+:class:`SurfaceKNNEngine` owns the full stack the paper describes —
+terrain mesh, DMTM, MSDN, object set with its 2D index, the simulated
+paged storage — and exposes sk-NN queries by method:
+
+* ``method="mr3"`` with ``step_length`` 1, 2 or 3 — the paper's
+  algorithm at the three evaluated resolution step lengths;
+* ``method="ea"`` — the Enhanced Approximation benchmark (same
+  filters, no multiresolution);
+* ``method="exact"`` — ground truth via exact geodesics.
+
+Example
+-------
+>>> from repro import bearhead_like
+>>> from repro.core import SurfaceKNNEngine
+>>> engine = SurfaceKNNEngine.from_dem(bearhead_like(size=33), density=4)
+>>> result = engine.query_xy(2000.0, 3000.0, k=3)
+>>> len(result.object_ids)
+3
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.baseline import exact_knn
+from repro.core.mr3 import MR3QueryProcessor, QueryMetrics, QueryResult
+from repro.core.objects import ObjectSet
+from repro.core.ranking import RankerOptions
+from repro.core.schedule import ResolutionSchedule
+from repro.errors import QueryError
+from repro.msdn.msdn import MSDN
+from repro.multires.dmtm import DMTM
+from repro.storage.pages import PageManager
+from repro.storage.stats import DiskModel, IOStatistics
+from repro.terrain.mesh import TriangleMesh
+
+
+class SurfaceKNNEngine:
+    """End-to-end surface k-NN query engine.
+
+    Parameters
+    ----------
+    mesh:
+        The terrain surface.
+    objects:
+        An :class:`ObjectSet`; built uniformly at ``density``/km²
+        when omitted.
+    density, seed:
+        Uniform object generation parameters (ignored when
+        ``objects`` is given).
+    page_size, buffer_pages:
+        Simulated storage geometry.  The default buffer is small
+        relative to the structures on purpose: "pages accessed"
+        should reflect region fetches, as in the paper's Oracle runs.
+    steiner_per_edge:
+        Pathnet density of the DMTM's 200 % level (paper: 1).
+    msdn_spacing, msdn_supersample:
+        MSDN plane interval (default: mean edge length) and crossing
+        line supersampling (see DESIGN.md).
+    disk:
+        Cost model converting pages into simulated I/O seconds.
+    with_storage:
+        Attach the paged storage layer (disable for pure-CPU runs).
+    """
+
+    def __init__(
+        self,
+        mesh: TriangleMesh,
+        objects: ObjectSet | None = None,
+        density: float = 4.0,
+        seed: int = 0,
+        page_size: int = 2048,
+        buffer_pages: int = 64,
+        steiner_per_edge: int = 1,
+        msdn_spacing: float | None = None,
+        msdn_supersample: int = 8,
+        disk: DiskModel | None = None,
+        with_storage: bool = True,
+    ):
+        self.mesh = mesh
+        self.objects = (
+            objects
+            if objects is not None
+            else ObjectSet.uniform(mesh, density, seed)
+        )
+        self.dmtm = DMTM(mesh, steiner_per_edge=steiner_per_edge)
+        self.msdn = MSDN(
+            mesh, spacing=msdn_spacing, supersample=msdn_supersample
+        )
+        self.stats = IOStatistics()
+        self.disk = disk if disk is not None else DiskModel()
+        self.pages: PageManager | None = None
+        if with_storage:
+            self.pages = PageManager(
+                page_size=page_size, buffer_pages=buffer_pages, stats=self.stats
+            )
+            self.dmtm.attach_storage(self.pages)
+            self.msdn.attach_storage(self.pages)
+
+    @classmethod
+    def from_dem(cls, dem, **kwargs) -> "SurfaceKNNEngine":
+        """Build an engine directly from a :class:`DemGrid`."""
+        return cls(TriangleMesh.from_dem(dem), **kwargs)
+
+    def set_objects(self, objects: ObjectSet | None = None, density: float = 4.0, seed: int = 0) -> None:
+        """Swap the object set while keeping DMTM/MSDN/storage.
+
+        Density sweeps (Fig. 11) change only the objects; the terrain
+        structures are pre-created once, as in the paper.
+        """
+        self.objects = (
+            objects
+            if objects is not None
+            else ObjectSet.uniform(self.mesh, density, seed)
+        )
+
+    # ------------------------------------------------------------------
+    # query entry points
+    # ------------------------------------------------------------------
+
+    def snap(self, x: float, y: float) -> int:
+        """Nearest mesh vertex to a horizontal position."""
+        return self.mesh.nearest_vertex((x, y))
+
+    def query(
+        self,
+        query_vertex: int,
+        k: int,
+        method: str = "mr3",
+        step_length: int = 1,
+        integrate_io: bool = True,
+        use_refined_region: bool = True,
+        use_dummy_lb: bool = True,
+        cold_cache: bool = True,
+    ) -> QueryResult:
+        """Answer an sk-NN query at a mesh vertex.
+
+        ``cold_cache`` drops the buffer pool first, so every query is
+        measured from a cold start (the paper reports per-query page
+        counts).
+        """
+        if cold_cache and self.pages is not None:
+            self.pages.drop_buffer()
+        if method == "exact":
+            return self._query_exact(query_vertex, k)
+        if method == "mr3":
+            schedule = ResolutionSchedule.preset(step_length)
+        elif method == "ea":
+            schedule = ResolutionSchedule.preset("ea")
+        else:
+            raise QueryError(
+                f"unknown method {method!r}; use 'mr3', 'ea' or 'exact'"
+            )
+        options = RankerOptions(
+            integrate_io=integrate_io,
+            use_refined_region=use_refined_region,
+            use_dummy_lb=use_dummy_lb,
+        )
+        processor = MR3QueryProcessor(
+            self.mesh,
+            self.dmtm,
+            self.msdn,
+            self.objects,
+            schedule,
+            options=options,
+            stats=self.stats,
+            disk=self.disk,
+        )
+        result = processor.query(query_vertex, k)
+        result.method = method if method == "ea" else f"mr3/{schedule.name}"
+        return result
+
+    def query_xy(self, x: float, y: float, k: int, **kwargs) -> QueryResult:
+        """Convenience: query at the vertex nearest (x, y)."""
+        return self.query(self.snap(x, y), k, **kwargs)
+
+    def query_point(
+        self,
+        x: float,
+        y: float,
+        k: int,
+        method: str = "mr3",
+        step_length: int = 1,
+        cold_cache: bool = True,
+        **ranker_opts,
+    ) -> QueryResult:
+        """sk-NN at an *arbitrary* surface point, via the paper's
+        embedding step (§3.2): the point is anchored to its facet's
+        vertices by in-facet segments, so every reported bound remains
+        a genuine surface path length."""
+        from repro.core.embedding import embed_point
+
+        query = embed_point(self.mesh, x, y)
+        if isinstance(query, int):
+            return self.query(
+                query, k, method=method, step_length=step_length,
+                cold_cache=cold_cache, **ranker_opts,
+            )
+        if method != "mr3":
+            raise QueryError("embedded-point queries support method='mr3'")
+        if cold_cache and self.pages is not None:
+            self.pages.drop_buffer()
+        processor = MR3QueryProcessor(
+            self.mesh,
+            self.dmtm,
+            self.msdn,
+            self.objects,
+            ResolutionSchedule.preset(step_length),
+            options=RankerOptions(**ranker_opts),
+            stats=self.stats,
+            disk=self.disk,
+        )
+        return processor.query(query, k)
+
+    def _query_exact(self, query_vertex: int, k: int) -> QueryResult:
+        cpu_start = time.process_time()
+        pairs = exact_knn(self.mesh, self.objects, query_vertex, k)
+        metrics = QueryMetrics(cpu_seconds=time.process_time() - cpu_start)
+        return QueryResult(
+            query_vertex=query_vertex,
+            k=k,
+            object_ids=[obj for obj, _d in pairs],
+            intervals=[(d, d) for _obj, d in pairs],
+            metrics=metrics,
+            method="exact",
+        )
+
+    def range_query(
+        self,
+        query_vertex: int,
+        radius: float,
+        step_length: int = 1,
+        cold_cache: bool = True,
+    ) -> QueryResult:
+        """Surface range query: all objects within ``radius`` of the
+        query *by surface distance* (the paper's §6 extension).
+
+        Correctness of the 2D prefilter: ``dS >= dE >= dE_xy``, so any
+        object whose xy-projection is farther than ``radius`` cannot
+        be inside.
+        """
+        if radius < 0:
+            raise QueryError("radius must be non-negative")
+        if cold_cache and self.pages is not None:
+            self.pages.drop_buffer()
+        from repro.core.ranking import DistanceRanker
+
+        io_before = self.stats.snapshot()
+        cpu_start = time.process_time()
+        schedule = ResolutionSchedule.preset(step_length)
+        ranker = DistanceRanker(self.mesh, self.dmtm, self.msdn, schedule)
+        q_xy = self.mesh.vertices[query_vertex][:2]
+        candidate_ids = self.objects.range_2d(q_xy, radius)
+        candidates = ranker.make_candidates(candidate_ids, self.objects)
+        inside, certain = ranker.rank_within(query_vertex, candidates, radius)
+        metrics = QueryMetrics(cpu_seconds=time.process_time() - cpu_start)
+        delta = self.stats.delta_since(io_before)
+        metrics.pages_accessed = delta.physical_reads
+        metrics.io_seconds = self.disk.io_seconds(delta)
+        metrics.candidates_examined = len(candidates)
+        return QueryResult(
+            query_vertex=query_vertex,
+            k=len(inside),
+            object_ids=[c.object_id for c in inside],
+            intervals=[(c.lb, c.ub) for c in inside],
+            metrics=metrics,
+            method="surface-range",
+            converged=certain,
+        )
+
+    def closest_pair(self, step_length: int = 2) -> tuple[tuple[int, int], tuple[float, float]]:
+        """Closest object pair by surface distance (paper §6).
+
+        Returns ``((obj_a, obj_b), (lb, ub))``.
+        """
+        from repro.core.pairs import surface_closest_pair
+
+        return surface_closest_pair(
+            self.mesh,
+            self.dmtm,
+            self.msdn,
+            self.objects,
+            ResolutionSchedule.preset(step_length),
+        )
+
+    def obstacle_query(
+        self,
+        query_vertex: int,
+        k: int,
+        forbidden_faces=None,
+        max_slope_deg: float | None = None,
+    ) -> QueryResult:
+        """Obstacle-constrained sk-NN (the paper's future-work
+        extension): neighbours by surface distance along paths that
+        avoid the given faces and/or any face steeper than
+        ``max_slope_deg``.  Unreachable objects are simply not
+        returned."""
+        from repro.core.obstacles import obstacle_knn, steep_faces
+
+        forbidden = set(forbidden_faces) if forbidden_faces else set()
+        if max_slope_deg is not None:
+            forbidden |= steep_faces(self.mesh, max_slope_deg)
+        cpu_start = time.process_time()
+        pairs = obstacle_knn(self.mesh, self.objects, query_vertex, k, forbidden)
+        metrics = QueryMetrics(cpu_seconds=time.process_time() - cpu_start)
+        return QueryResult(
+            query_vertex=query_vertex,
+            k=k,
+            object_ids=[obj for obj, _d in pairs],
+            intervals=[(d, d) for _obj, d in pairs],
+            metrics=metrics,
+            method="obstacle",
+        )
+
+    # ------------------------------------------------------------------
+    # analysis helpers (Fig. 8 and docs)
+    # ------------------------------------------------------------------
+
+    def distance_range(
+        self,
+        vertex_a: int,
+        vertex_b: int,
+        dmtm_resolution: float,
+        msdn_resolution: float,
+        roi=None,
+    ) -> tuple[float, float]:
+        """(lb, ub) between two vertices at one resolution pair —
+        the quantity behind the paper's accuracy measure ε = lb/ub."""
+        ub_res = self.dmtm.upper_bound(vertex_a, vertex_b, dmtm_resolution, roi=roi)
+        if ub_res is None:
+            raise QueryError("upper bound not computable over this region")
+        lb_res = self.msdn.lower_bound(
+            self.mesh.vertices[vertex_a],
+            self.mesh.vertices[vertex_b],
+            msdn_resolution,
+            roi=roi,
+        )
+        return lb_res.value, ub_res.value

@@ -1,0 +1,195 @@
+"""Algorithm MR3 — Multi-Resolution Range Ranking (paper §4.1).
+
+The four steps:
+
+1. **2D k-NN query** — the k objects whose xy-projections are nearest
+   the query projection q' (R-tree best-first over ``Dxy``);
+2. **surface distance calculation** — rank those k candidates with
+   the multiresolution :class:`DistanceRanker` to obtain the k-th
+   neighbour's (tight) upper bound ub(q, b);
+3. **2D range query** — all objects whose projections are within
+   ub(q, b) of q'.  Correctness: any object outside that circle has
+   ``dS >= dE >= dE_xy > ub(q, b)`` while k objects already beat
+   ub(q, b);
+4. **surface distance ranking** — rank the step-3 candidate set until
+   ``ub(p_k) <= lb(p_{k+1})``.
+
+Bounds computed in step 2 are reused in step 4 (the two steps run the
+same ranker over overlapping candidate sets).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.bounds import Candidate
+from repro.core.embedding import EmbeddedQuery, source_of
+from repro.core.ranking import DistanceRanker, RankerOptions
+from repro.errors import QueryError
+from repro.storage.stats import DiskModel, IOStatistics
+
+
+@dataclass
+class QueryMetrics:
+    """Per-query costs, mirroring the paper's reported series."""
+
+    cpu_seconds: float = 0.0
+    io_seconds: float = 0.0
+    pages_accessed: int = 0
+    iterations_filter: int = 0
+    iterations_ranking: int = 0
+    candidates_examined: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total cost = CPU + simulated disk time (Figs 10-11 (a)/(d))."""
+        return self.cpu_seconds + self.io_seconds
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one sk-NN query."""
+
+    query_vertex: int
+    k: int
+    object_ids: list[int]
+    intervals: list[tuple[float, float]]
+    metrics: QueryMetrics = field(default_factory=QueryMetrics)
+    method: str = "mr3"
+    converged: bool = True
+    # EXPLAIN traces of the two ranking phases (one entry per
+    # resolution level): see RankingOutcome.trace.
+    filter_trace: list = field(default_factory=list)
+    ranking_trace: list = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable account of how the query was answered."""
+        lines = [
+            f"{self.method} query at vertex {self.query_vertex}, "
+            f"k={self.k}, converged={self.converged}"
+        ]
+        for label, trace in (
+            ("step 2 (filter C1)", self.filter_trace),
+            ("step 4 (rank C2)", self.ranking_trace),
+        ):
+            if not trace:
+                continue
+            lines.append(f"{label}:")
+            for entry in trace:
+                lines.append(
+                    "  level {level}: DMTM {dmtm_resolution:>5.1%} / "
+                    "MSDN {msdn_resolution:>4.0%}  active {active_before}"
+                    " -> {active_after}  kth in [{kth_lb:.1f}, {kth_ub:.1f}]"
+                    "{done}".format(
+                        **{**entry, "done": "  DONE" if entry["done"] else ""}
+                    )
+                )
+        m = self.metrics
+        lines.append(
+            f"cost: {m.cpu_seconds * 1000:.0f} ms CPU, "
+            f"{m.pages_accessed} pages, {len(self.object_ids)} results"
+        )
+        return "\n".join(lines)
+
+    def __post_init__(self):
+        if len(self.object_ids) != len(self.intervals):
+            raise QueryError("object/interval count mismatch")
+
+
+class MR3QueryProcessor:
+    """Executes sk-NN queries over pre-built DMTM/MSDN structures."""
+
+    def __init__(
+        self,
+        mesh,
+        dmtm,
+        msdn,
+        objects,
+        schedule,
+        options: RankerOptions | None = None,
+        stats: IOStatistics | None = None,
+        disk: DiskModel | None = None,
+    ):
+        self.mesh = mesh
+        self.objects = objects
+        self.schedule = schedule
+        self.ranker = DistanceRanker(mesh, dmtm, msdn, schedule, options)
+        self.stats = stats
+        self.disk = disk if disk is not None else DiskModel()
+
+    def query(self, query, k: int) -> QueryResult:
+        """Answer the sk-NN query at a mesh vertex or an
+        :class:`repro.core.embedding.EmbeddedQuery` point."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if isinstance(query, EmbeddedQuery):
+            query_vertex = min(query.anchors, key=lambda a: a[1])[0]
+        else:
+            if not 0 <= query < self.mesh.num_vertices:
+                raise QueryError(f"query vertex {query} out of range")
+            query_vertex = int(query)
+        if k > len(self.objects):
+            raise QueryError(
+                f"k={k} exceeds the {len(self.objects)} stored objects"
+            )
+        io_before = self.stats.snapshot() if self.stats is not None else None
+        cpu_start = time.process_time()
+
+        q_pos, _anchors = source_of(self.mesh, query)
+        q_xy = q_pos[:2]
+
+        # Step 1: 2D k-NN filter.
+        c1_ids = self.objects.knn_2d(q_xy, k)
+
+        # Step 2: rank C1 to get a tight ub for the k-th neighbour.
+        cands1 = self.ranker.make_candidates(c1_ids, self.objects)
+        out1 = self.ranker.rank(
+            query,
+            cands1,
+            k,
+            tighten_kth=self.ranker.options.filter_tighten,
+        )
+        radius = out1.kth_ub
+        if not math.isfinite(radius):
+            raise QueryError(
+                "could not bound the k-th neighbour; is the terrain connected?"
+            )
+
+        # Step 3: 2D range query with the step-2 radius.
+        c2_ids = self.objects.range_2d(q_xy, radius)
+
+        # Step 4: rank C2, reusing the intervals from step 2.
+        known: dict[int, Candidate] = {c.object_id: c for c in cands1}
+        cands2 = [
+            known.get(obj)
+            or self.ranker.make_candidates([obj], self.objects)[0]
+            for obj in c2_ids
+        ]
+        out2 = self.ranker.rank(query, cands2, k)
+
+        cpu_seconds = time.process_time() - cpu_start
+        metrics = QueryMetrics(
+            cpu_seconds=cpu_seconds,
+            iterations_filter=out1.iterations,
+            iterations_ranking=out2.iterations,
+            candidates_examined=len(cands2),
+        )
+        if io_before is not None:
+            delta = self.stats.delta_since(io_before)
+            metrics.pages_accessed = delta.physical_reads
+            metrics.io_seconds = self.disk.io_seconds(delta)
+
+        winners = out2.winners
+        return QueryResult(
+            query_vertex=query_vertex,
+            k=k,
+            object_ids=[c.object_id for c in winners],
+            intervals=[(c.lb, c.ub) for c in winners],
+            metrics=metrics,
+            method=self.schedule.name,
+            converged=out2.converged,
+            filter_trace=out1.trace or [],
+            ranking_trace=out2.trace or [],
+        )

@@ -1,0 +1,108 @@
+"""Object datasets on a terrain surface.
+
+The paper's workload: "The object points are uniformly distributed on
+the surface with varying object density 1 <= o <= 10" (objects per
+km²).  Objects are snapped to mesh vertices — every surface point
+within half an edge length of a vertex, which keeps distance
+semantics exact without an embedding step — and indexed in 2D
+(``Dxy``) by an R-tree for MR3's steps 1 and 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.spatial.rtree import RTree
+
+
+class ObjectSet:
+    """Objects on a terrain, with the 2D projection index ``Dxy``."""
+
+    def __init__(self, mesh, vertex_ids):
+        self.mesh = mesh
+        vertex_ids = [int(v) for v in vertex_ids]
+        if not vertex_ids:
+            raise QueryError("an object set needs at least one object")
+        if len(set(vertex_ids)) != len(vertex_ids):
+            raise QueryError("object vertex ids must be distinct")
+        for vid in vertex_ids:
+            if not 0 <= vid < mesh.num_vertices:
+                raise QueryError(f"object vertex {vid} out of range")
+        self.vertex_ids = vertex_ids
+        self.positions = mesh.vertices[vertex_ids]
+        self._dxy = RTree(max_entries=16)
+        for obj_id, pos in enumerate(self.positions):
+            self._dxy.insert_point(pos[:2], obj_id)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, mesh, density: float, seed: int = 0) -> "ObjectSet":
+        """Uniform objects at ``density`` per km² (the paper's o).
+
+        Samples xy positions uniformly over the terrain extent and
+        snaps each to the nearest unused mesh vertex.
+        """
+        if density <= 0:
+            raise QueryError(f"density must be positive, got {density}")
+        bounds = mesh.xy_bounds()
+        area_km2 = bounds.measure() / 1e6
+        count = max(1, int(round(density * area_km2)))
+        if count > mesh.num_vertices:
+            raise QueryError(
+                f"density {density}/km2 needs {count} objects but the mesh "
+                f"has only {mesh.num_vertices} vertices"
+            )
+        rng = np.random.default_rng(seed)
+        taken: set[int] = set()
+        chosen: list[int] = []
+        attempts = 0
+        while len(chosen) < count and attempts < count * 50:
+            attempts += 1
+            x = rng.uniform(bounds.lo[0], bounds.hi[0])
+            y = rng.uniform(bounds.lo[1], bounds.hi[1])
+            vid = mesh.nearest_vertex((x, y))
+            if vid not in taken:
+                taken.add(vid)
+                chosen.append(vid)
+        if len(chosen) < count:
+            # Fill deterministically from unused vertices.
+            for vid in range(mesh.num_vertices):
+                if vid not in taken:
+                    taken.add(vid)
+                    chosen.append(vid)
+                    if len(chosen) == count:
+                        break
+        return cls(mesh, chosen)
+
+    # ------------------------------------------------------------------
+    # queries over Dxy
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vertex_ids)
+
+    @property
+    def density(self) -> float:
+        """Objects per km² of terrain extent."""
+        return len(self) / (self.mesh.xy_bounds().measure() / 1e6)
+
+    def knn_2d(self, point_xy, k: int) -> list[int]:
+        """Step 1 of MR3: object ids of the k nearest xy-projections."""
+        return [obj for _d, obj in self._dxy.knn(point_xy, k)]
+
+    def range_2d(self, center_xy, radius: float) -> list[int]:
+        """Step 3 of MR3: object ids within ``radius`` of the centre
+        in the xy-plane."""
+        return self._dxy.circle_query(center_xy, radius)
+
+    def vertex_of(self, object_id: int) -> int:
+        if not 0 <= object_id < len(self.vertex_ids):
+            raise QueryError(f"object id {object_id} out of range")
+        return self.vertex_ids[object_id]
+
+    def position_of(self, object_id: int) -> np.ndarray:
+        return self.positions[object_id]

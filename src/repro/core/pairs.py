@@ -1,0 +1,110 @@
+"""Surface closest-pair queries — the second "other distance
+comparison based query" the paper's conclusion says the DMTM/MSDN
+framework supports (§6).
+
+Find the pair of objects with the smallest *surface* distance.  Same
+interval machinery as MR3: every pair carries [lb, ub]; coarse levels
+prune pairs whose lower bound exceeds the best upper bound seen; only
+surviving pairs are refined at higher resolution, grouped by source
+so one Dijkstra serves all pairs sharing an endpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import DistanceInterval
+from repro.errors import QueryError
+from repro.geometry.ellipse import EllipseRegion
+
+
+def surface_closest_pair(
+    mesh,
+    dmtm,
+    msdn,
+    objects,
+    schedule,
+) -> tuple[tuple[int, int], tuple[float, float]]:
+    """The closest object pair by surface distance.
+
+    Returns ``((obj_a, obj_b), (lb, ub))`` with ``obj_a < obj_b``; the
+    interval brackets the pair's true surface distance.
+    """
+    n = len(objects)
+    if n < 2:
+        raise QueryError("closest pair needs at least two objects")
+
+    pairs: dict[tuple[int, int], DistanceInterval] = {}
+    for a in range(n):
+        pa = objects.position_of(a)
+        for b in range(a + 1, n):
+            interval = DistanceInterval()
+            interval.refine_lb(
+                float(np.linalg.norm(pa - objects.position_of(b)))
+            )
+            pairs[(a, b)] = interval
+
+    active = set(pairs)
+    for res_u, res_l in schedule.levels():
+        if not active:
+            break
+        best_ub = min(pairs[p].ub for p in pairs)
+        # Keep only pairs that could still win.
+        active = {p for p in active if pairs[p].lb <= best_ub}
+        if len(active) <= 1 and all(
+            np.isfinite(pairs[p].ub) for p in active
+        ):
+            break
+        # Upper bounds: one multi-target Dijkstra per distinct source.
+        by_source: dict[int, list[tuple[int, int]]] = {}
+        for a, b in active:
+            by_source.setdefault(a, []).append((a, b))
+        roi = _joint_roi(objects, active, pairs)
+        network = dmtm.extract_network(res_u, roi)
+        for a, group in by_source.items():
+            targets = [objects.vertex_of(b) for _a, b in group]
+            results = dmtm.upper_bounds_from(
+                objects.vertex_of(a), targets, network
+            )
+            for (_a, b) in group:
+                result = results.get(objects.vertex_of(b))
+                if result is not None:
+                    pairs[(a, b)].refine_ub(result.value)
+        # Lower bounds only for pairs near the decision boundary.
+        best_ub = min(pairs[p].ub for p in pairs)
+        for a, b in list(active):
+            interval = pairs[(a, b)]
+            if interval.lb > best_ub:
+                continue
+            lb = msdn.lower_bound(
+                objects.position_of(a),
+                objects.position_of(b),
+                res_l,
+                roi=_pair_roi(objects, a, b, interval),
+            )
+            interval.refine_lb(min(lb.value, interval.ub))
+    best = min(pairs, key=lambda p: (pairs[p].ub, p))
+    return best, (pairs[best].lb, pairs[best].ub)
+
+
+def _pair_roi(objects, a: int, b: int, interval: DistanceInterval):
+    if not np.isfinite(interval.ub):
+        return None
+    ellipse = EllipseRegion(
+        objects.position_of(a)[:2],
+        objects.position_of(b)[:2],
+        interval.ub * 1.001,
+    )
+    return [ellipse.mbr()]
+
+
+def _joint_roi(objects, active, pairs):
+    """Union of the active pairs' ellipse MBRs (None while any pair
+    is still unbounded)."""
+    boxes = []
+    for a, b in active:
+        roi = _pair_roi(objects, a, b, pairs[(a, b)])
+        if roi is None:
+            return None
+        boxes.extend(roi)
+    return boxes

@@ -1,0 +1,67 @@
+"""I/O region construction and integration.
+
+"As there may have multiple candidate points to be considered at each
+iteration, their I/O regions (for each candidate point, its I/O
+region is the MBR of the search region) can be combined if they are
+significantly overlapped (e.g., over 80 %) in order to reduce I/O
+cost." (paper, §4.2)
+
+:func:`integrate_io_regions` greedily merges candidate MBRs whose
+overlap (relative to the smaller box) exceeds the threshold; the
+query processor then fetches each merged region once instead of
+re-fetching the shared pages per candidate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.geometry.primitives import BoundingBox
+
+
+def integrate_io_regions(
+    regions: list[BoundingBox],
+    threshold: float = 0.8,
+) -> tuple[list[BoundingBox], list[int]]:
+    """Merge significantly overlapping regions.
+
+    Returns ``(merged, assignment)`` where ``assignment[i]`` is the
+    index into ``merged`` serving input region i.  With
+    ``threshold > 1`` no merging ever happens (the Fig. 9 "option
+    off" configuration).
+    """
+    if not 0.0 < threshold:
+        raise QueryError("threshold must be positive")
+    merged: list[BoundingBox] = []
+    members: list[list[int]] = []
+    for i, region in enumerate(regions):
+        target = None
+        for j, box in enumerate(merged):
+            if box.overlap_fraction(region) >= threshold:
+                target = j
+                break
+        if target is None:
+            merged.append(region)
+            members.append([i])
+        else:
+            merged[target] = merged[target].union(region)
+            members[target].append(i)
+    # Merging can create new overlaps; iterate to a fixed point.
+    changed = True
+    while changed and len(merged) > 1:
+        changed = False
+        for a in range(len(merged)):
+            for b in range(a + 1, len(merged)):
+                if merged[a].overlap_fraction(merged[b]) >= threshold:
+                    merged[a] = merged[a].union(merged[b])
+                    members[a].extend(members[b])
+                    del merged[b]
+                    del members[b]
+                    changed = True
+                    break
+            if changed:
+                break
+    assignment = [0] * len(regions)
+    for group_idx, group in enumerate(members):
+        for i in group:
+            assignment[i] = group_idx
+    return merged, assignment

@@ -1,0 +1,89 @@
+"""Resolution schedules (the paper's step length ``s``).
+
+Section 5.3 defines three step-length settings, each pairing a DMTM
+resolution ladder with an MSDN ladder (iteration i uses the i-th
+entry of each; the shorter ladder holds its last value):
+
+* ``s = 1``: DMTM 0.5 %, 25 %, 50 %, 75 %, 100 %, 200 %;
+  MSDN 25 %, 37.5 %, 50 %, 75 %, 100 %
+* ``s = 2``: DMTM 0.5 %, 50 %, 100 %, 200 %; MSDN 25 %, 50 %, 100 %
+* ``s = 3``: DMTM 0.5 %, 100 %, 200 %; MSDN 25 %, 100 %
+
+The EA benchmark "starts from the original surface model and
+continues to the pathnet level for ub estimation.  The 100 %
+resolution SDN is used for lb estimation" — i.e. a two-level schedule
+with no coarse filtering, which is what makes it the
+no-multiresolution reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.multires.dmtm import RESOLUTION_PATHNET
+
+_PRESETS: dict[object, tuple[tuple[float, ...], tuple[float, ...]]] = {
+    1: (
+        (0.005, 0.25, 0.5, 0.75, 1.0, RESOLUTION_PATHNET),
+        (0.25, 0.375, 0.5, 0.75, 1.0),
+    ),
+    2: (
+        (0.005, 0.5, 1.0, RESOLUTION_PATHNET),
+        (0.25, 0.5, 1.0),
+    ),
+    3: (
+        (0.005, 1.0, RESOLUTION_PATHNET),
+        (0.25, 1.0),
+    ),
+    "ea": (
+        (1.0, RESOLUTION_PATHNET),
+        (1.0,),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ResolutionSchedule:
+    """Paired DMTM/MSDN resolution ladders walked by the ranker."""
+
+    name: str
+    dmtm_levels: tuple[float, ...]
+    msdn_levels: tuple[float, ...]
+
+    @classmethod
+    def preset(cls, step_length) -> "ResolutionSchedule":
+        """One of the paper's settings: 1, 2, 3 or "ea"."""
+        try:
+            dmtm, msdn = _PRESETS[step_length]
+        except KeyError:
+            raise QueryError(
+                f"unknown schedule {step_length!r}; use 1, 2, 3 or 'ea'"
+            ) from None
+        return cls(name=f"s={step_length}", dmtm_levels=dmtm, msdn_levels=msdn)
+
+    @classmethod
+    def custom(cls, dmtm_levels, msdn_levels, name: str = "custom") -> "ResolutionSchedule":
+        dmtm = tuple(float(r) for r in dmtm_levels)
+        msdn = tuple(float(r) for r in msdn_levels)
+        if not dmtm or not msdn:
+            raise QueryError("schedules need at least one level each")
+        if list(dmtm) != sorted(dmtm) or list(msdn) != sorted(msdn):
+            raise QueryError("schedule levels must be ascending")
+        return cls(name=name, dmtm_levels=dmtm, msdn_levels=msdn)
+
+    def __len__(self) -> int:
+        return max(len(self.dmtm_levels), len(self.msdn_levels))
+
+    def level(self, i: int) -> tuple[float, float]:
+        """(dmtm_resolution, msdn_resolution) of iteration ``i``; the
+        shorter ladder saturates at its last entry."""
+        if not 0 <= i < len(self):
+            raise QueryError(f"iteration {i} beyond schedule of {len(self)}")
+        dmtm = self.dmtm_levels[min(i, len(self.dmtm_levels) - 1)]
+        msdn = self.msdn_levels[min(i, len(self.msdn_levels) - 1)]
+        return dmtm, msdn
+
+    def levels(self):
+        """Iterate (dmtm_resolution, msdn_resolution) pairs."""
+        return (self.level(i) for i in range(len(self)))

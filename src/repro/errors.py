@@ -1,0 +1,49 @@
+"""Exception hierarchy for the surfknn library.
+
+Every error raised by this package derives from :class:`SurfKnnError`
+so that callers can catch library failures with a single handler while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class SurfKnnError(Exception):
+    """Base class for all errors raised by the surfknn library."""
+
+
+class GeometryError(SurfKnnError):
+    """A geometric computation received degenerate or invalid input."""
+
+
+class MeshError(SurfKnnError):
+    """A mesh is malformed (non-manifold, empty, inconsistent indices)."""
+
+
+class TerrainError(SurfKnnError):
+    """A DEM or terrain model is malformed or out of range."""
+
+
+class IndexError_(SurfKnnError):
+    """A spatial index was used incorrectly (named with a trailing
+    underscore to avoid shadowing the builtin)."""
+
+
+class StorageError(SurfKnnError):
+    """The paged storage layer detected an inconsistency."""
+
+
+class SimplificationError(SurfKnnError):
+    """Mesh simplification could not make progress."""
+
+
+class MultiresError(SurfKnnError):
+    """A multiresolution structure (DM/DDM/DMTM) is inconsistent."""
+
+
+class QueryError(SurfKnnError):
+    """A query was malformed (bad k, query point off the terrain...)."""
+
+
+class GeodesicError(SurfKnnError):
+    """A shortest-path computation failed (disconnected, degenerate)."""

@@ -1,0 +1,45 @@
+"""Shortest-path machinery: network Dijkstra, pathnets, exact surface
+geodesics and the Kanai–Suzuki approximate geodesic on a selectively
+refined pathnet.
+
+Terminology (matching the paper):
+
+* ``dE`` — Euclidean distance (2D or 3D);
+* ``dN`` — network distance: shortest path *along edges* of a mesh or
+  support network (computed here by :func:`dijkstra`);
+* ``dS`` — surface distance: shortest path on the polyhedral surface,
+  allowed to cut across faces (computed exactly by
+  :class:`ExactGeodesic`, approximated by
+  :func:`kanai_suzuki_distance` or a dense pathnet ``dN``).
+"""
+
+from repro.geodesic.graph import KeyedGraph
+from repro.geodesic.dijkstra import (
+    dijkstra,
+    dijkstra_with_parents,
+    shortest_path,
+)
+from repro.geodesic.pathnet import (
+    build_pathnet,
+    pathnet_distance,
+    pathnet_shortest_path,
+    vertex_key,
+    steiner_key,
+)
+from repro.geodesic.exact import ExactGeodesic, exact_surface_distance
+from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
+
+__all__ = [
+    "KeyedGraph",
+    "dijkstra",
+    "dijkstra_with_parents",
+    "shortest_path",
+    "build_pathnet",
+    "pathnet_distance",
+    "pathnet_shortest_path",
+    "vertex_key",
+    "steiner_key",
+    "ExactGeodesic",
+    "exact_surface_distance",
+    "kanai_suzuki_distance",
+]

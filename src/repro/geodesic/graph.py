@@ -1,0 +1,68 @@
+"""A small graph builder with arbitrary hashable node keys.
+
+Pathnets, SDN networks and embedded query points all need to mix node
+kinds (mesh vertices, Steiner points, segment chunks, the query point
+itself).  :class:`KeyedGraph` maps hashable keys to dense integer ids
+and compiles an adjacency list suitable for
+:func:`repro.geodesic.dijkstra.dijkstra`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeodesicError
+
+
+class KeyedGraph:
+    """An undirected weighted graph over hashable node keys."""
+
+    def __init__(self):
+        self._ids: dict = {}
+        self._keys: list = []
+        self._adj: list[list[tuple[int, float]]] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key) -> bool:
+        return key in self._ids
+
+    def add_node(self, key) -> int:
+        """Add (or fetch) a node, returning its dense id."""
+        node_id = self._ids.get(key)
+        if node_id is None:
+            node_id = len(self._keys)
+            self._ids[key] = node_id
+            self._keys.append(key)
+            self._adj.append([])
+        return node_id
+
+    def add_edge(self, key_a, key_b, weight: float) -> None:
+        """Add an undirected edge; creates missing endpoints."""
+        if weight < 0:
+            raise GeodesicError(f"negative edge weight {weight}")
+        a = self.add_node(key_a)
+        b = self.add_node(key_b)
+        if a == b:
+            return
+        self._adj[a].append((b, float(weight)))
+        self._adj[b].append((a, float(weight)))
+
+    def node_id(self, key) -> int:
+        node_id = self._ids.get(key)
+        if node_id is None:
+            raise GeodesicError(f"unknown node key {key!r}")
+        return node_id
+
+    def key_of(self, node_id: int):
+        return self._keys[node_id]
+
+    @property
+    def adjacency(self) -> list[list[tuple[int, float]]]:
+        """The compiled adjacency list (shared, do not mutate)."""
+        return self._adj
+
+    def degree(self, key) -> int:
+        return len(self._adj[self.node_id(key)])
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj) // 2

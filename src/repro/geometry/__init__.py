@@ -1,0 +1,41 @@
+"""Geometry kernel: vectors, bounding boxes, triangles, polylines,
+ellipse search regions.
+
+These primitives are deliberately small and dependency-light (numpy
+only).  Everything upstream — terrain meshes, multiresolution models,
+MSDN crossing lines, MR3 search regions — is built on them.
+"""
+
+from repro.geometry.vectors import (
+    norm,
+    dist,
+    dist2d,
+    normalize,
+    cross2d,
+)
+from repro.geometry.primitives import BoundingBox, Segment
+from repro.geometry.triangle import (
+    point_in_triangle_2d,
+    barycentric_2d,
+    triangle_area,
+    unfold_triangle,
+)
+from repro.geometry.polyline import Polyline, simplify_with_enclosure
+from repro.geometry.ellipse import EllipseRegion
+
+__all__ = [
+    "norm",
+    "dist",
+    "dist2d",
+    "normalize",
+    "cross2d",
+    "BoundingBox",
+    "Segment",
+    "point_in_triangle_2d",
+    "barycentric_2d",
+    "triangle_area",
+    "unfold_triangle",
+    "Polyline",
+    "simplify_with_enclosure",
+    "EllipseRegion",
+]

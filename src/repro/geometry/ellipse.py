@@ -1,0 +1,73 @@
+"""Ellipse-shaped search regions for upper/lower bound estimation.
+
+MR3 restricts the data it fetches for a candidate ``p`` to the set of
+points ``x`` with ``dE(q', x) + dE(x, p') <= c`` where ``q'``/``p'``
+are the xy-projections of the query and candidate and ``c`` is the
+current upper bound of the surface distance — an ellipse with foci
+``q'`` and ``p'`` and constant ``c``.  Any surface path shorter than
+``c`` projects inside this ellipse, so pruning to it is lossless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import BoundingBox
+
+
+class EllipseRegion:
+    """A 2D ellipse given by its foci and distance-sum constant."""
+
+    def __init__(self, focus_a, focus_b, constant: float):
+        self.focus_a = np.asarray(focus_a, dtype=float)[:2]
+        self.focus_b = np.asarray(focus_b, dtype=float)[:2]
+        self._focal_dist = float(np.linalg.norm(self.focus_a - self.focus_b))
+        if constant < self._focal_dist:
+            # Clamp rather than fail: upper bounds estimated on coarse
+            # meshes can dip below the focal distance by floating
+            # point slack; the degenerate ellipse is the segment.
+            constant = self._focal_dist
+        self.constant = float(constant)
+
+    @property
+    def semi_major(self) -> float:
+        return self.constant / 2.0
+
+    @property
+    def semi_minor(self) -> float:
+        c = self._focal_dist / 2.0
+        a = self.semi_major
+        return float(np.sqrt(max(a * a - c * c, 0.0)))
+
+    def contains(self, p) -> bool:
+        """Whether the xy-projection of ``p`` lies inside the ellipse."""
+        p = np.asarray(p, dtype=float)[:2]
+        total = float(
+            np.linalg.norm(p - self.focus_a) + np.linalg.norm(p - self.focus_b)
+        )
+        return total <= self.constant + 1e-12
+
+    def mbr(self) -> BoundingBox:
+        """Tight axis-aligned MBR of the ellipse (used as I/O region)."""
+        center = (self.focus_a + self.focus_b) / 2.0
+        d = self.focus_b - self.focus_a
+        a = self.semi_major
+        b = self.semi_minor
+        if self._focal_dist == 0.0:
+            half = np.array([a, a])
+        else:
+            u = d / self._focal_dist
+            # Extent of a rotated ellipse along each axis.
+            half = np.sqrt(
+                (a * u) ** 2 + (b * np.array([-u[1], u[0]])) ** 2
+            )
+        return BoundingBox(tuple(center - half), tuple(center + half))
+
+    def shrink_to(self, constant: float) -> "EllipseRegion":
+        """New region with a tighter constant (monotone refinement)."""
+        if constant > self.constant + 1e-9:
+            raise GeometryError(
+                "search regions may only shrink as bounds tighten"
+            )
+        return EllipseRegion(self.focus_a, self.focus_b, constant)

@@ -1,0 +1,213 @@
+"""Axis-aligned bounding boxes (MBRs) and line segments.
+
+The paper leans on MBRs in three places: MSDN lower bounds use the
+*minimum distance between segment MBRs* as edge weights, the refined
+upper-bound search region is a union of *descendant-node MBRs*, and
+I/O regions are MBRs that get merged when they overlap significantly.
+:class:`BoundingBox` therefore supports any dimension (2 for xy
+I/O regions, 3 for segment MBRs) and implements exactly those
+operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box given by its lower and upper corners.
+
+    Immutable; all combining operations return new boxes.  ``lo`` and
+    ``hi`` are tuples so the box is hashable and safe as a dict key.
+    """
+
+    lo: tuple
+    hi: tuple
+
+    def __post_init__(self):
+        if len(self.lo) != len(self.hi):
+            raise GeometryError("corner dimensions differ")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise GeometryError(f"inverted box: lo={self.lo} hi={self.hi}")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def of_points(cls, points) -> "BoundingBox":
+        """Smallest box containing all the given points."""
+        pts = np.asarray(points, dtype=float)
+        if pts.size == 0:
+            raise GeometryError("cannot bound an empty point set")
+        pts = pts.reshape(-1, pts.shape[-1])
+        return cls(tuple(pts.min(axis=0)), tuple(pts.max(axis=0)))
+
+    @classmethod
+    def around(cls, center, half_extent) -> "BoundingBox":
+        """Box centred at ``center`` extending ``half_extent`` each way."""
+        c = np.asarray(center, dtype=float)
+        h = np.broadcast_to(np.asarray(half_extent, dtype=float), c.shape)
+        return cls(tuple(c - h), tuple(c + h))
+
+    # -- basic properties -----------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def center(self) -> np.ndarray:
+        return (np.asarray(self.lo) + np.asarray(self.hi)) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        return np.asarray(self.hi) - np.asarray(self.lo)
+
+    def measure(self) -> float:
+        """Area (2D) or volume (3D) of the box."""
+        return float(np.prod(self.extents))
+
+    def perimeter(self) -> float:
+        """Sum of edge lengths; the classic R-tree split objective."""
+        return float(2.0 * np.sum(self.extents))
+
+    # -- predicates -------------------------------------------------------
+    # (scalar implementations: these run millions of times per query,
+    # where per-call numpy overhead dominates)
+
+    def contains_point(self, p) -> bool:
+        return all(
+            l <= float(c) <= h for l, c, h in zip(self.lo, p, self.hi)
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        return all(ol >= sl for ol, sl in zip(other.lo, self.lo)) and all(
+            oh <= sh for oh, sh in zip(other.hi, self.hi)
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            if sl > oh or sh < ol:
+                return False
+        return True
+
+    # -- combining ops ----------------------------------------------------
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            tuple(np.minimum(self.lo, other.lo)),
+            tuple(np.maximum(self.hi, other.hi)),
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """Overlap box, or ``None`` when the boxes are disjoint."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return None
+        return BoundingBox(tuple(lo), tuple(hi))
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side (the paper's "double
+        each vertex's MBR" region expansion uses this)."""
+        if margin < 0:
+            raise GeometryError("margin must be non-negative")
+        m = np.full(self.dim, margin)
+        return BoundingBox(
+            tuple(np.asarray(self.lo) - m), tuple(np.asarray(self.hi) + m)
+        )
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Box scaled about its centre by ``factor``."""
+        if factor < 0:
+            raise GeometryError("factor must be non-negative")
+        c = self.center
+        h = self.extents / 2.0 * factor
+        return BoundingBox(tuple(c - h), tuple(c + h))
+
+    # -- metrics ---------------------------------------------------------
+
+    def min_dist_point(self, p) -> float:
+        """Minimum distance from a point to the box (0 if inside)."""
+        total = 0.0
+        for l, c, h in zip(self.lo, p, self.hi):
+            c = float(c)
+            gap = l - c if c < l else (c - h if c > h else 0.0)
+            total += gap * gap
+        return math.sqrt(total)
+
+    def min_dist_box(self, other: "BoundingBox") -> float:
+        """Minimum distance between two boxes (0 if they intersect).
+
+        This is the MSDN edge-weight metric: it never exceeds the true
+        minimum distance between the geometry inside the boxes, which
+        is what makes the MSDN estimate a *lower* bound.
+        """
+        total = 0.0
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            gap = sl - oh if sl > oh else (ol - sh if ol > sh else 0.0)
+            total += gap * gap
+        return math.sqrt(total)
+
+    def overlap_fraction(self, other: "BoundingBox") -> float:
+        """Overlap measure relative to the *smaller* box.
+
+        MR3 merges two candidate I/O regions when this fraction
+        exceeds a threshold (the paper suggests 80 %).
+        """
+        inter = self.intersection(other)
+        if inter is None:
+            return 0.0
+        smaller = min(self.measure(), other.measure())
+        if smaller == 0.0:
+            # Degenerate boxes that still intersect fully overlap.
+            return 1.0
+        return inter.measure() / smaller
+
+    def xy(self) -> "BoundingBox":
+        """Projection onto the first two coordinates."""
+        return BoundingBox(tuple(self.lo[:2]), tuple(self.hi[:2]))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A straight line segment between two points (any dimension)."""
+
+    a: tuple
+    b: tuple
+
+    @property
+    def length(self) -> float:
+        return float(np.linalg.norm(np.asarray(self.b) - np.asarray(self.a)))
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        return (np.asarray(self.a) + np.asarray(self.b)) / 2.0
+
+    def mbr(self) -> BoundingBox:
+        return BoundingBox(
+            tuple(np.minimum(self.a, self.b)), tuple(np.maximum(self.a, self.b))
+        )
+
+    def point_at(self, t: float) -> np.ndarray:
+        """Point ``a + t * (b - a)`` for parameter ``t`` in [0, 1]."""
+        a = np.asarray(self.a, dtype=float)
+        b = np.asarray(self.b, dtype=float)
+        return a + t * (b - a)
+
+    def dist_point(self, p) -> float:
+        """Distance from a point to the segment."""
+        a = np.asarray(self.a, dtype=float)
+        b = np.asarray(self.b, dtype=float)
+        p = np.asarray(p, dtype=float)
+        ab = b - a
+        denom = float(np.dot(ab, ab))
+        if denom == 0.0:
+            return float(np.linalg.norm(p - a))
+        t = float(np.clip(np.dot(p - a, ab) / denom, 0.0, 1.0))
+        return float(np.linalg.norm(p - (a + t * ab)))

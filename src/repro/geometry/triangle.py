@@ -1,0 +1,83 @@
+"""Triangle geometry: containment, barycentric coordinates, areas and
+planar unfolding.
+
+Planar unfolding is the primitive behind exact surface shortest paths
+(Chen & Han class algorithms): successive faces along an edge sequence
+are rotated about shared edges into a common plane, where the geodesic
+becomes a straight line.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vectors import cross2d
+
+
+def triangle_area(a, b, c) -> float:
+    """Unsigned area of the 3D (or 2D) triangle ``abc``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    c = np.asarray(c, dtype=float)
+    if a.shape[-1] == 2:
+        return abs(float(cross2d(b - a, c - a))) / 2.0
+    return float(np.linalg.norm(np.cross(b - a, c - a))) / 2.0
+
+
+def barycentric_2d(p, a, b, c) -> tuple[float, float, float]:
+    """Barycentric coordinates of 2D point ``p`` w.r.t. triangle ``abc``.
+
+    Raises :class:`GeometryError` for a degenerate triangle.
+    """
+    a = np.asarray(a, dtype=float)[:2]
+    b = np.asarray(b, dtype=float)[:2]
+    c = np.asarray(c, dtype=float)[:2]
+    p = np.asarray(p, dtype=float)[:2]
+    denom = cross2d(b - a, c - a)
+    if denom == 0.0:
+        raise GeometryError("degenerate triangle in barycentric_2d")
+    w_b = cross2d(p - a, c - a) / denom
+    w_c = cross2d(b - a, p - a) / denom
+    w_a = 1.0 - w_b - w_c
+    return (float(w_a), float(w_b), float(w_c))
+
+
+def point_in_triangle_2d(p, a, b, c, eps: float = 1e-12) -> bool:
+    """Whether 2D point ``p`` lies inside (or on) triangle ``abc``."""
+    try:
+        w_a, w_b, w_c = barycentric_2d(p, a, b, c)
+    except GeometryError:
+        return False
+    return w_a >= -eps and w_b >= -eps and w_c >= -eps
+
+
+def unfold_triangle(a2, b2, d_a: float, d_b: float, side: int = 1) -> np.ndarray:
+    """Place the apex of a triangle in the plane by edge unfolding.
+
+    Given the 2D positions ``a2`` and ``b2`` of an already-unfolded
+    edge and the (3D) distances ``d_a`` and ``d_b`` from the apex to
+    those endpoints, return the apex's 2D position on the requested
+    ``side`` of the directed edge a→b (+1 = left, -1 = right).
+
+    The three lengths must satisfy the triangle inequality up to
+    floating-point slack; violations are clamped, which keeps
+    propagation robust on nearly-degenerate terrain triangles.
+    """
+    a2 = np.asarray(a2, dtype=float)
+    b2 = np.asarray(b2, dtype=float)
+    e = b2 - a2
+    d_ab = float(np.linalg.norm(e))
+    if d_ab == 0.0:
+        raise GeometryError("unfold edge has zero length")
+    if side not in (1, -1):
+        raise GeometryError("side must be +1 or -1")
+    # Classic circle-circle intersection along the edge frame.
+    x = (d_a * d_a - d_b * d_b + d_ab * d_ab) / (2.0 * d_ab)
+    h2 = d_a * d_a - x * x
+    h = math.sqrt(h2) if h2 > 0.0 else 0.0
+    ex = e / d_ab
+    ey = np.array([-ex[1], ex[0]])  # left normal of a->b
+    return a2 + x * ex + side * h * ey

@@ -1,0 +1,54 @@
+"""Small vector helpers shared across the geometry kernel.
+
+All functions accept array-likes and operate on the trailing axis, so
+they work for single points and for batches alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def norm(v) -> float | np.ndarray:
+    """Euclidean norm along the trailing axis."""
+    v = np.asarray(v, dtype=float)
+    return np.sqrt(np.sum(v * v, axis=-1))
+
+
+def dist(a, b) -> float | np.ndarray:
+    """Euclidean distance between points (any shared dimension)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return norm(a - b)
+
+
+def dist2d(a, b) -> float | np.ndarray:
+    """Euclidean distance between the xy-projections of two points."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return norm(a[..., :2] - b[..., :2])
+
+
+def normalize(v) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises :class:`GeometryError` for the zero vector rather than
+    silently producing NaNs.
+    """
+    v = np.asarray(v, dtype=float)
+    n = norm(v)
+    if np.any(n == 0.0):
+        raise GeometryError("cannot normalize a zero vector")
+    return v / (n[..., np.newaxis] if np.ndim(n) else n)
+
+
+def cross2d(u, v) -> float | np.ndarray:
+    """Z-component of the cross product of two 2D vectors.
+
+    Positive when ``v`` is counter-clockwise of ``u``.
+    """
+    u = np.asarray(u, dtype=float)
+    v = np.asarray(v, dtype=float)
+    return u[..., 0] * v[..., 1] - u[..., 1] * v[..., 0]

@@ -1,0 +1,334 @@
+"""The MSDN facade: SDNs at several resolutions + lower-bound queries.
+
+Responsibilities:
+
+* build crossing lines for both x- and y-plane families at terrain
+  construction time (the paper pre-creates MSDN and stores it in the
+  database);
+* keep chunked SDNs per resolution, with plane *density* reduced at
+  low resolutions as the paper prescribes ("for a request of low
+  resolution SDN data, we reduce the density of crossing lines
+  selected too");
+* choose the plane family per query by the dominant direction of the
+  (a, b) xy projection (the paper's 45° heuristic: use the family
+  that actually separates the two points);
+* answer lower-bound queries restricted to a region of interest, with
+  optional *dummy lower bound* corridors (§4.2.2) for the CPU
+  optimisation benches;
+* when storage is attached, charge page I/O for the chunks fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.primitives import BoundingBox
+from repro.msdn.crossing import (
+    adaptive_plane_positions,
+    crossing_line,
+    plane_positions,
+    supersample_polyline,
+)
+from repro.msdn.sdn import SdnChunk, build_sdn_chunks, lower_bound_via_planes
+from repro.storage.locator import LocatorStore
+from repro.storage.pages import PageManager
+
+DEFAULT_RESOLUTIONS = (0.25, 0.375, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class LowerBoundResult:
+    """Outcome of one MSDN lower-bound estimation."""
+
+    value: float
+    path_keys: list
+    resolution: float
+    chunks_used: int
+
+
+def _roi_list(roi):
+    if roi is None:
+        return None
+    if isinstance(roi, BoundingBox):
+        roi = [roi]
+    return [box.xy() if box.dim == 3 else box for box in roi]
+
+
+def _box_mask(xy: np.ndarray, boxes) -> np.ndarray:
+    """Vectorized intersects-any-box mask over an (m, 4) xy-MBR array
+    laid out as [lo_x, lo_y, hi_x, hi_y]."""
+    mask = np.zeros(xy.shape[0], dtype=bool)
+    for box in boxes:
+        mask |= (
+            (xy[:, 0] <= box.hi[0])
+            & (xy[:, 2] >= box.lo[0])
+            & (xy[:, 1] <= box.hi[1])
+            & (xy[:, 3] >= box.lo[1])
+        )
+    return mask
+
+
+class MSDN:
+    """Multiresolution support distance network over a terrain mesh.
+
+    Parameters
+    ----------
+    mesh:
+        The original terrain mesh.
+    spacing:
+        Plane interval at full density; defaults to the mesh's mean
+        edge length (the paper's highest-density recommendation).
+    resolutions:
+        SDN resolutions to materialize (fractions of crossing-line
+        points kept).
+    """
+
+    def __init__(
+        self,
+        mesh,
+        spacing: float | None = None,
+        resolutions=DEFAULT_RESOLUTIONS,
+        supersample: int = 8,
+        adaptive_planes: float = 0.0,
+    ):
+        self.mesh = mesh
+        if spacing is None:
+            spacing = float(np.mean(mesh.edge_lengths))
+        if spacing <= 0:
+            raise QueryError("plane spacing must be positive")
+        if supersample < 1:
+            raise QueryError("supersample must be >= 1")
+        self.spacing = spacing
+        self.supersample = supersample
+        self.adaptive_planes = float(adaptive_planes)
+        self.resolutions = tuple(sorted(resolutions))
+        bounds = mesh.xy_bounds()
+        # Crossing lines per axis; the base (100 %) sampling is the
+        # supersampled crossing line (see crossing.supersample_polyline).
+        self._planes: dict[int, np.ndarray] = {}
+        self._lines: dict[int, list] = {}
+        for axis in (0, 1):
+            if self.adaptive_planes > 0.0:
+                values = adaptive_plane_positions(
+                    mesh, spacing, axis, strength=self.adaptive_planes
+                )
+            else:
+                values = plane_positions(bounds, spacing, axis)
+            lines = []
+            kept_values = []
+            for value in values:
+                line = crossing_line(mesh, axis, float(value))
+                if line is not None:
+                    lines.append(supersample_polyline(line, supersample))
+                    kept_values.append(float(value))
+            self._planes[axis] = np.asarray(kept_values)
+            self._lines[axis] = lines
+        # Chunked SDNs: (axis, resolution) -> list per plane, plus the
+        # per-plane xy-MBR arrays [lo_x, lo_y, hi_x, hi_y] used for
+        # vectorized ROI filtering.
+        self._chunks: dict[tuple[int, float], list[list[SdnChunk]]] = {}
+        self._chunk_xy: dict[tuple[int, float], list[np.ndarray]] = {}
+        for axis in (0, 1):
+            for res in self.resolutions:
+                per_plane = [
+                    build_sdn_chunks(line, axis, idx, float(self._planes[axis][idx]), res)
+                    for idx, line in enumerate(self._lines[axis])
+                ]
+                self._chunks[(axis, res)] = per_plane
+                self._chunk_xy[(axis, res)] = [
+                    np.array(
+                        [
+                            (c.mbr.lo[0], c.mbr.lo[1], c.mbr.hi[0], c.mbr.hi[1])
+                            for c in chunks
+                        ]
+                    ).reshape(-1, 4)
+                    for chunks in per_plane
+                ]
+        self._store: LocatorStore | None = None
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+
+    def attach_storage(self, pages: PageManager) -> None:
+        """Page out every chunk record (clustered by plane, then
+        position along the plane) for I/O accounting."""
+        items = []
+        for (axis, res), per_plane in self._chunks.items():
+            for chunks in per_plane:
+                for chunk in chunks:
+                    cluster = (axis, round(res * 1000), chunk.plane_index, chunk.first)
+                    items.append((cluster, ("chunk",) + cluster, chunk.encode()))
+        self._store = LocatorStore(items, pages)
+
+    def _touch(self, chunks: list[SdnChunk], resolution: float) -> None:
+        if self._store is None:
+            return
+        ids = [
+            ("chunk", c.axis, round(resolution * 1000), c.plane_index, c.first)
+            for c in chunks
+        ]
+        self._store.touch(ids)
+
+    # ------------------------------------------------------------------
+    # resolution policy
+    # ------------------------------------------------------------------
+
+    def plane_stride(self, resolution: float) -> int:
+        """Plane-density reduction at low resolution (paper §3.3)."""
+        return max(1, int(round(0.5 / resolution)))
+
+    def nearest_resolution(self, resolution: float) -> float:
+        return min(self.resolutions, key=lambda r: abs(r - resolution))
+
+    # ------------------------------------------------------------------
+    # lower bounds
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def choose_axis(point_a, point_b) -> int:
+        """Plane family that separates the pair: x-planes (axis 0)
+        when the pair is spread mostly along x, else y-planes.
+
+        (The paper's §3.3 heuristic compares the projection angle with
+        45°; a plane family parallel to the motion would contribute no
+        separating planes.)
+        """
+        dx = abs(float(point_b[0]) - float(point_a[0]))
+        dy = abs(float(point_b[1]) - float(point_a[1]))
+        return 0 if dx >= dy else 1
+
+    def _layers_between(
+        self, axis: int, resolution: float, lo: float, hi: float, stride: int
+    ) -> list[tuple[list[SdnChunk], np.ndarray]]:
+        planes = self._planes[axis]
+        idxs = [i for i, v in enumerate(planes) if lo < v < hi]
+        idxs = idxs[:: max(1, stride)]
+        per_plane = self._chunks[(axis, resolution)]
+        bounds = self._chunk_xy[(axis, resolution)]
+        return [(per_plane[i], bounds[i]) for i in idxs]
+
+    def touch_region(self, resolution: float, roi=None, axes=(0, 1)) -> None:
+        """Charge page I/O for the chunks a lower-bound estimation
+        over ``roi`` would fetch (integrated I/O regions call this
+        once per merged region, then estimate with
+        ``charge_io=False``)."""
+        resolution = self.nearest_resolution(resolution)
+        roi = _roi_list(roi)
+        for axis in axes:
+            layers = self._chunks[(axis, resolution)]
+            bounds = self._chunk_xy[(axis, resolution)]
+            for layer, xy in zip(layers, bounds):
+                if roi is None:
+                    chunks = layer
+                else:
+                    mask = _box_mask(xy, roi)
+                    chunks = [layer[j] for j in np.nonzero(mask)[0]]
+                if chunks:
+                    self._touch(chunks, resolution)
+
+    def lower_bound(
+        self,
+        point_a,
+        point_b,
+        resolution: float,
+        roi=None,
+        corridor=None,
+        charge_io: bool = True,
+    ) -> LowerBoundResult:
+        """Estimate ``lb(a, b)`` at an SDN resolution.
+
+        Parameters
+        ----------
+        point_a, point_b:
+            3D surface points.
+        resolution:
+            One of the materialized SDN resolutions.
+        roi:
+            Optional region(s) restricting which chunks are used —
+            safe because any path shorter than the current upper
+            bound projects inside the ellipse region the caller
+            supplies.
+        corridor:
+            Optional list of boxes forming a *dummy lower bound*
+            envelope (§4.2.2): restrict chunks to the corridor; the
+            result then *over*-estimates the true SDN lower bound and
+            may only be used for the early-accept test.
+
+        The result is always >= the Euclidean distance and always a
+        valid lower bound of ``dS`` when ``corridor`` is None.
+        """
+        resolution = self.nearest_resolution(resolution)
+        pa = np.asarray(point_a, dtype=float)
+        pb = np.asarray(point_b, dtype=float)
+        axis = self.choose_axis(pa, pb)
+        lo = min(pa[axis], pb[axis])
+        hi = max(pa[axis], pb[axis])
+        if pa[axis] > pb[axis]:
+            pa, pb = pb, pa
+        stride = self.plane_stride(resolution)
+        layers = self._layers_between(axis, resolution, lo, hi, stride)
+        roi = _roi_list(roi)
+        corridor_boxes = _roi_list(corridor)
+
+        filtered: list[list[SdnChunk]] = []
+        used = 0
+        for layer, xy in layers:
+            if roi is None and corridor_boxes is None:
+                keep = layer
+            else:
+                mask = np.ones(xy.shape[0], dtype=bool)
+                if roi is not None:
+                    mask &= _box_mask(xy, roi)
+                if corridor_boxes is not None:
+                    mask &= _box_mask(xy, corridor_boxes)
+                keep = [layer[j] for j in np.nonzero(mask)[0]]
+            if keep:  # dropping an empty plane only loosens the bound
+                filtered.append(keep)
+                used += len(keep)
+        if charge_io:
+            for layer in filtered:
+                self._touch(layer, resolution)
+        value, path_keys = lower_bound_via_planes(pa, pb, filtered)
+        return LowerBoundResult(
+            value=value,
+            path_keys=path_keys,
+            resolution=resolution,
+            chunks_used=used,
+        )
+
+    def corridor_from_path(
+        self, path_keys, resolution: float, thickness: float | None = None
+    ) -> list[BoundingBox]:
+        """Build the dummy-lower-bound envelope around a previous lb
+        path: each path chunk's xy MBR thickened by ``thickness``
+        (default: twice the plane spacing)."""
+        if thickness is None:
+            thickness = 2.0 * self.spacing
+        resolution = self.nearest_resolution(resolution)
+        boxes = []
+        index: dict[tuple, SdnChunk] = {}
+        for axis in (0, 1):
+            for layer in self._chunks[(axis, resolution)]:
+                for chunk in layer:
+                    index[chunk.key] = chunk
+        for key in path_keys:
+            chunk = index.get(key)
+            if chunk is not None:
+                boxes.append(chunk.mbr.xy().expanded(thickness))
+        return boxes
+
+    def stats(self) -> dict:
+        """Structure sizes (for DESIGN/EXPERIMENTS reporting)."""
+        return {
+            "spacing": self.spacing,
+            "planes_x": int(len(self._planes[0])),
+            "planes_y": int(len(self._planes[1])),
+            "chunks": {
+                f"axis{axis}@r{res}": sum(len(l) for l in per_plane)
+                for (axis, res), per_plane in self._chunks.items()
+            },
+        }

@@ -1,0 +1,25 @@
+"""Multiresolution terrain structures: DM/DDM collapse trees and the
+unified DMTM (Distance MultiresoluTion Mesh).
+
+The DMTM is one of the paper's two core data structures.  It unifies:
+
+* a **DDM** (Distance Direct Mesh) — a Direct Mesh [Xu, Zhou & Lin,
+  ICDE'04] binary collapse tree augmented with representative
+  vertices and original-surface path distances, covering resolutions
+  *below* the original mesh and supporting *monotone upper bounds*;
+* a **pathnet** — Steiner subdivision of the original mesh, the
+  resolution *above* the original ("200 %") where network distance is
+  taken as the surface distance.
+"""
+
+from repro.multires.ddm import DistanceDirectMesh
+from repro.multires.dmtm import DMTM, NetworkView, RESOLUTION_PATHNET
+from repro.multires.extraction import extract_mesh
+
+__all__ = [
+    "DistanceDirectMesh",
+    "DMTM",
+    "NetworkView",
+    "RESOLUTION_PATHNET",
+    "extract_mesh",
+]

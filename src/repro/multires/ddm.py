@@ -1,0 +1,123 @@
+"""The Distance Direct Mesh (DDM).
+
+A thin, query-oriented wrapper over the QEM collapse history: it adds
+the per-node xy MBRs of descendant leaves (used for ROI filtering and
+for MR3's *refined search regions*) and exposes the cut/extraction
+operations the DMTM needs.
+
+The Direct Mesh connectivity-encoding of the original paper — each
+node lists the ids of nodes "with a similar LOD" so extraction never
+walks from the root — corresponds here to
+:attr:`CollapseNode.records`: a node's record list names exactly the
+nodes alive at its birth that it may connect to in some cut, each
+with the DDM distance value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MultiresError
+from repro.geometry.primitives import BoundingBox
+from repro.simplification.collapse import CollapseHistory, build_collapse_history
+
+
+class DistanceDirectMesh:
+    """DDM built from (or wrapped around) a collapse history."""
+
+    def __init__(self, mesh, history: CollapseHistory | None = None):
+        self.mesh = mesh
+        self.history = history if history is not None else build_collapse_history(mesh)
+        if len(self.history.roots) != 1:
+            raise MultiresError(
+                "terrain mesh must be connected; collapse produced "
+                f"{len(self.history.roots)} roots"
+            )
+        self._node_mbrs = self._compute_node_mbrs()
+        nodes = self.history.nodes
+        never = self.history.num_steps + 1
+        self._birth = np.array([n.birth_step for n in nodes], dtype=np.int64)
+        self._death = np.array(
+            [n.death_step if n.death_step is not None else never for n in nodes],
+            dtype=np.int64,
+        )
+        self._mbr_lo = np.array([b.lo for b in self._node_mbrs])
+        self._mbr_hi = np.array([b.hi for b in self._node_mbrs])
+
+    # -- derived structure ------------------------------------------------
+
+    def _compute_node_mbrs(self) -> list[BoundingBox]:
+        """xy MBR of each node's descendant original vertices.
+
+        Children precede parents in creation order, so one forward
+        pass suffices.
+        """
+        nodes = self.history.nodes
+        mbrs: list[BoundingBox | None] = [None] * len(nodes)
+        for node in nodes:
+            if node.is_leaf:
+                p = tuple(self.mesh.vertices[node.node_id][:2])
+                mbrs[node.node_id] = BoundingBox(p, p)
+            else:
+                a, b = node.children
+                mbrs[node.node_id] = mbrs[a].union(mbrs[b])
+        return mbrs
+
+    def node_mbr(self, node_id: int) -> BoundingBox:
+        """xy MBR of the node's descendant leaves."""
+        return self._node_mbrs[node_id]
+
+    @property
+    def num_leaves(self) -> int:
+        return self.history.num_leaves
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.history.nodes)
+
+    # -- cuts ----------------------------------------------------------
+
+    def step_for_fraction(self, fraction: float) -> int:
+        return self.history.step_for_fraction(fraction)
+
+    def cut_nodes(self, step: int, roi: BoundingBox | None = None) -> list[int]:
+        """Nodes of the cut at ``step`` whose descendant MBR meets the
+        (2D) region of interest."""
+        boxes = None if roi is None else [roi.xy() if roi.dim == 3 else roi]
+        return [int(n) for n in self.cut_node_ids(step, boxes)]
+
+    def cut_node_ids(self, step: int, roi_boxes=None) -> np.ndarray:
+        """Vectorized cut selection: node ids alive at ``step`` whose
+        descendant xy-MBR intersects any ROI box (all when None)."""
+        alive = (self._birth <= step) & (self._death > step)
+        if roi_boxes is not None:
+            hit = np.zeros(len(alive), dtype=bool)
+            lo = self._mbr_lo
+            hi = self._mbr_hi
+            for box in roi_boxes:
+                hit |= (
+                    (lo[:, 0] <= box.hi[0])
+                    & (hi[:, 0] >= box.lo[0])
+                    & (lo[:, 1] <= box.hi[1])
+                    & (hi[:, 1] >= box.lo[1])
+                )
+            alive &= hit
+        return np.nonzero(alive)[0]
+
+    def cut_edges(self, cut: list[int]):
+        """(u, w, dist) edges among the cut (see CollapseHistory)."""
+        return self.history.edges_of_cut(cut)
+
+    def ancestor(self, leaf_id: int, step: int) -> tuple[int, float]:
+        """(cut ancestor, representative path offset) for a vertex."""
+        return self.history.ancestor_at_step(leaf_id, step)
+
+    def node_position(self, node_id: int) -> np.ndarray:
+        return self.history.nodes[node_id].position
+
+    def approximate_vertices(self, fraction: float) -> np.ndarray:
+        """Positions of the cut at ``fraction`` — the Fig. 1 style
+        reduced-resolution terrain point set."""
+        step = self.step_for_fraction(fraction)
+        cut = self.history.cut_at_step(step)
+        return np.array([self.history.nodes[n].position for n in cut])

@@ -1,0 +1,438 @@
+"""DMTM — the Distance MultiresoluTion Mesh.
+
+One unified structure covering every resolution MR3 touches:
+
+* ``resolution <= 1.0`` — a DDM cut keeping that fraction of the
+  original vertices; network edges carry representative-path
+  distances, so Dijkstra over a cut yields a genuine original-surface
+  path length, i.e. a valid **upper bound** of ``dS``;
+* ``resolution == 1.0`` — the original mesh itself (the cut at step 0);
+* ``resolution == RESOLUTION_PATHNET (2.0)`` — the Steiner pathnet,
+  "DMTM resolution 200 %", where the paper takes ``dN = dS`` by
+  definition.
+
+When storage is attached (:meth:`attach_storage`), every extraction
+charges the shared buffer pool for the node/face records it uses —
+the "pages accessed" observable of Figures 9–11.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MultiresError
+from repro.geodesic.dijkstra import dijkstra_with_parents
+from repro.geodesic.graph import KeyedGraph
+from repro.geodesic.pathnet import build_pathnet, vertex_key
+from repro.geometry.primitives import BoundingBox
+from repro.multires.ddm import DistanceDirectMesh
+from repro.spatial.zorder import zorder_key_normalized
+from repro.storage.locator import LocatorStore
+from repro.storage.pages import PageManager
+
+RESOLUTION_PATHNET = 2.0
+
+
+def _roi_list(roi) -> list[BoundingBox] | None:
+    """Normalize an ROI argument to a list of 2D boxes (or None)."""
+    if roi is None:
+        return None
+    if isinstance(roi, BoundingBox):
+        roi = [roi]
+    return [box.xy() if box.dim == 3 else box for box in roi]
+
+
+def _intersects_roi(mbr: BoundingBox, roi: list[BoundingBox] | None) -> bool:
+    if roi is None:
+        return True
+    return any(mbr.intersects(box) for box in roi)
+
+
+@dataclass
+class NetworkView:
+    """A network extracted from the DMTM at some resolution/ROI."""
+
+    graph: KeyedGraph
+    resolution: float
+    records_used: int
+    step: int | None = None
+
+
+@dataclass
+class UpperBoundResult:
+    """Outcome of one DMTM upper-bound estimation."""
+
+    value: float
+    path_keys: list
+    resolution: float
+
+
+class DMTM:
+    """Distance multiresolution mesh over a terrain.
+
+    Parameters
+    ----------
+    mesh:
+        The original :class:`repro.terrain.TriangleMesh`.
+    steiner_per_edge:
+        Steiner points per edge at the pathnet level (paper: 1).
+    """
+
+    def __init__(self, mesh, steiner_per_edge: int = 1, ddm=None):
+        self.mesh = mesh
+        self.ddm = ddm if ddm is not None else DistanceDirectMesh(mesh)
+        self.steiner_per_edge = steiner_per_edge
+        self._node_store: LocatorStore | None = None
+        self._face_store: LocatorStore | None = None
+
+    def save(self, path) -> None:
+        """Persist the collapse history (the expensive build product);
+        reload with :meth:`load`."""
+        from repro.multires.persist import save_history
+
+        save_history(self.ddm.history, path)
+
+    @classmethod
+    def load(cls, mesh, path, steiner_per_edge: int = 1) -> "DMTM":
+        """Rebuild a DMTM from a saved history and the original mesh."""
+        from repro.multires.ddm import DistanceDirectMesh
+        from repro.multires.persist import load_history
+
+        history = load_history(path)
+        if history.num_leaves != mesh.num_vertices:
+            raise MultiresError(
+                f"history has {history.num_leaves} leaves but the mesh "
+                f"has {mesh.num_vertices} vertices"
+            )
+        ddm = DistanceDirectMesh(mesh, history)
+        return cls(mesh, steiner_per_edge=steiner_per_edge, ddm=ddm)
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+
+    def attach_storage(self, pages: PageManager) -> None:
+        """Lay the DMTM out on pages (z-order clustered) so that
+        extractions are charged page I/O."""
+        world = self.mesh.xy_bounds()
+        node_items = []
+        for node in self.ddm.history.nodes:
+            key = zorder_key_normalized(
+                float(node.position[0]), float(node.position[1]), world
+            )
+            node_items.append((key, node.node_id, self._encode_node(node)))
+        self._node_store = LocatorStore(node_items, pages)
+        face_items = []
+        for fi in range(self.mesh.num_faces):
+            centroid = self.mesh.face_points(fi).mean(axis=0)
+            key = zorder_key_normalized(float(centroid[0]), float(centroid[1]), world)
+            face_items.append((key, fi, self._encode_face(fi)))
+        self._face_store = LocatorStore(face_items, pages)
+
+    def _encode_node(self, node) -> bytes:
+        head = struct.pack(
+            "<qqqd3dH",
+            node.node_id,
+            node.rep,
+            node.birth_step,
+            node.error,
+            *[float(c) for c in node.position],
+            len(node.records),
+        )
+        body = b"".join(struct.pack("<qd", nbr, d) for nbr, d in node.records)
+        return head + body
+
+    @staticmethod
+    def decode_node(blob: bytes) -> dict:
+        """Decode a node record (used by tests to verify round trips)."""
+        node_id, rep, birth, error, x, y, z, count = struct.unpack_from(
+            "<qqqd3dH", blob, 0
+        )
+        offset = struct.calcsize("<qqqd3dH")
+        records = []
+        for _ in range(count):
+            nbr, d = struct.unpack_from("<qd", blob, offset)
+            offset += struct.calcsize("<qd")
+            records.append((nbr, d))
+        return {
+            "node_id": node_id,
+            "rep": rep,
+            "birth_step": birth,
+            "error": error,
+            "position": (x, y, z),
+            "records": records,
+        }
+
+    def _encode_face(self, fi: int) -> bytes:
+        pts = self.mesh.face_points(fi)
+        return struct.pack(
+            "<q3q9d",
+            fi,
+            *[int(v) for v in self.mesh.faces[fi]],
+            *[float(c) for c in pts.ravel()],
+        )
+
+    def _touch_nodes(self, node_ids) -> None:
+        if self._node_store is not None:
+            self._node_store.touch(node_ids)
+
+    def _touch_faces(self, face_ids) -> None:
+        if self._face_store is not None:
+            self._face_store.touch(int(fi) for fi in face_ids)
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+
+    def touch_region(self, resolution: float, roi=None) -> None:
+        """Charge page I/O for the records an extraction over ``roi``
+        at ``resolution`` would use, without building the network.
+
+        MR3's integrated I/O regions fetch a merged region once
+        (through this method) and then run per-candidate extractions
+        with ``charge_io=False``.
+        """
+        roi = _roi_list(roi)
+        if resolution <= 1.0:
+            step = self.ddm.step_for_fraction(resolution)
+            cut = [int(n) for n in self.ddm.cut_node_ids(step, roi)]
+            self._touch_nodes(cut)
+        else:
+            self._touch_faces(self._faces_in_roi(roi))
+
+    def extract_network(
+        self, resolution: float, roi=None, charge_io: bool = True
+    ) -> NetworkView:
+        """Build the network at ``resolution`` restricted to ``roi``.
+
+        ``roi`` may be None, one :class:`BoundingBox`, or a list of
+        boxes (MR3's refined search regions).  ``charge_io=False``
+        skips page accounting (use when the covering region was
+        already fetched via :meth:`touch_region`).
+        """
+        roi = _roi_list(roi)
+        if resolution <= 1.0:
+            return self._extract_cut(resolution, roi, charge_io)
+        return self._extract_pathnet(resolution, roi, charge_io)
+
+    def _extract_cut(self, resolution: float, roi, charge_io: bool) -> NetworkView:
+        step = self.ddm.step_for_fraction(resolution)
+        cut = [int(n) for n in self.ddm.cut_node_ids(step, roi)]
+        if charge_io:
+            self._touch_nodes(cut)
+        graph = KeyedGraph()
+        for node_id in cut:
+            graph.add_node(("n", node_id))
+        for u, w, d in self.ddm.cut_edges(cut):
+            graph.add_edge(("n", u), ("n", w), d)
+        return NetworkView(
+            graph=graph, resolution=resolution, records_used=len(cut), step=step
+        )
+
+    def _faces_in_roi(self, roi) -> np.ndarray:
+        if roi is None:
+            return np.arange(self.mesh.num_faces)
+        keep: set[int] = set()
+        for box in roi:
+            keep.update(int(fi) for fi in self.mesh.submesh_faces(box))
+        return np.asarray(sorted(keep), dtype=np.int64)
+
+    def _steiner_for(self, resolution: float) -> int:
+        """Steiner density of a pathnet-level resolution.
+
+        200 % = the configured density (paper default 1/edge); every
+        further +100 % adds one Steiner point per edge — the paper's
+        "simply inserting more Steiner points into the highest LOD
+        surface model to generate DMTM at higher resolution".
+        """
+        extra = max(0, int(round(resolution)) - 2)
+        return self.steiner_per_edge + extra
+
+    def _extract_pathnet(self, resolution: float, roi, charge_io: bool = True) -> NetworkView:
+        faces = self._faces_in_roi(roi)
+        if charge_io:
+            self._touch_faces(faces)
+        graph = build_pathnet(self.mesh, self._steiner_for(resolution), faces)
+        return NetworkView(
+            graph=graph,
+            resolution=resolution,
+            records_used=int(len(faces)),
+            step=None,
+        )
+
+    # ------------------------------------------------------------------
+    # upper bounds
+    # ------------------------------------------------------------------
+
+    def upper_bound(
+        self,
+        vertex_a: int,
+        vertex_b: int,
+        resolution: float,
+        roi=None,
+        network: NetworkView | None = None,
+    ) -> UpperBoundResult | None:
+        """Estimate ``ub(vertex_a, vertex_b)`` at a resolution.
+
+        Returns None when the restricted network does not connect the
+        two points (the caller should widen the region — the paper's
+        "expanded by double each vertex's MBR" rule).  A reusable
+        ``network`` (from :meth:`extract_network`) skips re-extraction
+        when several pairs share one region.
+        """
+        if network is None:
+            network = self.extract_network(resolution, roi)
+        if network.resolution <= 1.0:
+            return self._upper_bound_cut(vertex_a, vertex_b, network)
+        return self._upper_bound_pathnet(vertex_a, vertex_b, network)
+
+    def _upper_bound_cut(
+        self, vertex_a: int, vertex_b: int, network: NetworkView
+    ) -> UpperBoundResult | None:
+        step = network.step
+        anc_a, off_a = self.ddm.ancestor(vertex_a, step)
+        anc_b, off_b = self.ddm.ancestor(vertex_b, step)
+        key_a = ("n", anc_a)
+        key_b = ("n", anc_b)
+        graph = network.graph
+        if key_a not in graph or key_b not in graph:
+            return None
+        if anc_a == anc_b:
+            return UpperBoundResult(
+                value=off_a + off_b,
+                path_keys=[key_a],
+                resolution=network.resolution,
+            )
+        sid = graph.node_id(key_a)
+        tid = graph.node_id(key_b)
+        dist, parent = dijkstra_with_parents(graph.adjacency, sid, targets={tid})
+        if tid not in dist:
+            return None
+        path = [tid]
+        while path[-1] != sid:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return UpperBoundResult(
+            value=off_a + dist[tid] + off_b,
+            path_keys=[graph.key_of(n) for n in path],
+            resolution=network.resolution,
+        )
+
+    def _upper_bound_pathnet(
+        self, vertex_a: int, vertex_b: int, network: NetworkView
+    ) -> UpperBoundResult | None:
+        graph = network.graph
+        key_a = vertex_key(vertex_a)
+        key_b = vertex_key(vertex_b)
+        if key_a not in graph or key_b not in graph:
+            return None
+        sid = graph.node_id(key_a)
+        tid = graph.node_id(key_b)
+        dist, parent = dijkstra_with_parents(graph.adjacency, sid, targets={tid})
+        if tid not in dist:
+            return None
+        path = [tid]
+        while path[-1] != sid:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return UpperBoundResult(
+            value=dist[tid],
+            path_keys=[graph.key_of(n) for n in path],
+            resolution=network.resolution,
+        )
+
+    def upper_bounds_from(
+        self, source_vertex: int, target_vertices, network: NetworkView
+    ) -> dict[int, UpperBoundResult | None]:
+        """Single-source upper bounds toward many candidates.
+
+        All k-NN candidates share the query as source, so one Dijkstra
+        over a shared network serves them all — the main CPU saving of
+        fetching an integrated region once.
+        """
+        graph = network.graph
+        results: dict[int, UpperBoundResult | None] = {}
+        if network.resolution <= 1.0:
+            step = network.step
+            anc_s, off_s = self.ddm.ancestor(source_vertex, step)
+            key_s = ("n", anc_s)
+            anc_info = {}
+            for v in target_vertices:
+                anc_v, off_v = self.ddm.ancestor(v, step)
+                anc_info[v] = (("n", anc_v), off_v)
+            key_of = lambda v: anc_info[v][0]  # noqa: E731
+            extra_of = lambda v: off_s + anc_info[v][1]  # noqa: E731
+        else:
+            key_s = vertex_key(source_vertex)
+            key_of = vertex_key
+            extra_of = lambda v: 0.0  # noqa: E731
+        if key_s not in graph:
+            return {v: None for v in target_vertices}
+        sid = graph.node_id(key_s)
+        target_ids = {
+            graph.node_id(key_of(v))
+            for v in target_vertices
+            if key_of(v) in graph
+        }
+        dist, parent = dijkstra_with_parents(
+            graph.adjacency, sid, targets=set(target_ids)
+        )
+        for v in target_vertices:
+            key_v = key_of(v)
+            if key_v not in graph:
+                results[v] = None
+                continue
+            tid = graph.node_id(key_v)
+            if tid == sid:
+                results[v] = UpperBoundResult(
+                    value=extra_of(v),
+                    path_keys=[key_v],
+                    resolution=network.resolution,
+                )
+                continue
+            if tid not in dist:
+                results[v] = None
+                continue
+            path = [tid]
+            while path[-1] != sid:
+                path.append(parent[path[-1]])
+            path.reverse()
+            results[v] = UpperBoundResult(
+                value=extra_of(v) + dist[tid],
+                path_keys=[graph.key_of(n) for n in path],
+                resolution=network.resolution,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # refined search regions
+    # ------------------------------------------------------------------
+
+    def path_region(
+        self, path_keys, expand: float = 0.0
+    ) -> list[BoundingBox]:
+        """MR3's refined search region for the *next* resolution: the
+        MBRs of the descendants of the nodes on the current
+        upper-bound path, each optionally expanded (the paper doubles
+        vertex MBRs when the corridor proves too narrow)."""
+        boxes: list[BoundingBox] = []
+        for key in path_keys:
+            if key[0] == "n":
+                box = self.ddm.node_mbr(key[1])
+            elif key[0] == "v":
+                p = tuple(self.mesh.vertices[key[1]][:2])
+                box = BoundingBox(p, p)
+            elif key[0] == "s":
+                u, w = self.mesh.edge_vertices[key[1]]
+                box = BoundingBox.of_points(
+                    self.mesh.vertices[[int(u), int(w)], :2]
+                )
+            else:
+                raise MultiresError(f"unknown path key {key!r}")
+            if expand > 0.0:
+                box = box.expanded(expand)
+            boxes.append(box)
+        return boxes

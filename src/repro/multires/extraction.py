@@ -1,0 +1,56 @@
+"""Approximate-mesh extraction from a DMTM cut.
+
+DM/DDM cuts are *networks* (that is all distance estimation needs),
+but the original Direct Mesh also serves visualization: Figure 1 of
+the paper shows the same terrain at two triangle counts.  This module
+turns a cut's point set back into a triangulated height field by
+Delaunay-triangulating the xy-projections — valid for terrain height
+fields, where any xy-triangulation of the points is a legal surface
+approximation.
+
+Requires scipy (an optional dependency used only here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MultiresError
+from repro.terrain.mesh import TriangleMesh
+
+
+def extract_mesh(dmtm, fraction: float) -> TriangleMesh:
+    """A triangulated approximation of the terrain at ``fraction`` of
+    its original vertex count (Fig. 1 style LOD extraction).
+
+    Returns a fully valid :class:`TriangleMesh`; raises
+    :class:`MultiresError` when the cut is too small to triangulate
+    or scipy is unavailable.
+    """
+    try:
+        from scipy.spatial import Delaunay
+    except ImportError as exc:  # pragma: no cover - env without scipy
+        raise MultiresError("mesh extraction requires scipy") from exc
+
+    points = dmtm.ddm.approximate_vertices(fraction)
+    if points.shape[0] < 3:
+        raise MultiresError(
+            f"cut at fraction {fraction} has only {points.shape[0]} "
+            "vertices; cannot triangulate"
+        )
+    tri = Delaunay(points[:, :2])
+    faces = tri.simplices.astype(np.int64)
+    # Delaunay triangles are CCW in xy already, but guard anyway and
+    # drop slivers that would fail mesh validation.
+    v = points
+    cross = np.cross(
+        np.c_[v[faces[:, 1], :2] - v[faces[:, 0], :2], np.zeros(len(faces))],
+        np.c_[v[faces[:, 2], :2] - v[faces[:, 0], :2], np.zeros(len(faces))],
+    )[:, 2]
+    flip = cross < 0
+    faces[flip] = faces[flip][:, [0, 2, 1]]
+    keep = np.abs(cross) > 1e-9
+    faces = faces[keep]
+    if faces.shape[0] == 0:
+        raise MultiresError("cut points are collinear; cannot triangulate")
+    return TriangleMesh(points, faces)

@@ -1,0 +1,28 @@
+"""Mesh simplification with quadric error metrics.
+
+The DDM is "built by adapting [the] simplification tool [Garland &
+Heckbert] with the Quadric Error Metrics to add distance and
+representative information to each node" (paper, Section 5.1).  This
+package provides that simplification substrate:
+
+* :mod:`repro.simplification.quadric` — per-vertex error quadrics;
+* :mod:`repro.simplification.collapse` — the pair-contraction engine
+  that emits the full binary collapse history consumed by
+  :class:`repro.multires.DistanceDirectMesh`.
+"""
+
+from repro.simplification.quadric import (
+    face_quadric,
+    vertex_quadrics,
+    quadric_error,
+)
+from repro.simplification.collapse import CollapseNode, CollapseHistory, build_collapse_history
+
+__all__ = [
+    "face_quadric",
+    "vertex_quadrics",
+    "quadric_error",
+    "CollapseNode",
+    "CollapseHistory",
+    "build_collapse_history",
+]

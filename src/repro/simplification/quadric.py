@@ -1,0 +1,90 @@
+"""Quadric error metrics (Garland & Heckbert 1997).
+
+Each face contributes the squared-distance-to-plane quadric of its
+supporting plane; a vertex's quadric is the area-weighted sum over its
+incident faces.  The cost of contracting a vertex pair is the summed
+quadric evaluated at the merged position — the error measure the
+paper uses to order DM collapses ("the resultant terrain after the
+merger causes minimum approximation error according to ... the
+quadric error matrices").
+
+Quadrics are kept as symmetric 4x4 matrices Q so that the error of
+homogeneous point v is vᵀQv.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimplificationError
+
+
+def face_quadric(a, b, c) -> np.ndarray:
+    """Area-weighted plane quadric of triangle ``abc``.
+
+    Degenerate (zero-area) faces contribute the zero quadric.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    c = np.asarray(c, dtype=float)
+    n = np.cross(b - a, c - a)
+    norm = float(np.linalg.norm(n))
+    if norm == 0.0:
+        return np.zeros((4, 4))
+    area = norm / 2.0
+    n = n / norm
+    d = -float(np.dot(n, a))
+    p = np.array([n[0], n[1], n[2], d])
+    return area * np.outer(p, p)
+
+
+def vertex_quadrics(mesh) -> np.ndarray:
+    """(n, 4, 4) array of per-vertex quadrics for a mesh."""
+    q = np.zeros((mesh.num_vertices, 4, 4))
+    for face in mesh.faces:
+        fq = face_quadric(*mesh.vertices[face])
+        for vi in face:
+            q[int(vi)] += fq
+    return q
+
+
+def quadric_error(q: np.ndarray, position) -> float:
+    """Error vᵀQv of a 3D position under quadric ``q`` (clamped at 0
+    against round-off)."""
+    if q.shape != (4, 4):
+        raise SimplificationError(f"quadric must be 4x4, got {q.shape}")
+    v = np.append(np.asarray(position, dtype=float), 1.0)
+    return max(float(v @ q @ v), 0.0)
+
+
+def best_merge_position(q: np.ndarray, pos_a, pos_b) -> tuple[np.ndarray, float]:
+    """Pick the merged-vertex position for a contraction.
+
+    Tries the quadric-optimal position (solving ∇(vᵀQv) = 0) and
+    falls back to the best of {a, b, midpoint} when the system is
+    ill-conditioned — Garland & Heckbert's own fallback.
+    Returns (position, error).
+    """
+    pos_a = np.asarray(pos_a, dtype=float)
+    pos_b = np.asarray(pos_b, dtype=float)
+    candidates = [pos_a, pos_b, (pos_a + pos_b) / 2.0]
+    solver = np.array(q)
+    solver[3, :] = (0.0, 0.0, 0.0, 1.0)
+    try:
+        if abs(np.linalg.det(solver)) > 1e-12:
+            opt = np.linalg.solve(solver, np.array([0.0, 0.0, 0.0, 1.0]))[:3]
+            # Keep the optimum only if it stays near the contracted pair
+            # (far-flying optima on flat quadrics hurt terrain shape).
+            span = float(np.linalg.norm(pos_a - pos_b)) + 1e-12
+            if float(np.linalg.norm(opt - (pos_a + pos_b) / 2.0)) <= 2.0 * span:
+                candidates.append(opt)
+    except np.linalg.LinAlgError:
+        pass
+    best_pos = candidates[0]
+    best_err = quadric_error(q, best_pos)
+    for cand in candidates[1:]:
+        err = quadric_error(q, cand)
+        if err < best_err:
+            best_err = err
+            best_pos = cand
+    return best_pos, best_err

@@ -1,0 +1,162 @@
+"""A B+-tree with leaf chaining and range scans.
+
+The paper stores the DMTM in Oracle under a *clustering* B+-tree
+index; queries then fetch contiguous key ranges, which is what keeps
+the page counts of integrated I/O regions low.  This implementation
+is the in-memory index half of that design: keys map to record
+locators, leaves are chained for range scans, and
+:mod:`repro.storage.nodestore` pairs it with the paged record store.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import IndexError_
+
+
+class _LeafNode:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list = []
+        self.values: list = []
+        self.next: "_LeafNode | None" = None
+
+
+class _InnerNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: list = []  # separator keys; len(children) == len(keys)+1
+        self.children: list = []
+
+
+class BPlusTree:
+    """Order-``order`` B+-tree mapping comparable keys to values.
+
+    Duplicate keys are allowed; lookups and scans return every value
+    stored under a key.
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise IndexError_("order must be >= 4")
+        self.order = order
+        self._root: _LeafNode | _InnerNode = _LeafNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value) -> None:
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _InnerNode()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node, key, value):
+        if isinstance(node, _LeafNode):
+            idx = bisect.bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is not None:
+            sep, right = split
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right)
+            if len(node.children) > self.order:
+                return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, node: _LeafNode):
+        mid = len(node.keys) // 2
+        right = _LeafNode()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _InnerNode):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _InnerNode()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _leftmost_leaf_for(self, key) -> _LeafNode:
+        """The leftmost leaf that could hold ``key`` (duplicates may
+        span several leaves, so lookups descend left and scan right)."""
+        node = self._root
+        while isinstance(node, _InnerNode):
+            idx = bisect.bisect_left(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key) -> list:
+        """All values stored under ``key`` (empty list when absent)."""
+        leaf = self._leftmost_leaf_for(key)
+        out = []
+        while leaf is not None:
+            idx = bisect.bisect_left(leaf.keys, key)
+            while idx < len(leaf.keys):
+                if leaf.keys[idx] != key:
+                    return out
+                out.append(leaf.values[idx])
+                idx += 1
+            leaf = leaf.next
+        return out
+
+    def range_scan(self, lo, hi):
+        """Yield (key, value) pairs with lo <= key <= hi in key order."""
+        leaf = self._leftmost_leaf_for(lo)
+        idx = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key > hi:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self):
+        """Yield every (key, value) pair in key order."""
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def depth(self) -> int:
+        """Tree height (1 for a lone leaf)."""
+        node = self._root
+        d = 1
+        while isinstance(node, _InnerNode):
+            node = node.children[0]
+            d += 1
+        return d

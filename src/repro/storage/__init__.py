@@ -1,0 +1,31 @@
+"""Simulated paged storage with buffer pool and I/O accounting.
+
+The paper measures "number of disk pages accessed" against an Oracle
+9.2 back end with the Spatial Option switched *off* ("in order to
+have a better control and understanding of the query execution
+performance. All spatial indexes used in our experiments are
+implemented by us").  This package recreates that setup: records are
+serialized onto fixed-size pages, reads go through an LRU buffer
+pool, and every buffer miss counts as one page access.  A configurable
+per-page latency converts page counts into the simulated I/O seconds
+that enter "total time" in Figures 10–11.
+"""
+
+from repro.storage.stats import IOStatistics, DiskModel
+from repro.storage.pages import PageManager
+from repro.storage.records import RecordCodec, pack_floats, unpack_floats
+from repro.storage.clustered import ClusteredRecordStore
+from repro.storage.segstore import SpatialRecordStore
+from repro.storage.locator import LocatorStore
+
+__all__ = [
+    "IOStatistics",
+    "DiskModel",
+    "PageManager",
+    "RecordCodec",
+    "pack_floats",
+    "unpack_floats",
+    "ClusteredRecordStore",
+    "SpatialRecordStore",
+    "LocatorStore",
+]

@@ -1,0 +1,87 @@
+"""A read-only record store clustered by a sort key.
+
+DMTM data is "pre-created and a clustering B+ tree index is used"
+(paper, Section 5.1): the structure is built once, then only read
+during query processing.  :class:`ClusteredRecordStore` mirrors that:
+records are sorted by a clustering key (e.g. ``(LOD band, z-order)``),
+packed densely onto pages in key order, and located through a
+B+-tree whose leaves point at (page, slot).  Key-range fetches then
+touch near-minimal, contiguous page sets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.spatial.bplustree import BPlusTree
+from repro.storage.pages import PageManager
+from repro.storage.records import RecordCodec, pack_page, paginate, unpack_page
+
+
+class ClusteredRecordStore:
+    """Immutable clustered store of (key, record) pairs.
+
+    Parameters
+    ----------
+    items:
+        Iterable of ``(key, record)``; keys must be mutually
+        comparable (tuples work well).
+    codec:
+        Record encoder/decoder.
+    pages:
+        The shared :class:`PageManager` this store writes into.
+    """
+
+    def __init__(self, items, codec: RecordCodec, pages: PageManager):
+        self._codec = codec
+        self._pages = pages
+        ordered = sorted(items, key=lambda kv: kv[0])
+        encoded = [codec.encode(rec) for _key, rec in ordered]
+        self._index = BPlusTree(order=64)
+        self._page_ids: list[int] = []
+        cursor = 0
+        for batch in paginate(encoded, pages.page_size):
+            page_id = pages.allocate(pack_page(batch, pages.page_size))
+            self._page_ids.append(page_id)
+            for slot in range(len(batch)):
+                key = ordered[cursor][0]
+                self._index.insert(key, (page_id, slot))
+                cursor += 1
+        self._count = cursor
+        if cursor != len(ordered):
+            raise StorageError("pagination lost records")
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    def fetch_range(self, lo_key, hi_key) -> list:
+        """Decode every record with lo_key <= key <= hi_key.
+
+        Page reads are deduplicated per call (one logical fetch per
+        page, as a real scan would do) but still go through the
+        buffer pool, so repeated cold fetches cost physical reads.
+        """
+        page_cache: dict[int, list[bytes]] = {}
+        out = []
+        for _key, (page_id, slot) in self._index.range_scan(lo_key, hi_key):
+            records = page_cache.get(page_id)
+            if records is None:
+                records = unpack_page(self._pages.read(page_id))
+                page_cache[page_id] = records
+            out.append(self._codec.decode(records[slot]))
+        return out
+
+    def fetch_keys_range(self, lo_key, hi_key) -> list:
+        """Keys only (no page I/O — index-only scan)."""
+        return [key for key, _loc in self._index.range_scan(lo_key, hi_key)]
+
+    def scan_all(self) -> list:
+        """Decode every record (full scan, in key order)."""
+        out = []
+        for page_id in self._page_ids:
+            for blob in unpack_page(self._pages.read(page_id)):
+                out.append(self._codec.decode(blob))
+        return out

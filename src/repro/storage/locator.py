@@ -1,0 +1,72 @@
+"""A record store addressed by record id, clustered by a sort key.
+
+DM's connectivity encoding lets query processing jump straight to the
+node records it needs instead of walking the tree from the root; on
+disk that means: records are *clustered* (sorted by z-order of their
+position so spatial neighbours share pages) but *addressed* by id.
+:class:`LocatorStore` models exactly that access path and charges the
+buffer pool for every page the requested id set touches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.pages import PageManager
+from repro.storage.records import pack_page, paginate, unpack_page
+
+
+class LocatorStore:
+    """Immutable id-addressed record store.
+
+    Parameters
+    ----------
+    items:
+        Iterable of ``(cluster_key, record_id, blob)``; blobs are laid
+        out on pages in cluster-key order.
+    pages:
+        Shared :class:`PageManager`.
+    """
+
+    def __init__(self, items, pages: PageManager):
+        self._pages = pages
+        ordered = sorted(items, key=lambda t: t[0])
+        blobs = [blob for _key, _rid, blob in ordered]
+        self._locators: dict[object, tuple[int, int]] = {}
+        self._page_ids: list[int] = []
+        cursor = 0
+        for batch in paginate(blobs, pages.page_size):
+            page_id = pages.allocate(pack_page(batch, pages.page_size))
+            self._page_ids.append(page_id)
+            for slot in range(len(batch)):
+                rid = ordered[cursor][1]
+                if rid in self._locators:
+                    raise StorageError(f"duplicate record id {rid!r}")
+                self._locators[rid] = (page_id, slot)
+                cursor += 1
+        self._count = cursor
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    def touch(self, record_ids) -> int:
+        """Read (through the buffer pool) every page holding one of
+        the given record ids; returns the number of distinct pages."""
+        needed = {self._locator(rid)[0] for rid in record_ids}
+        for page_id in sorted(needed):
+            self._pages.read(page_id)
+        return len(needed)
+
+    def fetch(self, record_id) -> bytes:
+        """Read and return one record's blob."""
+        page_id, slot = self._locator(record_id)
+        return unpack_page(self._pages.read(page_id))[slot]
+
+    def _locator(self, record_id) -> tuple[int, int]:
+        loc = self._locators.get(record_id)
+        if loc is None:
+            raise StorageError(f"unknown record id {record_id!r}")
+        return loc

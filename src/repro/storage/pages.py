@@ -1,0 +1,84 @@
+"""Fixed-size pages behind an LRU buffer pool.
+
+The "disk" is a dict of immutable byte blocks; reads go through the
+buffer pool and misses increment ``IOStatistics.physical_reads`` —
+the paper's *pages accessed* observable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.stats import IOStatistics
+
+DEFAULT_PAGE_SIZE = 8192
+
+
+class PageManager:
+    """Page allocator + buffer pool + I/O accounting.
+
+    Parameters
+    ----------
+    page_size:
+        Capacity of each page in bytes (Oracle-style 8 KiB default).
+    buffer_pages:
+        Number of pages the LRU buffer pool can hold.
+    stats:
+        Optional shared :class:`IOStatistics` (several stores can
+        account into one counter set, as one database would).
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pages: int = 256,
+        stats: IOStatistics | None = None,
+    ):
+        if page_size < 64:
+            raise StorageError("page_size must be at least 64 bytes")
+        if buffer_pages < 1:
+            raise StorageError("buffer_pages must be >= 1")
+        self.page_size = page_size
+        self.buffer_pages = buffer_pages
+        self.stats = stats if stats is not None else IOStatistics()
+        self._disk: dict[int, bytes] = {}
+        self._buffer: OrderedDict[int, bytes] = OrderedDict()
+        self._next_id = 0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._disk)
+
+    def allocate(self, data: bytes) -> int:
+        """Write a new page to disk; returns its page id."""
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"page payload of {len(data)} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        page_id = self._next_id
+        self._next_id += 1
+        self._disk[page_id] = bytes(data)
+        self.stats.pages_written += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        """Fetch a page through the buffer pool."""
+        self.stats.logical_reads += 1
+        cached = self._buffer.get(page_id)
+        if cached is not None:
+            self._buffer.move_to_end(page_id)
+            return cached
+        data = self._disk.get(page_id)
+        if data is None:
+            raise StorageError(f"page {page_id} does not exist")
+        self.stats.physical_reads += 1
+        self._buffer[page_id] = data
+        if len(self._buffer) > self.buffer_pages:
+            self._buffer.popitem(last=False)
+        return data
+
+    def drop_buffer(self) -> None:
+        """Empty the buffer pool (cold-cache experiment runs)."""
+        self._buffer.clear()

@@ -1,0 +1,93 @@
+"""Record serialization onto pages.
+
+Records are variable-length byte strings; a page holds a 2-byte
+record count followed by (2-byte length, payload) entries.  Stores
+describe their record layout with a :class:`RecordCodec` pair of
+encode/decode callables; two struct-based helpers cover the common
+"tuple of floats" case.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import StorageError
+
+_COUNT = struct.Struct("<H")
+_LEN = struct.Struct("<H")
+
+
+@dataclass(frozen=True)
+class RecordCodec:
+    """Encode/decode a record object to/from bytes."""
+
+    encode: Callable[[object], bytes]
+    decode: Callable[[bytes], object]
+
+
+def pack_floats(values) -> bytes:
+    """Encode a sequence of floats (count-prefixed)."""
+    vals = [float(v) for v in values]
+    return struct.pack(f"<H{len(vals)}d", len(vals), *vals)
+
+
+def unpack_floats(data: bytes) -> tuple[float, ...]:
+    """Decode a float sequence written by :func:`pack_floats`."""
+    (count,) = struct.unpack_from("<H", data, 0)
+    return struct.unpack_from(f"<{count}d", data, 2)
+
+
+def pack_page(records: list[bytes], page_size: int) -> bytes:
+    """Serialize records into one page image."""
+    parts = [_COUNT.pack(len(records))]
+    total = _COUNT.size
+    for rec in records:
+        if len(rec) > 0xFFFF:
+            raise StorageError("record exceeds 64 KiB length prefix")
+        total += _LEN.size + len(rec)
+        parts.append(_LEN.pack(len(rec)))
+        parts.append(rec)
+    if total > page_size:
+        raise StorageError(
+            f"{len(records)} records need {total} bytes > page size {page_size}"
+        )
+    return b"".join(parts)
+
+
+def unpack_page(data: bytes) -> list[bytes]:
+    """Deserialize a page image back into its record payloads."""
+    (count,) = _COUNT.unpack_from(data, 0)
+    offset = _COUNT.size
+    records = []
+    for _ in range(count):
+        (length,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        records.append(data[offset : offset + length])
+        offset += length
+    return records
+
+
+def paginate(encoded_records: list[bytes], page_size: int) -> list[list[bytes]]:
+    """Greedily group encoded records into page-sized batches,
+    preserving order (clustering!)."""
+    pages: list[list[bytes]] = []
+    current: list[bytes] = []
+    used = _COUNT.size
+    for rec in encoded_records:
+        need = _LEN.size + len(rec)
+        if used + need > page_size and current:
+            pages.append(current)
+            current = []
+            used = _COUNT.size
+        if _COUNT.size + need > page_size:
+            raise StorageError(
+                f"a single record of {len(rec)} bytes cannot fit a "
+                f"{page_size}-byte page"
+            )
+        current.append(rec)
+        used += need
+    if current:
+        pages.append(current)
+    return pages

@@ -1,0 +1,81 @@
+"""A spatially clustered, R-tree indexed record store.
+
+MSDN data "can be stored in a spatial database (as line segments with
+extra information to record their resolution level and to which plane
+they belong to)" and retrieved per region+resolution via "a
+conventional spatial index" (paper, Section 3.3).  This store packs
+records onto pages in z-order of their MBR centres (so spatially
+close records share pages) and locates them through an R-tree whose
+leaf payloads are (page, slot) pairs.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.primitives import BoundingBox
+from repro.spatial.rtree import RTree
+from repro.spatial.zorder import zorder_key_normalized
+from repro.storage.pages import PageManager
+from repro.storage.records import RecordCodec, pack_page, paginate, unpack_page
+
+
+class SpatialRecordStore:
+    """Immutable store of (mbr, record) pairs with region fetches.
+
+    Parameters
+    ----------
+    items:
+        Iterable of ``(BoundingBox, record)``.
+    codec:
+        Record encoder/decoder.
+    pages:
+        Shared :class:`PageManager`.
+    """
+
+    def __init__(self, items, codec: RecordCodec, pages: PageManager):
+        self._codec = codec
+        self._pages = pages
+        items = list(items)
+        self._count = len(items)
+        self._rtree = RTree(max_entries=16)
+        self._page_ids: list[int] = []
+        if not items:
+            return
+        world = items[0][0].xy()
+        for mbr, _rec in items[1:]:
+            world = world.union(mbr.xy())
+        # Cluster by z-order of MBR centres.
+        def sort_key(pair):
+            c = pair[0].center
+            return zorder_key_normalized(float(c[0]), float(c[1]), world)
+
+        ordered = sorted(items, key=sort_key)
+        encoded = [codec.encode(rec) for _mbr, rec in ordered]
+        cursor = 0
+        for batch in paginate(encoded, pages.page_size):
+            page_id = pages.allocate(pack_page(batch, pages.page_size))
+            self._page_ids.append(page_id)
+            for slot in range(len(batch)):
+                mbr = ordered[cursor][0]
+                self._rtree.insert(mbr.xy(), (page_id, slot))
+                cursor += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    def fetch_region(self, region: BoundingBox) -> list:
+        """Decode every record whose MBR intersects ``region`` (2D)."""
+        region = region.xy() if region.dim == 3 else region
+        locators = self._rtree.range_query(region)
+        page_cache: dict[int, list[bytes]] = {}
+        out = []
+        for page_id, slot in locators:
+            records = page_cache.get(page_id)
+            if records is None:
+                records = unpack_page(self._pages.read(page_id))
+                page_cache[page_id] = records
+            out.append(self._codec.decode(records[slot]))
+        return out

@@ -1,0 +1,56 @@
+"""I/O statistics and the simulated disk cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStatistics:
+    """Counters maintained by a :class:`repro.storage.PageManager`.
+
+    ``physical_reads`` is the paper's "pages accessed": logical page
+    requests that missed the buffer pool and had to be fetched.
+    """
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    pages_written: int = 0
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.pages_written = 0
+
+    def snapshot(self) -> "IOStatistics":
+        return IOStatistics(
+            self.logical_reads, self.physical_reads, self.pages_written
+        )
+
+    def delta_since(self, earlier: "IOStatistics") -> "IOStatistics":
+        return IOStatistics(
+            self.logical_reads - earlier.logical_reads,
+            self.physical_reads - earlier.physical_reads,
+            self.pages_written - earlier.pages_written,
+        )
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Converts page counts into simulated I/O seconds.
+
+    The default (0.5 ms per page) models the amortized cost of the
+    multiblock sequential reads a *clustered* B+-tree range scan
+    issues on a 2006-era disk (a random single-page seek would be
+    ~8 ms, but both DMTM and MSDN fetches are contiguous key-range /
+    region scans over z-order-clustered pages).  Results are reported
+    both as raw page counts (hardware-independent, Figs 9-11 right
+    column) and as simulated seconds folded into total time (Figs
+    10-11 left column); pick your own constant via
+    ``DiskModel(seconds_per_page=...)`` to shift regimes.
+    """
+
+    seconds_per_page: float = 0.0005
+
+    def io_seconds(self, stats: IOStatistics) -> float:
+        return stats.physical_reads * self.seconds_per_page

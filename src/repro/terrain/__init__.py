@@ -1,0 +1,37 @@
+"""Terrain substrate: DEM grids, synthetic terrain generators,
+triangulated surface meshes and roughness statistics.
+
+The paper evaluates on two USGS DEM datasets (Bearhead Mountain — a
+rugged area — and Eagle Peak — a smoother one).  Those files are not
+shipped here; :mod:`repro.terrain.synthetic` builds deterministic
+fractal stand-ins with the same roughness contrast (see DESIGN.md,
+"Substitutions").
+"""
+
+from repro.terrain.dem import DemGrid
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import (
+    bearhead_like,
+    eagle_peak_like,
+    fractal_dem,
+    gaussian_hills_dem,
+)
+from repro.terrain.roughness import (
+    surface_to_euclid_ratio,
+    slope_statistics,
+    RoughnessReport,
+    roughness_report,
+)
+
+__all__ = [
+    "DemGrid",
+    "TriangleMesh",
+    "bearhead_like",
+    "eagle_peak_like",
+    "fractal_dem",
+    "gaussian_hills_dem",
+    "surface_to_euclid_ratio",
+    "slope_statistics",
+    "RoughnessReport",
+    "roughness_report",
+]

@@ -1,0 +1,219 @@
+"""Digital elevation models on regular grids.
+
+A :class:`DemGrid` is the raw input of the pipeline: a rectangular
+array of elevation samples with a physical cell size, exactly like the
+USGS DEM files the paper reads.  It knows how to interpolate
+elevations, save/load itself in the plain-text ESRI ASCII grid format
+(so users can bring their own data without any GIS dependency), and
+hand itself to :meth:`repro.terrain.mesh.TriangleMesh.from_dem` for
+triangulation.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TerrainError
+
+
+class DemGrid:
+    """A regular-grid DEM.
+
+    Parameters
+    ----------
+    heights:
+        (rows, cols) array of elevations (metres).
+    cell_size:
+        Physical spacing between adjacent samples (metres).
+    origin:
+        (x, y) of the lower-left sample; defaults to (0, 0).
+    """
+
+    def __init__(self, heights, cell_size: float, origin=(0.0, 0.0)):
+        h = np.asarray(heights, dtype=float)
+        if h.ndim != 2 or h.shape[0] < 2 or h.shape[1] < 2:
+            raise TerrainError(
+                f"DEM needs a 2D grid of at least 2x2 samples, got {h.shape}"
+            )
+        if not np.all(np.isfinite(h)):
+            raise TerrainError("DEM contains non-finite elevations")
+        if cell_size <= 0:
+            raise TerrainError(f"cell_size must be positive, got {cell_size}")
+        self.heights = h
+        self.cell_size = float(cell_size)
+        self.origin = (float(origin[0]), float(origin[1]))
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return int(self.heights.shape[0])
+
+    @property
+    def cols(self) -> int:
+        return int(self.heights.shape[1])
+
+    @property
+    def num_samples(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def width(self) -> float:
+        """Physical east-west extent (metres)."""
+        return (self.cols - 1) * self.cell_size
+
+    @property
+    def height(self) -> float:
+        """Physical north-south extent (metres)."""
+        return (self.rows - 1) * self.cell_size
+
+    @property
+    def area_km2(self) -> float:
+        """Covered area in square kilometres (the paper's density unit)."""
+        return self.width * self.height / 1e6
+
+    def sample_xy(self, row: int, col: int) -> tuple[float, float]:
+        """Physical (x, y) of a grid sample."""
+        return (
+            self.origin[0] + col * self.cell_size,
+            self.origin[1] + row * self.cell_size,
+        )
+
+    # -- interpolation -----------------------------------------------------
+
+    def elevation_at(self, x: float, y: float) -> float:
+        """Bilinear elevation at a physical (x, y) inside the grid."""
+        fx = (x - self.origin[0]) / self.cell_size
+        fy = (y - self.origin[1]) / self.cell_size
+        if not (0.0 <= fx <= self.cols - 1 and 0.0 <= fy <= self.rows - 1):
+            raise TerrainError(f"point ({x}, {y}) outside DEM extent")
+        c0 = min(int(fx), self.cols - 2)
+        r0 = min(int(fy), self.rows - 2)
+        tx = fx - c0
+        ty = fy - r0
+        h = self.heights
+        return float(
+            h[r0, c0] * (1 - tx) * (1 - ty)
+            + h[r0, c0 + 1] * tx * (1 - ty)
+            + h[r0 + 1, c0] * (1 - tx) * ty
+            + h[r0 + 1, c0 + 1] * tx * ty
+        )
+
+    # -- resampling ---------------------------------------------------------
+
+    def downsample(self, step: int) -> "DemGrid":
+        """Keep every ``step``-th sample in each direction."""
+        if step < 1:
+            raise TerrainError("step must be >= 1")
+        return DemGrid(
+            self.heights[::step, ::step],
+            self.cell_size * step,
+            self.origin,
+        )
+
+    # -- serialization (ESRI ASCII grid) ------------------------------------
+
+    def to_ascii(self) -> str:
+        """Serialize to the ESRI ASCII grid format."""
+        buf = io.StringIO()
+        buf.write(f"ncols {self.cols}\n")
+        buf.write(f"nrows {self.rows}\n")
+        buf.write(f"xllcorner {self.origin[0]}\n")
+        buf.write(f"yllcorner {self.origin[1]}\n")
+        buf.write(f"cellsize {self.cell_size}\n")
+        buf.write("NODATA_value -9999\n")
+        # ESRI grids store the top row first.
+        for row in self.heights[::-1]:
+            buf.write(" ".join(f"{v:.6g}" for v in row))
+            buf.write("\n")
+        return buf.getvalue()
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_ascii())
+
+    @classmethod
+    def from_ascii(cls, text: str) -> "DemGrid":
+        """Parse an ESRI ASCII grid."""
+        lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+        header: dict[str, float] = {}
+        data_start = 0
+        for i, ln in enumerate(lines):
+            parts = ln.split()
+            key = parts[0].lower()
+            if key in (
+                "ncols",
+                "nrows",
+                "xllcorner",
+                "yllcorner",
+                "cellsize",
+                "nodata_value",
+            ):
+                header[key] = float(parts[1])
+                data_start = i + 1
+            else:
+                break
+        for required in ("ncols", "nrows", "cellsize"):
+            if required not in header:
+                raise TerrainError(f"ASCII grid missing header field {required}")
+        rows = int(header["nrows"])
+        cols = int(header["ncols"])
+        values: list[float] = []
+        for ln in lines[data_start:]:
+            values.extend(float(tok) for tok in ln.split())
+        if len(values) != rows * cols:
+            raise TerrainError(
+                f"ASCII grid body has {len(values)} values, expected {rows * cols}"
+            )
+        heights = np.asarray(values, dtype=float).reshape(rows, cols)[::-1]
+        origin = (header.get("xllcorner", 0.0), header.get("yllcorner", 0.0))
+        return cls(heights, header["cellsize"], origin)
+
+    @classmethod
+    def load(cls, path) -> "DemGrid":
+        return cls.from_ascii(Path(path).read_text())
+
+    # -- SRTM .hgt (raw big-endian int16 grids) ------------------------------
+
+    @classmethod
+    def from_hgt(
+        cls,
+        data: bytes,
+        cell_size: float = 90.0,
+        void_fill: float = 0.0,
+    ) -> "DemGrid":
+        """Parse an SRTM ``.hgt`` tile (raw big-endian int16 samples,
+        square grid, north row first; 1201² for SRTM3, 3601² for
+        SRTM1).  Void samples (-32768) are replaced by ``void_fill``.
+        """
+        import math as _math
+
+        if len(data) % 2 != 0:
+            raise TerrainError(".hgt payload must be an even byte count")
+        count = len(data) // 2
+        side = int(_math.isqrt(count))
+        if side * side != count or side < 2:
+            raise TerrainError(
+                f".hgt payload of {count} samples is not a square grid"
+            )
+        heights = (
+            np.frombuffer(data, dtype=">i2").astype(float).reshape(side, side)
+        )
+        heights = np.where(heights == -32768, void_fill, heights)
+        # SRTM stores the northernmost row first; our row 0 is south.
+        return cls(heights[::-1], cell_size)
+
+    @classmethod
+    def load_hgt(cls, path, cell_size: float = 90.0) -> "DemGrid":
+        """Load an SRTM ``.hgt`` tile from disk."""
+        return cls.from_hgt(Path(path).read_bytes(), cell_size)
+
+    def to_hgt(self) -> bytes:
+        """Serialize to the SRTM ``.hgt`` layout (square grids only;
+        elevations round to the nearest metre)."""
+        if self.rows != self.cols:
+            raise TerrainError(".hgt requires a square grid")
+        clipped = np.clip(np.round(self.heights[::-1]), -32767, 32767)
+        return clipped.astype(">i2").tobytes()

@@ -1,0 +1,164 @@
+"""Deterministic synthetic terrain generators.
+
+The paper evaluates on two real USGS DEMs: **Bearhead Mountain** (BH,
+Washington — rugged, surface distances up to 2–3x the Euclidean
+distance) and **Eagle Peak** (EP, Wyoming — smoother, 20–40 % longer
+than Euclidean).  We cannot ship those files, so this module builds
+stand-ins with the same *roughness contrast*:
+
+* :func:`fractal_dem` — diamond–square fractal relief whose roughness
+  is controlled by the Hurst-like ``roughness`` exponent and a
+  vertical ``relief`` scale; and
+* :func:`gaussian_hills_dem` — a smooth sum of Gaussian bumps for
+  gentle terrain.
+
+:func:`bearhead_like` / :func:`eagle_peak_like` pin down calibrated
+parameter sets; every generator is seeded, so all experiments are
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TerrainError
+from repro.terrain.dem import DemGrid
+
+
+def _diamond_square(size: int, roughness: float, rng: np.random.Generator) -> np.ndarray:
+    """Classic diamond–square fractal heightfield of shape (size, size).
+
+    ``size`` must be 2**k + 1.  ``roughness`` in (0, 1]: the per-level
+    amplitude decay factor — higher means more rugged at fine scales.
+    """
+    if size < 3 or (size - 1) & (size - 2) != 0:
+        raise TerrainError(f"diamond-square size must be 2**k + 1, got {size}")
+    grid = np.zeros((size, size), dtype=float)
+    corners = rng.uniform(-1.0, 1.0, size=4)
+    grid[0, 0], grid[0, -1], grid[-1, 0], grid[-1, -1] = corners
+    step = size - 1
+    amplitude = 1.0
+    while step > 1:
+        half = step // 2
+        # Diamond step: centre of each square.
+        for r in range(half, size, step):
+            for c in range(half, size, step):
+                avg = (
+                    grid[r - half, c - half]
+                    + grid[r - half, c + half]
+                    + grid[r + half, c - half]
+                    + grid[r + half, c + half]
+                ) / 4.0
+                grid[r, c] = avg + amplitude * rng.uniform(-1.0, 1.0)
+        # Square step: midpoints of square edges.
+        for r in range(0, size, half):
+            start = half if (r // half) % 2 == 0 else 0
+            for c in range(start, size, step):
+                total = 0.0
+                count = 0
+                for dr, dc in ((-half, 0), (half, 0), (0, -half), (0, half)):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < size and 0 <= cc < size:
+                        total += grid[rr, cc]
+                        count += 1
+                grid[r, c] = total / count + amplitude * rng.uniform(-1.0, 1.0)
+        step = half
+        amplitude *= roughness
+    return grid
+
+
+def fractal_dem(
+    size: int = 65,
+    cell_size: float = 90.0,
+    relief: float = 900.0,
+    roughness: float = 0.62,
+    seed: int = 7,
+    ridged: bool = False,
+) -> DemGrid:
+    """Fractal DEM with controllable ruggedness.
+
+    Parameters
+    ----------
+    size:
+        Samples per side (must be 2**k + 1, e.g. 33, 65, 129).
+    cell_size:
+        Sample spacing in metres (90 m mimics 3-arc-second USGS data).
+    relief:
+        Peak-to-valley elevation range in metres.
+    roughness:
+        Per-octave amplitude decay in (0, 1]; larger = more rugged.
+    seed:
+        RNG seed; identical seeds give identical terrain.
+    ridged:
+        Apply a ridged transform (sharp crests, like glacial terrain).
+    """
+    if size < 3:
+        raise TerrainError(f"size must be >= 3, got {size}")
+    rng = np.random.default_rng(seed)
+    # Diamond-square needs 2**k + 1 samples; generate the next such
+    # grid and crop, so callers may request any size.
+    gen_size = 3
+    while gen_size < size:
+        gen_size = (gen_size - 1) * 2 + 1
+    field = _diamond_square(gen_size, roughness, rng)[:size, :size]
+    if ridged:
+        field = 1.0 - np.abs(field)
+    lo, hi = float(field.min()), float(field.max())
+    if hi > lo:
+        field = (field - lo) / (hi - lo)
+    return DemGrid(field * relief, cell_size)
+
+
+def gaussian_hills_dem(
+    size: int = 65,
+    cell_size: float = 90.0,
+    relief: float = 300.0,
+    num_hills: int = 10,
+    seed: int = 11,
+) -> DemGrid:
+    """Smooth DEM: a sum of random broad Gaussian hills."""
+    if size < 2:
+        raise TerrainError("size must be >= 2")
+    rng = np.random.default_rng(seed)
+    xs = np.arange(size) * cell_size
+    gx, gy = np.meshgrid(xs, xs)
+    field = np.zeros((size, size), dtype=float)
+    extent = (size - 1) * cell_size
+    for _ in range(num_hills):
+        cx, cy = rng.uniform(0.0, extent, size=2)
+        sigma = rng.uniform(0.15, 0.35) * extent
+        height = rng.uniform(0.3, 1.0)
+        field += height * np.exp(-((gx - cx) ** 2 + (gy - cy) ** 2) / (2 * sigma**2))
+    lo, hi = float(field.min()), float(field.max())
+    if hi > lo:
+        field = (field - lo) / (hi - lo)
+    return DemGrid(field * relief, cell_size)
+
+
+def bearhead_like(size: int = 65, cell_size: float = 90.0, seed: int = 2006) -> DemGrid:
+    """Rugged dataset standing in for the paper's Bearhead Mountain DEM.
+
+    High fractal roughness + ridged crests + strong relief: surface
+    distances come out well above Euclidean distances, matching the
+    paper's description of BH as the rougher dataset.
+    """
+    return fractal_dem(
+        size=size,
+        cell_size=cell_size,
+        relief=0.45 * (size - 1) * cell_size,
+        roughness=0.72,
+        seed=seed,
+        ridged=True,
+    )
+
+
+def eagle_peak_like(size: int = 65, cell_size: float = 90.0, seed: int = 1959) -> DemGrid:
+    """Gentler dataset standing in for the paper's Eagle Peak DEM."""
+    return fractal_dem(
+        size=size,
+        cell_size=cell_size,
+        relief=0.12 * (size - 1) * cell_size,
+        roughness=0.5,
+        seed=seed,
+        ridged=False,
+    )

@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic terrains and engines.
+
+Session-scoped so the expensive structures (DMTM collapse trees,
+MSDN plane sweeps, exact geodesics) are built once per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SurfaceKNNEngine
+from repro.terrain.dem import DemGrid
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import bearhead_like, eagle_peak_like, fractal_dem
+
+
+@pytest.fixture(scope="session")
+def flat_mesh() -> TriangleMesh:
+    """A flat 9x9 grid: geodesics equal Euclidean distances."""
+    return TriangleMesh.from_dem(fractal_dem(size=9, relief=0.0, seed=1))
+
+
+@pytest.fixture(scope="session")
+def rough_mesh() -> TriangleMesh:
+    """A small rugged terrain (17x17)."""
+    return TriangleMesh.from_dem(
+        fractal_dem(size=17, relief=700.0, roughness=0.75, seed=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def bh_mesh() -> TriangleMesh:
+    """Bearhead-like dataset at test scale."""
+    return TriangleMesh.from_dem(bearhead_like(size=17))
+
+
+@pytest.fixture(scope="session")
+def ep_mesh() -> TriangleMesh:
+    """Eagle-Peak-like dataset at test scale."""
+    return TriangleMesh.from_dem(eagle_peak_like(size=17))
+
+
+@pytest.fixture(scope="session")
+def tilted_mesh() -> TriangleMesh:
+    """A planar but tilted surface: geodesics still equal 3D
+    Euclidean distances (the plane is developable)."""
+    size = 9
+    heights = np.add.outer(np.arange(size), np.arange(size)) * 30.0
+    return TriangleMesh.from_dem(DemGrid(heights, cell_size=90.0))
+
+
+@pytest.fixture(scope="session")
+def cube_mesh() -> TriangleMesh:
+    """A closed unit cube (12 faces) with known exact geodesics."""
+    vertices = np.array(
+        [
+            [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+            [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+        ],
+        dtype=float,
+    )
+    faces = np.array(
+        [
+            [0, 2, 1], [0, 3, 2],  # bottom
+            [4, 5, 6], [4, 6, 7],  # top
+            [0, 1, 5], [0, 5, 4],  # front
+            [1, 2, 6], [1, 6, 5],  # right
+            [2, 3, 7], [2, 7, 6],  # back
+            [3, 0, 4], [3, 4, 7],  # left
+        ]
+    )
+    return TriangleMesh(vertices, faces)
+
+
+@pytest.fixture(scope="session")
+def small_engine(bh_mesh) -> SurfaceKNNEngine:
+    """An engine over the BH test terrain with ~20 objects."""
+    return SurfaceKNNEngine(bh_mesh, density=10.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ep_engine(ep_mesh) -> SurfaceKNNEngine:
+    return SurfaceKNNEngine(ep_mesh, density=10.0, seed=3)

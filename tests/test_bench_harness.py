@@ -1,0 +1,103 @@
+"""Smoke tests for the bench harness (tiny sweeps, shape checks)."""
+
+import pytest
+
+from repro.bench.experiments import fig7, fig8, fig9, fig10, fig11
+from repro.bench.runner import format_table
+from repro.bench.workload import build_engine, dataset, mesh_for, query_vertices, vertex_pairs
+from repro.errors import QueryError
+
+
+class TestWorkload:
+    def test_dataset_names(self):
+        assert dataset("BH", 9).rows == 9
+        assert dataset("EP", 9).rows == 9
+        with pytest.raises(QueryError):
+            dataset("XX")
+
+    def test_mesh_cached(self):
+        assert mesh_for("BH", 9) is mesh_for("BH", 9)
+
+    def test_engine_cached(self):
+        a = build_engine("BH", size=9, density=10.0)
+        b = build_engine("BH", size=9, density=10.0)
+        assert a is b
+
+    def test_query_vertices_deterministic(self):
+        mesh = mesh_for("BH", 17)
+        assert query_vertices(mesh, 3, seed=1) == query_vertices(mesh, 3, seed=1)
+
+    def test_vertex_pairs_separated(self):
+        import numpy as np
+
+        mesh = mesh_for("BH", 17)
+        diag = float(np.linalg.norm(mesh.xy_bounds().extents))
+        for a, b in vertex_pairs(mesh, 4, min_separation=0.3):
+            d = float(np.linalg.norm(mesh.vertices[a][:2] - mesh.vertices[b][:2]))
+            assert d >= 0.3 * diag
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        table = format_table(
+            "T", ["x", "y"], [{"x": 1, "y": 1234.5}, {"x": 2, "y": None}]
+        )
+        assert "T" in table
+        assert "1,234" in table  # thousands formatting
+        assert "-" in table  # None placeholder
+
+
+class TestExperimentShapes:
+    """Miniature sweeps asserting the paper's qualitative shapes."""
+
+    def test_fig7_exact_grows_faster(self):
+        out = fig7(sizes=(9, 17), pairs_per_size=1)
+        rows = out["rows"]
+        assert rows[-1]["ch_seconds"] > rows[0]["ch_seconds"]
+        # Exact is never cheaper than the approximation at the top size.
+        assert rows[-1]["ch_seconds"] >= rows[-1]["ea_seconds"]
+
+    def test_fig8_accuracy_monotone(self):
+        out = fig8(quick=True, size=17, num_pairs=3)
+        rows = out["rows"]
+        # Accuracy grows with DMTM resolution for the best SDN column.
+        best = [row["sdn_100%"] for row in rows]
+        assert best == sorted(best)
+        # SDN beats the Euclidean baseline at full resolution.
+        assert rows[-1]["sdn_100%"] >= rows[-1]["euclid_lb"]
+
+    def test_fig9_integration_saves_pages(self):
+        out = fig9(quick=True, size=17, ks=(6,), queries_per_k=1)
+        row = out["rows"][0]
+        assert row["pages_on"] <= row["pages_off"]
+
+    def test_fig10_series_present(self):
+        out = fig10(
+            quick=True, size=17, ks=(4,), queries_per_k=1, datasets=("BH",)
+        )
+        series = out["rows"]["BH"][4]
+        assert set(series) == {"s=1", "s=2", "s=3", "EA"}
+        for metrics in series.values():
+            assert metrics["pages"] > 0
+            assert metrics["cpu"] > 0
+
+    def test_fig11_density_reduces_cost(self):
+        out = fig11(
+            quick=True, size=17, k=3, densities=(4, 10), queries_per_o=1,
+            datasets=("BH",),
+        )
+        per_o = out["rows"]["BH"]
+        assert set(per_o) == {4, 10}
+
+    def test_related_experiment(self):
+        from repro.bench.experiments import related
+
+        out = related(quick=True, size=17, k=3)
+        rows = {row["method"]: row for row in out["rows"]}
+        assert rows["exact surface"]["agreement"] == 1.0
+        # MR3 matches the exact answer at least as often as the
+        # network baselines once ties are tolerated.
+        assert (
+            rows["MR3 s=1"]["agreement_3pct"]
+            >= rows["INE (network)"]["agreement_3pct"]
+        )

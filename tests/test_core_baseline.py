@@ -1,0 +1,60 @@
+"""Unit tests for the exact k-NN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import exact_knn
+from repro.core.objects import ObjectSet
+from repro.errors import QueryError
+from repro.geodesic.exact import ExactGeodesic
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    mesh = request.getfixturevalue("bh_mesh")
+    objects = ObjectSet.uniform(mesh, density=12.0, seed=3)
+    return mesh, objects
+
+
+class TestExactKnn:
+    def test_matches_full_scan(self, setup):
+        mesh, objects = setup
+        qv = mesh.nearest_vertex(mesh.xy_bounds().center)
+        geo = ExactGeodesic(mesh, qv)
+        full = sorted(
+            ((geo.distance_to(objects.vertex_of(i)), i) for i in range(len(objects)))
+        )
+        got = exact_knn(mesh, objects, qv, 5)
+        assert [obj for obj, _d in got] == [i for _d, i in full[:5]]
+        for (obj, d), (want_d, _i) in zip(got, full[:5]):
+            assert d == pytest.approx(want_d)
+
+    def test_ascending(self, setup):
+        mesh, objects = setup
+        got = exact_knn(mesh, objects, 7, 6)
+        dists = [d for _obj, d in got]
+        assert dists == sorted(dists)
+
+    def test_k_equals_all(self, setup):
+        mesh, objects = setup
+        got = exact_knn(mesh, objects, 7, len(objects))
+        assert len(got) == len(objects)
+
+    def test_bad_k(self, setup):
+        mesh, objects = setup
+        with pytest.raises(QueryError):
+            exact_knn(mesh, objects, 0, 0)
+        with pytest.raises(QueryError):
+            exact_knn(mesh, objects, 0, len(objects) + 1)
+
+    def test_early_termination_still_correct(self, setup):
+        """The Euclidean early-exit must not change results even for
+        k=1 queries at a corner of the terrain."""
+        mesh, objects = setup
+        got = exact_knn(mesh, objects, 0, 1)
+        geo = ExactGeodesic(mesh, 0)
+        best = min(
+            ((geo.distance_to(objects.vertex_of(i)), i) for i in range(len(objects)))
+        )
+        assert got[0][0] == best[1]
+        assert got[0][1] == pytest.approx(best[0])

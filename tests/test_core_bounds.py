@@ -1,0 +1,107 @@
+"""Unit tests for distance intervals and candidate classification."""
+
+import pytest
+
+from repro.core.bounds import Candidate, DistanceInterval, classify_candidates
+from repro.errors import QueryError
+
+
+def cand(obj, lb, ub):
+    c = Candidate(object_id=obj, vertex=obj, position=(0.0, 0.0, 0.0))
+    c.interval.refine_lb(lb)
+    c.interval.refine_ub(ub)
+    return c
+
+
+class TestDistanceInterval:
+    def test_monotone_refinement(self):
+        iv = DistanceInterval()
+        iv.refine_lb(5.0)
+        iv.refine_lb(3.0)  # weaker: ignored
+        assert iv.lb == 5.0
+        iv.refine_ub(20.0)
+        iv.refine_ub(25.0)  # weaker: ignored
+        assert iv.ub == 20.0
+
+    def test_inversion_rejected(self):
+        iv = DistanceInterval()
+        iv.refine_ub(10.0)
+        with pytest.raises(QueryError):
+            iv.refine_lb(11.0)
+
+    def test_accuracy(self):
+        iv = DistanceInterval()
+        assert iv.accuracy == 0.0
+        iv.refine_ub(10.0)
+        iv.refine_lb(8.0)
+        assert iv.accuracy == pytest.approx(0.8)
+
+    def test_ordering_predicates(self):
+        early = DistanceInterval(lb=1.0, ub=2.0)
+        late = DistanceInterval(lb=3.0, ub=4.0)
+        overlap = DistanceInterval(lb=1.5, ub=3.5)
+        assert early.certainly_before(late)
+        assert not late.certainly_before(early)
+        assert early.overlaps(overlap)
+        assert overlap.overlaps(late)
+        assert not early.overlaps(late)
+
+
+class TestClassification:
+    def test_bad_k(self):
+        with pytest.raises(QueryError):
+            classify_candidates([cand(0, 0, 1)], 0)
+
+    def test_fewer_than_k_all_win(self):
+        out = classify_candidates([cand(0, 1, 2), cand(1, 3, 4)], 5)
+        assert out.done
+        assert len(out.winners) == 2
+
+    def test_separated_intervals_done(self):
+        candidates = [cand(i, i * 10.0, i * 10.0 + 5.0) for i in range(5)]
+        out = classify_candidates(candidates, 2)
+        assert out.done
+        assert [c.object_id for c in out.winners] == [0, 1]
+        assert len(out.rejected) == 3
+
+    def test_overlap_keeps_active(self):
+        candidates = [
+            cand(0, 1.0, 2.0),
+            cand(1, 1.5, 3.0),
+            cand(2, 1.8, 3.2),
+        ]
+        out = classify_candidates(candidates, 1)
+        assert not out.done
+        assert out.active  # ties unresolved
+
+    def test_clear_winner_extracted_early(self):
+        candidates = [
+            cand(0, 1.0, 2.0),  # certainly in any top-2
+            cand(1, 5.0, 9.0),
+            cand(2, 6.0, 10.0),
+        ]
+        out = classify_candidates(candidates, 2)
+        assert any(c.object_id == 0 for c in out.winners)
+
+    def test_rejected_by_kth_ub(self):
+        candidates = [
+            cand(0, 1.0, 2.0),
+            cand(1, 1.5, 2.5),
+            cand(2, 50.0, 60.0),  # lb far beyond the 2nd ub
+        ]
+        out = classify_candidates(candidates, 2)
+        assert any(c.object_id == 2 for c in out.rejected)
+
+    def test_kth_bounds_reported(self):
+        candidates = [cand(0, 1.0, 2.0), cand(1, 3.0, 4.0), cand(2, 9.0, 11.0)]
+        out = classify_candidates(candidates, 2)
+        assert out.kth_ub == 4.0
+        assert out.kth_lb == 3.0
+        assert out.kth_accuracy == pytest.approx(0.75)
+
+    def test_termination_rule_boundary(self):
+        """ub(p_k) == lb(p_{k+1}) terminates (ties allowed either way)."""
+        candidates = [cand(0, 1.0, 3.0), cand(1, 3.0, 5.0)]
+        out = classify_candidates(candidates, 1)
+        assert out.done
+        assert out.winners[0].object_id == 0

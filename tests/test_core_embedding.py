@@ -1,0 +1,101 @@
+"""Tests for arbitrary-point query embedding (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import EmbeddedQuery, embed_point, source_of
+from repro.errors import QueryError
+from repro.geodesic.exact import ExactGeodesic
+
+
+class TestEmbedPoint:
+    def test_vertex_returns_id(self, rough_mesh):
+        x, y, _z = rough_mesh.vertices[13]
+        assert embed_point(rough_mesh, float(x), float(y)) == 13
+
+    def test_interior_point_three_anchors(self, rough_mesh):
+        bounds = rough_mesh.xy_bounds()
+        x = float(bounds.center[0]) + 17.3
+        y = float(bounds.center[1]) - 11.9
+        q = embed_point(rough_mesh, x, y)
+        assert isinstance(q, EmbeddedQuery)
+        assert len(q.anchors) == 3
+        assert q.position[0] == pytest.approx(x)
+        # The embedded z matches the surface.
+        assert q.position[2] == pytest.approx(
+            rough_mesh.elevation_at(x, y), abs=1e-6
+        )
+
+    def test_anchor_offsets_are_facet_distances(self, rough_mesh):
+        bounds = rough_mesh.xy_bounds()
+        x = float(bounds.center[0]) + 31.0
+        y = float(bounds.center[1]) + 23.0
+        q = embed_point(rough_mesh, x, y)
+        p = np.asarray(q.position)
+        for vid, offset in q.anchors:
+            assert offset == pytest.approx(
+                float(np.linalg.norm(p - rough_mesh.vertices[vid]))
+            )
+            assert offset > 0
+
+    def test_source_of_vertex(self, rough_mesh):
+        pos, anchors = source_of(rough_mesh, 5)
+        assert anchors == ((5, 0.0),)
+        np.testing.assert_array_equal(pos, rough_mesh.vertices[5])
+
+    def test_source_of_bad_vertex(self, rough_mesh):
+        with pytest.raises(QueryError):
+            source_of(rough_mesh, rough_mesh.num_vertices)
+
+
+class TestEmbeddedQueries:
+    def test_query_point_result_valid(self, small_engine):
+        mesh = small_engine.mesh
+        bounds = mesh.xy_bounds()
+        x = float(bounds.center[0]) + 13.0
+        y = float(bounds.center[1]) - 29.0
+        res = small_engine.query_point(x, y, k=3, step_length=2)
+        assert len(res.object_ids) == 3
+        # Intervals must bracket exact distances from the *embedded*
+        # point; validate via its anchors: dS(p, t) >= dS(v, t) - |pv|.
+        from repro.core.embedding import embed_point
+
+        q = embed_point(mesh, x, y)
+        for obj, (lb, ub) in zip(res.object_ids, res.intervals):
+            target = small_engine.objects.vertex_of(obj)
+            best_ub = min(
+                off + ExactGeodesic(mesh, vid).distance_to(target)
+                for vid, off in q.anchors
+            )
+            # ub must be a genuine path: >= the best anchor route can
+            # never be beaten by more than the facet diameter.
+            assert ub >= lb - 1e-9
+            assert lb <= best_ub + 1e-6
+
+    def test_query_point_close_to_snap(self, small_engine):
+        """Embedded and snapped queries of the same location agree up
+        to the facet diameter."""
+        mesh = small_engine.mesh
+        bounds = mesh.xy_bounds()
+        x = float(bounds.center[0]) + 40.0
+        y = float(bounds.center[1]) + 35.0
+        embedded = small_engine.query_point(x, y, k=3, step_length=2)
+        snapped = small_engine.query_xy(x, y, k=3, step_length=2)
+        # Sets need not be identical (the query moved), but heavily
+        # overlap on a dense object set.
+        assert len(set(embedded.object_ids) & set(snapped.object_ids)) >= 2
+
+    def test_query_point_at_vertex_degrades_gracefully(self, small_engine):
+        x, y, _z = small_engine.mesh.vertices[100]
+        res = small_engine.query_point(float(x), float(y), k=2)
+        assert len(res.object_ids) == 2
+
+    def test_rejects_non_mr3(self, small_engine):
+        bounds = small_engine.mesh.xy_bounds()
+        with pytest.raises(QueryError):
+            small_engine.query_point(
+                float(bounds.center[0]) + 7.0,
+                float(bounds.center[1]) + 7.0,
+                k=1,
+                method="ea",
+            )

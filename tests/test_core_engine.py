@@ -1,0 +1,118 @@
+"""Unit + integration tests for MR3QueryProcessor and the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import exact_knn
+from repro.core.engine import SurfaceKNNEngine
+from repro.errors import QueryError
+
+
+class TestQueryBasics:
+    def test_result_shape(self, small_engine):
+        qv = small_engine.snap(700.0, 700.0)
+        res = small_engine.query(qv, 3)
+        assert len(res.object_ids) == 3
+        assert len(res.intervals) == 3
+        for lb, ub in res.intervals:
+            assert lb <= ub + 1e-9
+
+    def test_bad_k(self, small_engine):
+        with pytest.raises(QueryError):
+            small_engine.query(0, 0)
+        with pytest.raises(QueryError):
+            small_engine.query(0, len(small_engine.objects) + 1)
+
+    def test_bad_vertex(self, small_engine):
+        with pytest.raises(QueryError):
+            small_engine.query(-1, 1)
+
+    def test_bad_method(self, small_engine):
+        with pytest.raises(QueryError):
+            small_engine.query(0, 1, method="nope")
+
+    def test_query_xy_snaps(self, small_engine):
+        res = small_engine.query_xy(700.0, 700.0, k=2)
+        assert len(res.object_ids) == 2
+
+    def test_metrics_populated(self, small_engine):
+        qv = small_engine.snap(600.0, 900.0)
+        res = small_engine.query(qv, 3)
+        m = res.metrics
+        assert m.cpu_seconds > 0
+        assert m.pages_accessed > 0
+        assert m.total_seconds >= m.cpu_seconds
+        assert m.iterations_filter >= 1
+        assert m.candidates_examined >= 3
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method,step", [("mr3", 1), ("mr3", 2), ("mr3", 3), ("ea", 1)])
+    def test_matches_exact_within_tolerance(self, small_engine, method, step):
+        mesh = small_engine.mesh
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            qv = int(rng.integers(0, mesh.num_vertices))
+            res = small_engine.query(qv, 4, method=method, step_length=step)
+            truth = exact_knn(mesh, small_engine.objects, qv, 4)
+            want = {obj for obj, _d in truth}
+            got = set(res.object_ids)
+            if got != want:
+                # Any disagreement must involve near-ties within the
+                # pathnet approximation error.
+                true_d = dict(exact_knn(mesh, small_engine.objects, qv, len(small_engine.objects)))
+                kth = truth[-1][1]
+                for obj in got - want:
+                    assert true_d[obj] <= kth * 1.05
+
+    def test_exact_method(self, small_engine):
+        qv = small_engine.snap(500.0, 500.0)
+        res = small_engine.query(qv, 3, method="exact")
+        truth = exact_knn(small_engine.mesh, small_engine.objects, qv, 3)
+        assert res.object_ids == [obj for obj, _d in truth]
+        for (lb, ub), (_obj, d) in zip(res.intervals, truth):
+            assert lb == pytest.approx(d)
+            assert ub == pytest.approx(d)
+
+    def test_query_at_object_vertex(self, small_engine):
+        """Querying at an object's own vertex returns it first with
+        distance ~0."""
+        vid = small_engine.objects.vertex_of(0)
+        res = small_engine.query(vid, 1)
+        assert res.object_ids == [0]
+        assert res.intervals[0][1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEngineConfig:
+    def test_without_storage(self, bh_mesh):
+        engine = SurfaceKNNEngine(bh_mesh, density=10.0, seed=3, with_storage=False)
+        res = engine.query(engine.snap(700.0, 700.0), 2)
+        assert res.metrics.pages_accessed == 0
+        assert len(res.object_ids) == 2
+
+    def test_set_objects(self, small_engine):
+        original = small_engine.objects
+        try:
+            small_engine.set_objects(density=5.0, seed=9)
+            assert len(small_engine.objects) != 0
+            res = small_engine.query(0, 1)
+            assert len(res.object_ids) == 1
+        finally:
+            small_engine.set_objects(objects=original)
+
+    def test_distance_range_helper(self, small_engine):
+        lb, ub = small_engine.distance_range(3, 100, 0.5, 0.5)
+        assert 0 < lb <= ub
+
+
+class TestEagleVsBearhead:
+    def test_ep_converges_more_often(self, small_engine, ep_engine):
+        """Smoother terrain gives tighter bounds: EP queries should
+        converge at least as often as BH queries."""
+        rng = np.random.default_rng(5)
+        bh_conv = ep_conv = 0
+        for _ in range(3):
+            qv = int(rng.integers(0, small_engine.mesh.num_vertices))
+            bh_conv += small_engine.query(qv, 3).converged
+            ep_conv += ep_engine.query(qv, 3).converged
+        assert ep_conv >= bh_conv

@@ -1,0 +1,91 @@
+"""Step-level tests for the MR3 query processor (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import exact_knn
+from repro.core.mr3 import MR3QueryProcessor, QueryMetrics, QueryResult
+from repro.core.ranking import RankerOptions
+from repro.core.schedule import ResolutionSchedule
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def processor(request):
+    engine = request.getfixturevalue("small_engine")
+    return MR3QueryProcessor(
+        engine.mesh,
+        engine.dmtm,
+        engine.msdn,
+        engine.objects,
+        ResolutionSchedule.preset(1),
+        options=RankerOptions(),
+        stats=engine.stats,
+    )
+
+
+class TestStepGuarantees:
+    def test_step2_radius_covers_true_kth(self, processor, small_engine):
+        """The step-3 radius ub(q, b) must be >= the true k-th surface
+        distance — otherwise step 3 could prune a true neighbour."""
+        mesh = small_engine.mesh
+        k = 4
+        qv = mesh.nearest_vertex(mesh.xy_bounds().center)
+        c1 = small_engine.objects.knn_2d(mesh.vertices[qv][:2], k)
+        cands = processor.ranker.make_candidates(c1, small_engine.objects)
+        out = processor.ranker.rank(qv, cands, k, tighten_kth=0.8)
+        truth = exact_knn(mesh, small_engine.objects, qv, k)
+        assert out.kth_ub >= truth[-1][1] - 1e-6
+
+    def test_result_within_radius(self, processor, small_engine):
+        mesh = small_engine.mesh
+        qv = mesh.nearest_vertex(mesh.xy_bounds().center)
+        res = processor.query(qv, 3)
+        q_xy = mesh.vertices[qv][:2]
+        for obj in res.object_ids:
+            p = small_engine.objects.position_of(obj)
+            # Winners' xy distance can never exceed their surface ub,
+            # which step 4 certified against the step-2 radius.
+            lb, ub = dict(zip(res.object_ids, res.intervals))[obj]
+            assert float(np.linalg.norm(p[:2] - q_xy)) <= ub + 1e-6
+
+    def test_metrics_iterations(self, processor, small_engine):
+        qv = small_engine.snap(700.0, 900.0)
+        res = processor.query(qv, 3)
+        assert 1 <= res.metrics.iterations_filter <= 6
+        assert 1 <= res.metrics.iterations_ranking <= 6
+        assert res.metrics.candidates_examined >= 3
+
+    def test_validation(self, processor, small_engine):
+        with pytest.raises(QueryError):
+            processor.query(0, 0)
+        with pytest.raises(QueryError):
+            processor.query(-1, 1)
+        with pytest.raises(QueryError):
+            processor.query(0, len(small_engine.objects) + 1)
+
+
+class TestResultTypes:
+    def test_query_result_validates(self):
+        with pytest.raises(QueryError):
+            QueryResult(
+                query_vertex=0, k=2, object_ids=[1, 2], intervals=[(0.0, 1.0)]
+            )
+
+    def test_metrics_total(self):
+        m = QueryMetrics(cpu_seconds=1.0, io_seconds=0.5)
+        assert m.total_seconds == pytest.approx(1.5)
+
+
+class TestEaSchedule:
+    def test_ea_runs_two_levels_max(self, small_engine):
+        qv = small_engine.snap(800.0, 800.0)
+        res = small_engine.query(qv, 3, method="ea")
+        assert res.metrics.iterations_ranking <= 2
+        assert res.method == "ea"
+
+    def test_ea_agrees_with_mr3(self, small_engine):
+        qv = small_engine.snap(800.0, 800.0)
+        ea = small_engine.query(qv, 3, method="ea")
+        mr3 = small_engine.query(qv, 3, step_length=2)
+        assert set(ea.object_ids) == set(mr3.object_ids)

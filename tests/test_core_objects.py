@@ -1,0 +1,81 @@
+"""Unit tests for ObjectSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import ObjectSet
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_explicit_vertices(self, rough_mesh):
+        objs = ObjectSet(rough_mesh, [3, 17, 200])
+        assert len(objs) == 3
+        assert objs.vertex_of(1) == 17
+
+    def test_duplicate_rejected(self, rough_mesh):
+        with pytest.raises(QueryError):
+            ObjectSet(rough_mesh, [3, 3])
+
+    def test_out_of_range_rejected(self, rough_mesh):
+        with pytest.raises(QueryError):
+            ObjectSet(rough_mesh, [rough_mesh.num_vertices])
+
+    def test_empty_rejected(self, rough_mesh):
+        with pytest.raises(QueryError):
+            ObjectSet(rough_mesh, [])
+
+
+class TestUniform:
+    def test_density_object_count(self, rough_mesh):
+        objs = ObjectSet.uniform(rough_mesh, density=10.0, seed=0)
+        area = rough_mesh.xy_bounds().measure() / 1e6
+        assert len(objs) == max(1, round(10.0 * area))
+        assert objs.density == pytest.approx(10.0, rel=0.3)
+
+    def test_deterministic(self, rough_mesh):
+        a = ObjectSet.uniform(rough_mesh, density=5.0, seed=7)
+        b = ObjectSet.uniform(rough_mesh, density=5.0, seed=7)
+        assert a.vertex_ids == b.vertex_ids
+
+    def test_bad_density(self, rough_mesh):
+        with pytest.raises(QueryError):
+            ObjectSet.uniform(rough_mesh, density=0.0)
+
+    def test_too_dense_rejected(self, rough_mesh):
+        with pytest.raises(QueryError):
+            ObjectSet.uniform(rough_mesh, density=1e9)
+
+    def test_positions_on_mesh(self, rough_mesh):
+        objs = ObjectSet.uniform(rough_mesh, density=8.0, seed=2)
+        for i in range(len(objs)):
+            vid = objs.vertex_of(i)
+            np.testing.assert_array_equal(
+                objs.position_of(i), rough_mesh.vertices[vid]
+            )
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def objs(self, request):
+        mesh = request.getfixturevalue("rough_mesh")
+        return ObjectSet.uniform(mesh, density=15.0, seed=4)
+
+    def test_knn_2d_matches_brute(self, objs):
+        q = objs.mesh.xy_bounds().center
+        got = objs.knn_2d(q, 5)
+        dists = np.linalg.norm(objs.positions[:, :2] - q, axis=1)
+        want = list(np.argsort(dists)[:5])
+        assert sorted(got) == sorted(int(w) for w in want)
+
+    def test_range_2d_matches_brute(self, objs):
+        q = objs.mesh.xy_bounds().center
+        radius = 400.0
+        got = sorted(objs.range_2d(q, radius))
+        dists = np.linalg.norm(objs.positions[:, :2] - q, axis=1)
+        want = sorted(int(i) for i in np.nonzero(dists <= radius)[0])
+        assert got == want
+
+    def test_bad_object_id(self, objs):
+        with pytest.raises(QueryError):
+            objs.vertex_of(len(objs))

@@ -1,0 +1,74 @@
+"""Tests for the surface closest-pair query (paper §6 extension)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.objects import ObjectSet
+from repro.core.pairs import surface_closest_pair
+from repro.core.schedule import ResolutionSchedule
+from repro.errors import QueryError
+from repro.geodesic.exact import ExactGeodesic
+
+
+def brute_closest_pair(mesh, objects):
+    best = None
+    for a, b in itertools.combinations(range(len(objects)), 2):
+        d = ExactGeodesic(mesh, objects.vertex_of(a)).distance_to(
+            objects.vertex_of(b)
+        )
+        if best is None or d < best[1]:
+            best = ((a, b), d)
+    return best
+
+
+class TestClosestPair:
+    def test_matches_brute_force(self, small_engine):
+        (pair, (lb, ub)) = small_engine.closest_pair()
+        (want_pair, want_d) = brute_closest_pair(
+            small_engine.mesh, small_engine.objects
+        )
+        assert lb <= ub
+        # The returned pair's interval must bracket its exact distance...
+        exact = ExactGeodesic(
+            small_engine.mesh, small_engine.objects.vertex_of(pair[0])
+        ).distance_to(small_engine.objects.vertex_of(pair[1]))
+        assert lb - 1e-6 <= exact <= ub + 1e-6
+        # ...and be the true winner up to the pathnet tolerance.
+        assert exact <= want_d * 1.05 + 1e-9
+
+    def test_interval_brackets_truth(self, ep_engine):
+        (pair, (lb, ub)) = ep_engine.closest_pair(step_length=3)
+        exact = ExactGeodesic(
+            ep_engine.mesh, ep_engine.objects.vertex_of(pair[0])
+        ).distance_to(ep_engine.objects.vertex_of(pair[1]))
+        assert lb - 1e-6 <= exact <= ub + 1e-6
+
+    def test_two_objects(self, bh_mesh):
+        objects = ObjectSet(bh_mesh, [3, bh_mesh.num_vertices - 4])
+        from repro.msdn.msdn import MSDN
+        from repro.multires.dmtm import DMTM
+
+        pair, (lb, ub) = surface_closest_pair(
+            bh_mesh,
+            DMTM(bh_mesh),
+            MSDN(bh_mesh),
+            objects,
+            ResolutionSchedule.preset(2),
+        )
+        assert pair == (0, 1)
+        assert 0 < lb <= ub
+
+    def test_single_object_rejected(self, bh_mesh):
+        from repro.msdn.msdn import MSDN
+        from repro.multires.dmtm import DMTM
+
+        with pytest.raises(QueryError):
+            surface_closest_pair(
+                bh_mesh,
+                DMTM(bh_mesh),
+                MSDN(bh_mesh),
+                ObjectSet(bh_mesh, [3]),
+                ResolutionSchedule.preset(2),
+            )

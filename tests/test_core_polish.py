@@ -1,0 +1,53 @@
+"""Tests for the final Kanai-Suzuki polish pass of the ranker."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import DistanceRanker, RankerOptions
+from repro.core.schedule import ResolutionSchedule
+from repro.geodesic.exact import ExactGeodesic
+
+
+def run_rank(engine, qv, k, **opts):
+    ranker = DistanceRanker(
+        engine.mesh,
+        engine.dmtm,
+        engine.msdn,
+        ResolutionSchedule.preset(1),
+        RankerOptions(**opts),
+    )
+    cands = ranker.make_candidates(range(len(engine.objects)), engine.objects)
+    out = ranker.rank(qv, cands, k)
+    return out, cands
+
+
+class TestFinalPolish:
+    def test_polish_tightens_boundary_ubs(self, small_engine):
+        qv = small_engine.snap(600.0, 1200.0)
+        with_polish, cands_p = run_rank(small_engine, qv, 4, final_polish=True)
+        without, cands_n = run_rank(small_engine, qv, 4, final_polish=False)
+        width_p = sum(c.ub - c.lb for c in with_polish.winners)
+        width_n = sum(c.ub - c.lb for c in without.winners)
+        assert width_p <= width_n + 1e-9
+
+    def test_polished_ubs_remain_valid(self, small_engine):
+        qv = small_engine.snap(600.0, 1200.0)
+        out, cands = run_rank(small_engine, qv, 4, final_polish=True)
+        geo = ExactGeodesic(small_engine.mesh, qv)
+        for cand in cands:
+            if np.isfinite(cand.ub):
+                ds = geo.distance_to(cand.vertex)
+                assert cand.ub >= ds - 1e-6
+                assert cand.lb <= ds + 1e-6
+
+    def test_polish_within_tolerance_of_exact(self, small_engine):
+        """After polishing, every winner's ub is within ~tolerance of
+        its true surface distance."""
+        qv = small_engine.snap(600.0, 1200.0)
+        out, _cands = run_rank(
+            small_engine, qv, 4, final_polish=True, polish_tolerance=0.02
+        )
+        geo = ExactGeodesic(small_engine.mesh, qv)
+        for cand in out.winners:
+            ds = geo.distance_to(cand.vertex)
+            assert cand.ub <= ds * 1.10  # selective refinement slack

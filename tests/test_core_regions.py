@@ -1,0 +1,78 @@
+"""Unit tests for I/O region integration."""
+
+import pytest
+
+from repro.core.regions import integrate_io_regions
+from repro.errors import QueryError
+from repro.geometry.primitives import BoundingBox
+
+
+def box(lo, hi):
+    return BoundingBox(tuple(lo), tuple(hi))
+
+
+class TestIntegration:
+    def test_disjoint_untouched(self):
+        regions = [box((0, 0), (1, 1)), box((5, 5), (6, 6))]
+        merged, assign = integrate_io_regions(regions)
+        assert len(merged) == 2
+        assert assign == [0, 1]
+
+    def test_heavy_overlap_merged(self):
+        regions = [box((0, 0), (10, 10)), box((0.5, 0.5), (10.5, 10.5))]
+        merged, assign = integrate_io_regions(regions, threshold=0.8)
+        assert len(merged) == 1
+        assert assign == [0, 0]
+        assert merged[0].contains_box(regions[0])
+        assert merged[0].contains_box(regions[1])
+
+    def test_light_overlap_not_merged(self):
+        regions = [box((0, 0), (10, 10)), box((9, 9), (19, 19))]
+        merged, _assign = integrate_io_regions(regions, threshold=0.8)
+        assert len(merged) == 2
+
+    def test_contained_region_merged(self):
+        regions = [box((0, 0), (10, 10)), box((2, 2), (4, 4))]
+        merged, assign = integrate_io_regions(regions)
+        assert len(merged) == 1
+        assert assign == [0, 0]
+
+    def test_cascade_merge(self):
+        """Chained overlaps collapse to one region through the
+        fixed-point pass."""
+        regions = [
+            box((0, 0), (10, 10)),
+            box((1, 1), (11, 11)),
+            box((2, 2), (12, 12)),
+        ]
+        merged, assign = integrate_io_regions(regions, threshold=0.7)
+        assert len(merged) == 1
+        assert assign == [0, 0, 0]
+
+    def test_threshold_above_one_disables(self):
+        regions = [box((0, 0), (10, 10)), box((0, 0), (10, 10))]
+        merged, _assign = integrate_io_regions(regions, threshold=1.5)
+        assert len(merged) == 2
+
+    def test_identical_regions_merge(self):
+        regions = [box((0, 0), (10, 10))] * 3
+        merged, assign = integrate_io_regions(regions)
+        assert len(merged) == 1
+        assert assign == [0, 0, 0]
+
+    def test_bad_threshold(self):
+        with pytest.raises(QueryError):
+            integrate_io_regions([], threshold=0.0)
+
+    def test_empty_input(self):
+        merged, assign = integrate_io_regions([])
+        assert merged == [] and assign == []
+
+    def test_assignment_covers_inputs(self):
+        regions = [
+            box((i, 0), (i + 5.0, 5.0)) for i in range(0, 20, 2)
+        ]
+        merged, assign = integrate_io_regions(regions, threshold=0.6)
+        assert len(assign) == len(regions)
+        for i, gid in enumerate(assign):
+            assert merged[gid].contains_box(regions[i])

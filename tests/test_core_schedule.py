@@ -1,0 +1,68 @@
+"""Unit tests for resolution schedules."""
+
+import pytest
+
+from repro.core.schedule import ResolutionSchedule
+from repro.errors import QueryError
+from repro.multires.dmtm import RESOLUTION_PATHNET
+
+
+class TestPresets:
+    def test_s1_levels(self):
+        s = ResolutionSchedule.preset(1)
+        assert s.dmtm_levels == (0.005, 0.25, 0.5, 0.75, 1.0, RESOLUTION_PATHNET)
+        assert s.msdn_levels == (0.25, 0.375, 0.5, 0.75, 1.0)
+        assert len(s) == 6
+
+    def test_s2_and_s3_shorter(self):
+        assert len(ResolutionSchedule.preset(2)) < len(ResolutionSchedule.preset(1))
+        assert len(ResolutionSchedule.preset(3)) < len(ResolutionSchedule.preset(2))
+
+    def test_ea_has_no_coarse_levels(self):
+        s = ResolutionSchedule.preset("ea")
+        assert s.dmtm_levels[0] == 1.0
+        assert s.msdn_levels == (1.0,)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            ResolutionSchedule.preset(7)
+
+    def test_all_presets_end_at_pathnet(self):
+        for key in (1, 2, 3, "ea"):
+            s = ResolutionSchedule.preset(key)
+            assert s.dmtm_levels[-1] == RESOLUTION_PATHNET
+
+
+class TestLevels:
+    def test_saturation(self):
+        s = ResolutionSchedule.preset(1)
+        # MSDN ladder is shorter: last iteration repeats its last level.
+        dmtm, msdn = s.level(5)
+        assert dmtm == RESOLUTION_PATHNET
+        assert msdn == 1.0
+
+    def test_pairs_iterate_in_order(self):
+        s = ResolutionSchedule.preset(2)
+        pairs = list(s.levels())
+        assert pairs[0] == (0.005, 0.25)
+        assert pairs[-1] == (RESOLUTION_PATHNET, 1.0)
+
+    def test_out_of_range(self):
+        s = ResolutionSchedule.preset(3)
+        with pytest.raises(QueryError):
+            s.level(len(s))
+
+
+class TestCustom:
+    def test_custom_ok(self):
+        s = ResolutionSchedule.custom([0.1, 1.0], [0.5, 1.0], name="mine")
+        assert s.name == "mine"
+        assert len(s) == 2
+
+    def test_custom_must_ascend(self):
+        with pytest.raises(QueryError):
+            ResolutionSchedule.custom([1.0, 0.5], [0.5, 1.0])
+
+    def test_custom_nonempty(self):
+        with pytest.raises(QueryError):
+            ResolutionSchedule.custom([], [1.0])

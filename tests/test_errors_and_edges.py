@@ -1,0 +1,116 @@
+"""Edge cases and error paths across modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import DistanceInterval
+from repro.errors import (
+    GeodesicError,
+    GeometryError,
+    MeshError,
+    MultiresError,
+    QueryError,
+    StorageError,
+    SurfKnnError,
+    TerrainError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GeometryError, MeshError, TerrainError, StorageError,
+         MultiresError, QueryError, GeodesicError],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, SurfKnnError)
+        with pytest.raises(SurfKnnError):
+            raise exc("boom")
+
+
+class TestDmtmEdges:
+    def test_path_region_unknown_key(self, request):
+        from repro.multires.dmtm import DMTM
+
+        mesh = request.getfixturevalue("flat_mesh")
+        dmtm = DMTM(mesh)
+        with pytest.raises(MultiresError):
+            dmtm.path_region([("x", 1)])
+
+    def test_pathnet_resolution_constant(self):
+        from repro.multires.dmtm import RESOLUTION_PATHNET
+
+        assert RESOLUTION_PATHNET == 2.0
+
+
+class TestMsdnEdges:
+    def test_corridor_with_unknown_keys(self, request):
+        from repro.msdn.msdn import MSDN
+
+        mesh = request.getfixturevalue("flat_mesh")
+        msdn = MSDN(mesh)
+        boxes = msdn.corridor_from_path([("c", 9, 9, 9, 9)], 1.0)
+        assert boxes == []  # unknown keys silently yield no corridor
+
+    def test_flat_terrain_lower_bound_is_euclid(self, request):
+        """On a flat terrain the surface distance IS the Euclidean
+        distance, so the lower bound must equal it."""
+        from repro.msdn.msdn import MSDN
+
+        mesh = request.getfixturevalue("flat_mesh")
+        msdn = MSDN(mesh)
+        a, b = 0, mesh.num_vertices - 1
+        pa, pb = mesh.vertices[a], mesh.vertices[b]
+        lb = msdn.lower_bound(pa, pb, 1.0).value
+        euclid = float(np.linalg.norm(pa - pb))
+        assert lb == pytest.approx(euclid, rel=1e-6)
+
+
+class TestIntervalProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["lb", "ub"]),
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_refinement_sequences_stay_consistent(self, ops):
+        """Any refinement sequence keeps lb <= ub (or raises cleanly)
+        and both monotone."""
+        iv = DistanceInterval()
+        prev_lb, prev_ub = iv.lb, iv.ub
+        for kind, value in ops:
+            try:
+                if kind == "lb":
+                    iv.refine_lb(value)
+                else:
+                    iv.refine_ub(value)
+            except QueryError:
+                return  # inverted request rejected: fine
+            assert iv.lb >= prev_lb
+            assert iv.ub <= prev_ub
+            assert iv.lb <= iv.ub * (1 + 1e-9) + 1e-9
+            prev_lb, prev_ub = iv.lb, iv.ub
+
+
+class TestFlatTerrainEndToEnd:
+    def test_flat_knn_equals_euclid_knn(self, request):
+        """On flat ground surface k-NN must equal Euclidean k-NN."""
+        from repro.core.engine import SurfaceKNNEngine
+
+        mesh = request.getfixturevalue("flat_mesh")
+        engine = SurfaceKNNEngine(mesh, density=30.0, seed=2, with_storage=False)
+        qv = mesh.nearest_vertex(mesh.xy_bounds().center)
+        res = engine.query(qv, 4, step_length=2)
+        q = mesh.vertices[qv]
+        dists = np.linalg.norm(engine.objects.positions - q, axis=1)
+        want = set(np.argsort(dists, kind="stable")[:4])
+        # Ties in a symmetric grid are possible: compare distances.
+        got_d = sorted(float(dists[o]) for o in res.object_ids)
+        want_d = sorted(float(dists[int(o)]) for o in want)
+        assert got_d == pytest.approx(want_d, rel=1e-6)

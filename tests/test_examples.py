@@ -1,0 +1,53 @@
+"""The examples are part of the public contract: each must run to
+completion and print its key sections (smoke tests, CI-sized)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "MR3 found 5 neighbours" in out
+        assert "exact baseline" in out
+        assert "result sets agree: True" in out
+
+    def test_wildlife_tracking(self):
+        out = run_example("wildlife_tracking.py")
+        assert "assigning sightings to groups" in out
+        assert "minimum average ground speed" in out
+
+    def test_rover_mission(self):
+        out = run_example("rover_mission.py")
+        assert "nearest science targets" in out
+        assert "slope limit" in out
+        assert "good enough" in out or "ladder exhausted" in out
+
+    def test_multires_terrain(self):
+        out = run_example("multires_terrain.py")
+        assert "LOD 100%" in out
+        assert "LOD 5%" in out
+        assert "ub at" in out
+
+    def test_herd_analytics(self):
+        out = run_example("herd_analytics.py")
+        assert "walking distance of the" in out
+        assert "closest den pair" in out

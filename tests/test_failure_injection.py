@@ -1,0 +1,107 @@
+"""Failure injection: corrupted storage, hostile inputs, resource
+limits.  A library is judged by how it fails, not only how it works."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GeodesicError,
+    MeshError,
+    MultiresError,
+    StorageError,
+    TerrainError,
+)
+from repro.storage.pages import PageManager
+from repro.storage.records import pack_page, unpack_page
+
+
+class TestCorruptStorage:
+    def test_truncated_page_detected(self):
+        page = pack_page([b"hello", b"world"], page_size=256)
+        with pytest.raises(struct.error):
+            unpack_page(page[:5])
+
+    def test_record_count_mismatch(self):
+        # A page claiming more records than it holds must not return
+        # phantom data silently.
+        bogus = struct.pack("<H", 3) + struct.pack("<H", 1) + b"x"
+        with pytest.raises(struct.error):
+            unpack_page(bogus)
+
+    def test_reading_unallocated_page(self):
+        pm = PageManager()
+        with pytest.raises(StorageError):
+            pm.read(0)
+
+    def test_corrupt_ddm_file(self, tmp_path):
+        from repro.multires.persist import load_history, save_history
+        from repro.simplification.collapse import build_collapse_history
+        from repro.terrain.mesh import TriangleMesh
+        from repro.terrain.synthetic import fractal_dem
+
+        mesh = TriangleMesh.from_dem(fractal_dem(size=5, seed=1))
+        history = build_collapse_history(mesh)
+        path = tmp_path / "ddm.bin"
+        save_history(history, path)
+        # Truncate mid-node.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises((MultiresError, struct.error)):
+            load_history(path)
+
+
+class TestHostileMeshes:
+    def test_non_manifold_rejected(self):
+        from repro.terrain.mesh import TriangleMesh
+
+        # Three faces share one edge.
+        v = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, -1, 1], [1, 1, 1]],
+            dtype=float,
+        )
+        f = np.array([[0, 1, 2], [0, 1, 3], [0, 1, 4]])
+        with pytest.raises(MeshError):
+            TriangleMesh(v, f)
+
+    def test_nan_vertices_rejected(self):
+        from repro.terrain.mesh import TriangleMesh
+
+        v = np.array([[0, 0, 0], [1, 0, np.nan], [0, 1, 0]], dtype=float)
+        with pytest.raises(MeshError):
+            TriangleMesh(v, np.array([[0, 1, 2]]))
+
+    def test_disconnected_terrain_rejected_by_ddm(self):
+        from repro.multires.ddm import DistanceDirectMesh
+        from repro.terrain.mesh import TriangleMesh
+
+        # Two islands: collapse cannot reach a single root.
+        v = np.array(
+            [
+                [0, 0, 0], [1, 0, 0], [0, 1, 0],
+                [10, 10, 0], [11, 10, 0], [10, 11, 0],
+            ],
+            dtype=float,
+        )
+        f = np.array([[0, 1, 2], [3, 4, 5]])
+        mesh = TriangleMesh(v, f)
+        with pytest.raises(MultiresError):
+            DistanceDirectMesh(mesh)
+
+
+class TestResourceLimits:
+    def test_geodesic_window_budget_enforced(self, rough_mesh):
+        from repro.geodesic.exact import ExactGeodesic
+
+        geo = ExactGeodesic(rough_mesh, 0, max_windows=5)
+        with pytest.raises(GeodesicError):
+            geo.distance_to(rough_mesh.num_vertices - 1)
+
+    def test_dem_rejects_inf(self):
+        from repro.terrain.dem import DemGrid
+
+        h = np.zeros((3, 3))
+        h[2, 2] = np.inf
+        with pytest.raises(TerrainError):
+            DemGrid(h, 1.0)

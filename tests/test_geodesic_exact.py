@@ -1,0 +1,126 @@
+"""Tests for the exact window-propagation geodesic.
+
+Validation strategy (all cases have independent ground truth):
+
+* flat and tilted planes — geodesic = 3D Euclidean distance;
+* the unit cube — classic unfolding distances are known analytically;
+* rugged terrain — exact <= every pathnet/network distance, >= the
+  Euclidean distance, and converging pathnets approach it from above.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeodesicError
+from repro.geodesic.exact import ExactGeodesic, exact_surface_distance
+from repro.geodesic.pathnet import pathnet_distance
+
+
+class TestFlatSurfaces:
+    def test_flat_equals_euclid(self, flat_mesh):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            a, b = rng.integers(0, flat_mesh.num_vertices, size=2)
+            if a == b:
+                continue
+            want = float(np.linalg.norm(flat_mesh.vertices[a] - flat_mesh.vertices[b]))
+            got = exact_surface_distance(flat_mesh, int(a), int(b))
+            assert got == pytest.approx(want, rel=1e-9)
+
+    def test_tilted_plane_equals_euclid(self, tilted_mesh):
+        a, b = 0, tilted_mesh.num_vertices - 1
+        want = float(
+            np.linalg.norm(tilted_mesh.vertices[a] - tilted_mesh.vertices[b])
+        )
+        got = exact_surface_distance(tilted_mesh, a, b)
+        assert got == pytest.approx(want, rel=1e-9)
+
+    def test_adjacent_vertices(self, flat_mesh):
+        u = 0
+        w = flat_mesh.vertex_neighbors[0][0]
+        got = exact_surface_distance(flat_mesh, u, w)
+        assert got == pytest.approx(flat_mesh.edge_length(u, w), rel=1e-9)
+
+
+class TestCube:
+    def test_adjacent_corner(self, cube_mesh):
+        # (0,0,0) -> (1,0,0): along the edge.
+        assert exact_surface_distance(cube_mesh, 0, 1) == pytest.approx(1.0)
+
+    def test_face_diagonal(self, cube_mesh):
+        # (0,0,0) -> (1,1,0): diagonal across the bottom face.
+        assert exact_surface_distance(cube_mesh, 0, 2) == pytest.approx(
+            math.sqrt(2.0), rel=1e-9
+        )
+
+    def test_opposite_corner(self, cube_mesh):
+        # (0,0,0) -> (1,1,1): unfold two faces, sqrt(1^2 + 2^2).
+        assert exact_surface_distance(cube_mesh, 0, 6) == pytest.approx(
+            math.sqrt(5.0), rel=1e-6
+        )
+
+    def test_symmetry(self, cube_mesh):
+        d1 = exact_surface_distance(cube_mesh, 0, 6)
+        d2 = exact_surface_distance(cube_mesh, 6, 0)
+        assert d1 == pytest.approx(d2, rel=1e-9)
+
+
+class TestRuggedTerrain:
+    def test_bracketed_by_euclid_and_network(self, rough_mesh):
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            a, b = rng.integers(0, rough_mesh.num_vertices, size=2)
+            if a == b:
+                continue
+            a, b = int(a), int(b)
+            ds = exact_surface_distance(rough_mesh, a, b)
+            de = float(np.linalg.norm(rough_mesh.vertices[a] - rough_mesh.vertices[b]))
+            dn = pathnet_distance(rough_mesh, a, b, steiner_per_edge=0)
+            assert de - 1e-9 <= ds <= dn + 1e-9
+
+    def test_pathnet_converges_from_above(self, rough_mesh):
+        a, b = 3, rough_mesh.num_vertices - 4
+        ds = exact_surface_distance(rough_mesh, a, b)
+        previous = float("inf")
+        for steiner in (0, 1, 3):
+            dp = pathnet_distance(rough_mesh, a, b, steiner_per_edge=steiner)
+            assert ds <= dp + 1e-9
+            assert dp <= previous + 1e-9
+            previous = dp
+        # With 3 Steiner points per edge the gap should be small.
+        assert previous <= ds * 1.05
+
+    def test_distances_all_vertices(self, rough_mesh):
+        geo = ExactGeodesic(rough_mesh, 0)
+        dist = geo.distances()
+        assert dist.shape == (rough_mesh.num_vertices,)
+        assert dist[0] == 0.0
+        assert np.all(np.isfinite(dist))
+        # Triangle inequality against one-hop neighbours.
+        for w in rough_mesh.vertex_neighbors[0]:
+            assert dist[w] <= rough_mesh.edge_length(0, w) + 1e-9
+
+
+class TestApiErrors:
+    def test_bad_source(self, flat_mesh):
+        with pytest.raises(GeodesicError):
+            ExactGeodesic(flat_mesh, -1)
+
+    def test_bad_target(self, flat_mesh):
+        geo = ExactGeodesic(flat_mesh, 0)
+        with pytest.raises(GeodesicError):
+            geo.distance_to(flat_mesh.num_vertices)
+
+    def test_window_budget(self, rough_mesh):
+        with pytest.raises(GeodesicError):
+            exact_surface_distance(
+                rough_mesh, 0, rough_mesh.num_vertices - 1, max_windows=10
+            )
+
+    def test_lazy_reuse(self, rough_mesh):
+        geo = ExactGeodesic(rough_mesh, 5)
+        d1 = geo.distance_to(20)
+        d2 = geo.distance_to(20)
+        assert d1 == d2

@@ -1,0 +1,62 @@
+"""Unit tests for KeyedGraph."""
+
+import pytest
+
+from repro.errors import GeodesicError
+from repro.geodesic.dijkstra import dijkstra
+from repro.geodesic.graph import KeyedGraph
+
+
+class TestKeyedGraph:
+    def test_add_node_idempotent(self):
+        g = KeyedGraph()
+        a = g.add_node("a")
+        assert g.add_node("a") == a
+        assert len(g) == 1
+
+    def test_contains(self):
+        g = KeyedGraph()
+        g.add_node(("v", 1))
+        assert ("v", 1) in g
+        assert ("v", 2) not in g
+
+    def test_add_edge_creates_nodes(self):
+        g = KeyedGraph()
+        g.add_edge("x", "y", 2.0)
+        assert len(g) == 2
+        assert g.num_edges() == 1
+
+    def test_self_loop_ignored(self):
+        g = KeyedGraph()
+        g.add_edge("x", "x", 1.0)
+        assert g.num_edges() == 0
+
+    def test_negative_weight_rejected(self):
+        g = KeyedGraph()
+        with pytest.raises(GeodesicError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_unknown_key_rejected(self):
+        g = KeyedGraph()
+        with pytest.raises(GeodesicError):
+            g.node_id("missing")
+
+    def test_key_roundtrip(self):
+        g = KeyedGraph()
+        nid = g.add_node(("s", 3, 1))
+        assert g.key_of(nid) == ("s", 3, 1)
+
+    def test_dijkstra_over_keyed_graph(self):
+        g = KeyedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        g.add_edge("a", "c", 10.0)
+        dist = dijkstra(g.adjacency, g.node_id("a"))
+        assert dist[g.node_id("c")] == pytest.approx(3.0)
+
+    def test_degree(self):
+        g = KeyedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "c", 1.0)
+        assert g.degree("a") == 2
+        assert g.degree("b") == 1

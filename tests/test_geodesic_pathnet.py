@@ -1,0 +1,92 @@
+"""Unit tests for pathnets (Steiner subdivision graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeodesicError
+from repro.geodesic.pathnet import (
+    build_pathnet,
+    pathnet_distance,
+    pathnet_shortest_path,
+    steiner_key,
+    vertex_key,
+)
+
+
+class TestConstruction:
+    def test_zero_steiner_contains_mesh_edges(self, flat_mesh):
+        g = build_pathnet(flat_mesh, steiner_per_edge=0)
+        assert len(g) == flat_mesh.num_vertices
+        # Every mesh edge exists with its length.
+        for eid in range(0, flat_mesh.num_edges, 11):
+            u, w = flat_mesh.edge_vertices[eid]
+            d = pathnet_distance(flat_mesh, int(u), int(w), steiner_per_edge=0)
+            assert d <= flat_mesh.edge_lengths[eid] + 1e-9
+
+    def test_steiner_node_count(self, flat_mesh):
+        g = build_pathnet(flat_mesh, steiner_per_edge=1)
+        assert len(g) == flat_mesh.num_vertices + flat_mesh.num_edges
+
+    def test_negative_steiner_rejected(self, flat_mesh):
+        with pytest.raises(GeodesicError):
+            build_pathnet(flat_mesh, steiner_per_edge=-1)
+
+    def test_restricted_faces(self, rough_mesh):
+        faces = np.arange(10)
+        g = build_pathnet(rough_mesh, steiner_per_edge=1, faces=faces)
+        full = build_pathnet(rough_mesh, steiner_per_edge=1)
+        assert len(g) < len(full)
+
+
+class TestDistances:
+    def test_flat_steiner_improves_over_edges(self, flat_mesh):
+        # On a flat grid, cutting across faces shortens paths compared
+        # to edge-only routes for non-axis-aligned pairs.
+        a = 0
+        b = flat_mesh.num_vertices - 2  # off-diagonal target
+        d0 = pathnet_distance(flat_mesh, a, b, steiner_per_edge=0)
+        d2 = pathnet_distance(flat_mesh, a, b, steiner_per_edge=2)
+        euclid = float(np.linalg.norm(flat_mesh.vertices[a] - flat_mesh.vertices[b]))
+        assert d2 <= d0 + 1e-9
+        assert d2 >= euclid - 1e-9
+
+    def test_distance_is_upper_bound_of_euclid(self, rough_mesh):
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            a, b = rng.integers(0, rough_mesh.num_vertices, size=2)
+            if a == b:
+                continue
+            d = pathnet_distance(rough_mesh, int(a), int(b), steiner_per_edge=1)
+            euclid = float(
+                np.linalg.norm(rough_mesh.vertices[a] - rough_mesh.vertices[b])
+            )
+            assert d >= euclid - 1e-9
+
+    def test_missing_vertex_in_region_raises(self, rough_mesh):
+        faces = np.arange(4)
+        far_vertex = rough_mesh.num_vertices - 1
+        with pytest.raises(GeodesicError):
+            pathnet_distance(
+                rough_mesh, 0, far_vertex, steiner_per_edge=1, faces=faces
+            )
+
+
+class TestPaths:
+    def test_path_endpoints_and_keys(self, rough_mesh):
+        a, b = 2, rough_mesh.num_vertices - 3
+        d, keys = pathnet_shortest_path(rough_mesh, a, b, steiner_per_edge=1)
+        assert keys[0] == vertex_key(a)
+        assert keys[-1] == vertex_key(b)
+        for key in keys:
+            assert key[0] in ("v", "s")
+
+    def test_path_length_consistent(self, rough_mesh):
+        a, b = 1, rough_mesh.num_vertices // 2
+        d, keys = pathnet_shortest_path(rough_mesh, a, b, steiner_per_edge=1)
+        assert d == pytest.approx(
+            pathnet_distance(rough_mesh, a, b, steiner_per_edge=1)
+        )
+
+    def test_key_helpers(self):
+        assert vertex_key(3) == ("v", 3)
+        assert steiner_key(7, 2) == ("s", 7, 2)

@@ -1,0 +1,84 @@
+"""Numerical stress tests for the exact geodesic: thin triangles,
+extreme aspect ratios, cliffs."""
+
+import numpy as np
+import pytest
+
+from repro.geodesic.exact import ExactGeodesic, exact_surface_distance
+from repro.geodesic.pathnet import pathnet_distance
+from repro.terrain.dem import DemGrid
+from repro.terrain.mesh import TriangleMesh
+
+
+def bracket_ok(mesh, a, b):
+    ds = exact_surface_distance(mesh, a, b)
+    de = float(np.linalg.norm(mesh.vertices[a] - mesh.vertices[b]))
+    dn = pathnet_distance(mesh, a, b, steiner_per_edge=0)
+    assert de - 1e-6 <= ds <= dn + 1e-6
+    return ds
+
+
+class TestThinTriangles:
+    def test_anisotropic_grid(self):
+        """Cells 50x stretched in y: very acute unfold angles."""
+        rng = np.random.default_rng(3)
+        heights = rng.uniform(0, 30.0, size=(6, 30))
+        dem = DemGrid(heights, cell_size=10.0)
+        # Stretch y by scaling vertex coordinates after triangulation.
+        mesh = TriangleMesh.from_dem(dem)
+        v = mesh.vertices.copy()
+        v[:, 1] *= 50.0
+        mesh = TriangleMesh(v, mesh.faces)
+        bracket_ok(mesh, 0, mesh.num_vertices - 1)
+        bracket_ok(mesh, 3, mesh.num_vertices - 7)
+
+    def test_needle_fan(self):
+        """A fan of needle triangles around a hub."""
+        hub = np.array([[0.0, 0.0, 0.0]])
+        angles = np.linspace(0.0, np.pi / 16, 12)
+        rim = np.column_stack(
+            [np.cos(angles) * 100.0, np.sin(angles) * 100.0, np.zeros(12)]
+        )
+        vertices = np.vstack([hub, rim])
+        faces = np.array([[0, i, i + 1] for i in range(1, 12)])
+        mesh = TriangleMesh(vertices, faces)
+        # Planar fan: geodesic hub->rim = straight distance.
+        d = exact_surface_distance(mesh, 0, 6)
+        assert d == pytest.approx(100.0, rel=1e-9)
+        # Rim to rim along the fan.
+        d = exact_surface_distance(mesh, 1, 12)
+        want = float(np.linalg.norm(vertices[1] - vertices[12]))
+        assert d == pytest.approx(want, rel=1e-9)
+
+
+class TestCliffs:
+    def test_step_cliff(self):
+        """A sheer 500 m cliff through the middle of the terrain."""
+        heights = np.zeros((9, 9))
+        heights[:, 5:] = 500.0
+        mesh = TriangleMesh.from_dem(DemGrid(heights, cell_size=90.0))
+        a = 4 * 9 + 0  # west side, mid row
+        b = 4 * 9 + 8  # east side, mid row
+        ds = bracket_ok(mesh, a, b)
+        # Must climb the cliff: strictly longer than the flat crossing.
+        flat = 8 * 90.0
+        assert ds > flat * 1.05
+
+    def test_spike(self):
+        """A single huge spike between two points: the geodesic walks
+        around it rather than over the top."""
+        heights = np.zeros((9, 9))
+        heights[4, 4] = 2000.0
+        mesh = TriangleMesh.from_dem(DemGrid(heights, cell_size=90.0))
+        a = 4 * 9 + 2
+        b = 4 * 9 + 6
+        ds = bracket_ok(mesh, a, b)
+        over_the_top = 2 * np.hypot(2 * 90.0, 2000.0)
+        assert ds < over_the_top  # found a route around
+
+    def test_full_distances_finite_on_cliff(self):
+        heights = np.zeros((7, 7))
+        heights[:, 3] = 800.0
+        mesh = TriangleMesh.from_dem(DemGrid(heights, cell_size=90.0))
+        dist = ExactGeodesic(mesh, 0).distances()
+        assert np.all(np.isfinite(dist))

@@ -1,0 +1,62 @@
+"""Unit tests for the ellipse search region."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.ellipse import EllipseRegion
+
+
+class TestEllipseRegion:
+    def test_circle_when_foci_coincide(self):
+        e = EllipseRegion((0, 0), (0, 0), 4.0)
+        assert e.semi_major == pytest.approx(2.0)
+        assert e.semi_minor == pytest.approx(2.0)
+        assert e.contains((1.9, 0.0))
+        assert not e.contains((2.1, 0.0))
+
+    def test_contains_foci(self):
+        e = EllipseRegion((0, 0), (3, 0), 5.0)
+        assert e.contains((0, 0))
+        assert e.contains((3, 0))
+
+    def test_boundary_point(self):
+        # Major axis endpoints: distance sum equals the constant.
+        e = EllipseRegion((-1, 0), (1, 0), 4.0)
+        assert e.contains((2.0, 0.0))
+        assert not e.contains((2.01, 0.0))
+
+    def test_constant_clamped_to_focal_distance(self):
+        e = EllipseRegion((0, 0), (3, 0), 1.0)
+        assert e.constant == pytest.approx(3.0)
+
+    def test_mbr_axis_aligned(self):
+        e = EllipseRegion((-1, 0), (1, 0), 4.0)  # a=2, b=sqrt(3)
+        m = e.mbr()
+        assert m.lo[0] == pytest.approx(-2.0)
+        assert m.hi[0] == pytest.approx(2.0)
+        assert m.hi[1] == pytest.approx(np.sqrt(3.0))
+
+    def test_mbr_rotated_contains_samples(self):
+        e = EllipseRegion((1, 1), (4, 5), 7.0)
+        m = e.mbr()
+        # Sample boundary: all inside points must be inside the MBR.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p = rng.uniform(-5, 12, size=2)
+            if e.contains(p):
+                assert m.contains_point(p)
+
+    def test_shrink_to(self):
+        e = EllipseRegion((0, 0), (2, 0), 6.0)
+        s = e.shrink_to(4.0)
+        assert s.constant == pytest.approx(4.0)
+
+    def test_grow_rejected(self):
+        e = EllipseRegion((0, 0), (2, 0), 4.0)
+        with pytest.raises(GeometryError):
+            e.shrink_to(5.0)
+
+    def test_contains_uses_xy_only(self):
+        e = EllipseRegion((0, 0), (2, 0), 4.0)
+        assert e.contains((1.0, 0.0, 999.0))

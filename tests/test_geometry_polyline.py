@@ -1,0 +1,87 @@
+"""Unit tests for polylines and MBR-enclosing simplification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.polyline import Polyline, simplify_with_enclosure
+
+
+def zigzag(n: int) -> Polyline:
+    pts = np.array([[i, i % 2, (i * 7) % 3] for i in range(n)], dtype=float)
+    return Polyline(pts)
+
+
+class TestPolyline:
+    def test_too_few_points_rejected(self):
+        with pytest.raises(GeometryError):
+            Polyline(np.array([[0.0, 0.0, 0.0]]))
+
+    def test_counts(self):
+        line = zigzag(5)
+        assert line.num_points == 5
+        assert line.num_segments == 4
+
+    def test_length(self):
+        line = Polyline(np.array([[0, 0, 0], [3, 4, 0], [3, 4, 2]], dtype=float))
+        assert line.length() == pytest.approx(7.0)
+
+    def test_segment_mbr(self):
+        line = zigzag(4)
+        m = line.segment_mbr(0)
+        assert m.lo[0] == 0.0
+        assert m.hi[0] == 1.0
+
+    def test_segment_mbr_out_of_range(self):
+        with pytest.raises(GeometryError):
+            zigzag(3).segment_mbr(2)
+
+    def test_mbr_covers_all_points(self):
+        line = zigzag(10)
+        m = line.mbr()
+        for p in line.points:
+            assert m.contains_point(p)
+
+
+class TestSimplifyWithEnclosure:
+    def test_full_resolution_is_identity(self):
+        line = zigzag(9)
+        chunks = simplify_with_enclosure(line, 1.0)
+        assert len(chunks) == line.num_segments
+        for i, c in enumerate(chunks):
+            assert (c.first, c.last) == (i, i)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(GeometryError):
+            simplify_with_enclosure(zigzag(5), 0.0)
+        with pytest.raises(GeometryError):
+            simplify_with_enclosure(zigzag(5), 1.5)
+
+    def test_chunk_count_tracks_resolution(self):
+        line = zigzag(41)  # 40 segments
+        assert len(simplify_with_enclosure(line, 0.5)) == 20
+        assert len(simplify_with_enclosure(line, 0.25)) == 10
+
+    def test_chunks_partition_segments(self):
+        line = zigzag(17)
+        for res in (0.25, 0.375, 0.5, 0.75, 1.0):
+            chunks = simplify_with_enclosure(line, res)
+            covered = []
+            for c in chunks:
+                covered.extend(range(c.first, c.last + 1))
+            assert covered == list(range(line.num_segments))
+
+    def test_enclosure_property(self):
+        """The paper's key requirement: every chunk MBR encloses the
+        MBRs of the original segments it replaces."""
+        line = zigzag(23)
+        for res in (0.25, 0.5, 0.75):
+            for chunk in simplify_with_enclosure(line, res):
+                for seg in range(chunk.first, chunk.last + 1):
+                    assert chunk.mbr.contains_box(line.segment_mbr(seg))
+
+    def test_single_chunk_floor(self):
+        line = zigzag(3)
+        chunks = simplify_with_enclosure(line, 0.01)
+        assert len(chunks) == 1
+        assert chunks[0].segment_count == line.num_segments

@@ -1,0 +1,103 @@
+"""Unit tests for triangle geometry and planar unfolding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.triangle import (
+    barycentric_2d,
+    point_in_triangle_2d,
+    triangle_area,
+    unfold_triangle,
+)
+
+
+class TestTriangleArea:
+    def test_right_triangle_2d(self):
+        assert triangle_area((0, 0), (2, 0), (0, 2)) == pytest.approx(2.0)
+
+    def test_right_triangle_3d(self):
+        assert triangle_area((0, 0, 0), (2, 0, 0), (0, 2, 0)) == pytest.approx(2.0)
+
+    def test_degenerate_zero(self):
+        assert triangle_area((0, 0), (1, 1), (2, 2)) == pytest.approx(0.0)
+
+    def test_orientation_independent(self):
+        a, b, c = (0, 0), (3, 1), (1, 4)
+        assert triangle_area(a, b, c) == pytest.approx(triangle_area(a, c, b))
+
+
+class TestBarycentric:
+    def test_vertices(self):
+        a, b, c = (0, 0), (1, 0), (0, 1)
+        assert barycentric_2d(a, a, b, c) == pytest.approx((1, 0, 0))
+        assert barycentric_2d(b, a, b, c) == pytest.approx((0, 1, 0))
+        assert barycentric_2d(c, a, b, c) == pytest.approx((0, 0, 1))
+
+    def test_centroid(self):
+        a, b, c = (0, 0), (3, 0), (0, 3)
+        w = barycentric_2d((1, 1), a, b, c)
+        assert w == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+
+    def test_sums_to_one(self):
+        w = barycentric_2d((0.3, 0.2), (0, 0), (2, 0.5), (0.5, 3))
+        assert sum(w) == pytest.approx(1.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            barycentric_2d((0, 0), (0, 0), (1, 1), (2, 2))
+
+
+class TestPointInTriangle:
+    def test_inside(self):
+        assert point_in_triangle_2d((0.2, 0.2), (0, 0), (1, 0), (0, 1))
+
+    def test_outside(self):
+        assert not point_in_triangle_2d((1, 1), (0, 0), (1, 0), (0, 1))
+
+    def test_on_edge(self):
+        assert point_in_triangle_2d((0.5, 0.0), (0, 0), (1, 0), (0, 1))
+
+    def test_degenerate_false(self):
+        assert not point_in_triangle_2d((0, 0), (0, 0), (1, 1), (2, 2))
+
+
+class TestUnfoldTriangle:
+    def test_equilateral(self):
+        apex = unfold_triangle((0.0, 0.0), (1.0, 0.0), 1.0, 1.0, side=1)
+        assert apex[0] == pytest.approx(0.5)
+        assert apex[1] == pytest.approx(math.sqrt(3) / 2)
+
+    def test_side_flip(self):
+        up = unfold_triangle((0.0, 0.0), (2.0, 0.0), 1.5, 1.5, side=1)
+        down = unfold_triangle((0.0, 0.0), (2.0, 0.0), 1.5, 1.5, side=-1)
+        assert up[1] == pytest.approx(-down[1])
+
+    def test_distances_preserved(self):
+        a2, b2 = np.array([1.0, 2.0]), np.array([4.0, 6.0])
+        d_a, d_b = 2.5, 4.2
+        apex = unfold_triangle(a2, b2, d_a, d_b)
+        assert np.linalg.norm(apex - a2) == pytest.approx(d_a, rel=1e-9)
+        assert np.linalg.norm(apex - b2) == pytest.approx(d_b, rel=1e-9)
+
+    def test_rotated_edge(self):
+        # Unfolding must work for an edge in general position.
+        a2 = np.array([3.0, -1.0])
+        b2 = a2 + np.array([math.cos(0.7), math.sin(0.7)]) * 2.0
+        apex = unfold_triangle(a2, b2, 1.7, 1.1)
+        assert np.linalg.norm(apex - a2) == pytest.approx(1.7, rel=1e-9)
+
+    def test_zero_edge_raises(self):
+        with pytest.raises(GeometryError):
+            unfold_triangle((1.0, 1.0), (1.0, 1.0), 1.0, 1.0)
+
+    def test_bad_side_raises(self):
+        with pytest.raises(GeometryError):
+            unfold_triangle((0, 0), (1, 0), 1.0, 1.0, side=0)
+
+    def test_triangle_inequality_clamped(self):
+        # d_a + d_b slightly below edge length: apex clamps onto the line.
+        apex = unfold_triangle((0.0, 0.0), (2.0, 0.0), 0.999, 0.999)
+        assert apex[1] == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.geometry.vectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.vectors import cross2d, dist, dist2d, norm, normalize
+
+
+class TestNorm:
+    def test_unit_axes(self):
+        assert norm([1.0, 0.0, 0.0]) == 1.0
+        assert norm([0.0, 2.0]) == 2.0
+
+    def test_pythagorean(self):
+        assert norm([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_batch(self):
+        out = norm(np.array([[3.0, 4.0], [0.0, 1.0]]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(5.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert norm([0.0, 0.0, 0.0]) == 0.0
+
+
+class TestDist:
+    def test_3d(self):
+        assert dist([0, 0, 0], [1, 2, 2]) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        a, b = [1.5, -2.0, 0.3], [0.0, 4.0, 9.0]
+        assert dist(a, b) == pytest.approx(dist(b, a))
+
+    def test_identity(self):
+        assert dist([7, 8, 9], [7, 8, 9]) == 0.0
+
+
+class TestDist2d:
+    def test_ignores_z(self):
+        assert dist2d([0, 0, 100.0], [3, 4, -50.0]) == pytest.approx(5.0)
+
+    def test_2d_inputs(self):
+        assert dist2d([0, 0], [1, 0]) == pytest.approx(1.0)
+
+    def test_never_exceeds_3d(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.normal(size=3), rng.normal(size=3)
+            assert dist2d(a, b) <= dist(a, b) + 1e-12
+
+
+class TestNormalize:
+    def test_length_one(self):
+        v = normalize([3.0, 4.0])
+        assert norm(v) == pytest.approx(1.0)
+
+    def test_direction_preserved(self):
+        v = normalize([0.0, 5.0])
+        assert v[1] == pytest.approx(1.0)
+
+    def test_zero_raises(self):
+        with pytest.raises(GeometryError):
+            normalize([0.0, 0.0])
+
+
+class TestCross2d:
+    def test_right_handed(self):
+        assert cross2d([1, 0], [0, 1]) == 1.0
+        assert cross2d([0, 1], [1, 0]) == -1.0
+
+    def test_parallel_is_zero(self):
+        assert cross2d([2, 3], [4, 6]) == pytest.approx(0.0)
+
+    def test_antisymmetry(self):
+        assert cross2d([1.2, 3.4], [5.6, 7.8]) == pytest.approx(
+            -cross2d([5.6, 7.8], [1.2, 3.4])
+        )

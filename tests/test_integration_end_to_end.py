@@ -1,0 +1,91 @@
+"""End-to-end integration: many queries, every method, one truth.
+
+These are the "does the whole pipeline answer the paper's query
+correctly" tests: MR3 (all step lengths), EA and the extensions are
+validated against exact geodesic ground truth over a grid of query
+points on both datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import exact_knn
+
+
+def check_agreement(engine, qv, k, method, step):
+    result = engine.query(qv, k, method=method, step_length=step)
+    truth = exact_knn(engine.mesh, engine.objects, qv, k)
+    want = {obj for obj, _d in truth}
+    got = set(result.object_ids)
+    if got == want:
+        return True
+    # Disagreements may only involve near-ties within the pathnet
+    # approximation tolerance.
+    all_truth = dict(
+        exact_knn(engine.mesh, engine.objects, qv, len(engine.objects))
+    )
+    kth = truth[-1][1]
+    return all(all_truth[obj] <= kth * 1.05 for obj in got - want)
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    @pytest.mark.parametrize("dataset", ["bh", "ep"])
+    def test_grid_of_queries(self, request, dataset):
+        engine = request.getfixturevalue(
+            "small_engine" if dataset == "bh" else "ep_engine"
+        )
+        bounds = engine.mesh.xy_bounds()
+        lo = np.asarray(bounds.lo)
+        hi = np.asarray(bounds.hi)
+        for fx in (0.3, 0.7):
+            for fy in (0.35, 0.65):
+                q = lo + np.array([fx, fy]) * (hi - lo)
+                qv = engine.snap(float(q[0]), float(q[1]))
+                for method, step in (("mr3", 1), ("mr3", 3), ("ea", 1)):
+                    assert check_agreement(engine, qv, 3, method, step), (
+                        dataset,
+                        qv,
+                        method,
+                        step,
+                    )
+
+    def test_determinism(self, small_engine):
+        qv = small_engine.snap(900.0, 1100.0)
+        first = small_engine.query(qv, 4, step_length=2)
+        second = small_engine.query(qv, 4, step_length=2)
+        assert first.object_ids == second.object_ids
+        assert first.intervals == second.intervals
+        assert (
+            first.metrics.pages_accessed == second.metrics.pages_accessed
+        )
+
+    def test_interval_width_shrinks_with_schedule_length(self, small_engine):
+        """s=1 (more levels) ends with intervals at least as tight as
+        s=3 (fewer levels) for the same query."""
+        qv = small_engine.snap(900.0, 1100.0)
+        fine = small_engine.query(qv, 3, step_length=1)
+        coarse = small_engine.query(qv, 3, step_length=3)
+        fine_width = sum(ub - lb for lb, ub in fine.intervals)
+        coarse_width = sum(ub - lb for lb, ub in coarse.intervals)
+        assert fine_width <= coarse_width * 1.25
+
+    def test_k_equal_object_count(self, small_engine):
+        qv = small_engine.snap(500.0, 1500.0)
+        res = small_engine.query(qv, len(small_engine.objects))
+        assert sorted(res.object_ids) == list(range(len(small_engine.objects)))
+
+    def test_all_queries_on_tiny_terrain(self, request):
+        """Exhaustive: every vertex of a tiny terrain as query."""
+        from repro.core.engine import SurfaceKNNEngine
+        from repro.terrain.mesh import TriangleMesh
+        from repro.terrain.synthetic import fractal_dem
+
+        mesh = TriangleMesh.from_dem(
+            fractal_dem(size=7, relief=300.0, seed=9)
+        )
+        engine = SurfaceKNNEngine(
+            mesh, density=40.0, seed=1, with_storage=False
+        )
+        for qv in range(0, mesh.num_vertices, 7):
+            assert check_agreement(engine, qv, 2, "mr3", 2), qv

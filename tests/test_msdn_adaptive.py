@@ -1,0 +1,88 @@
+"""Tests for adaptive plane placement and >200 % DMTM resolutions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geodesic.exact import ExactGeodesic
+from repro.msdn.crossing import adaptive_plane_positions, plane_positions
+from repro.msdn.msdn import MSDN
+from repro.multires.dmtm import DMTM
+
+
+class TestAdaptivePlanes:
+    def test_same_count_as_uniform(self, rough_mesh):
+        spacing = float(np.mean(rough_mesh.edge_lengths))
+        uniform = plane_positions(rough_mesh.xy_bounds(), spacing, 1)
+        adaptive = adaptive_plane_positions(rough_mesh, spacing, 1, strength=1.0)
+        assert len(adaptive) == len(uniform)
+
+    def test_positions_inside_terrain(self, rough_mesh):
+        spacing = float(np.mean(rough_mesh.edge_lengths))
+        bounds = rough_mesh.xy_bounds()
+        for axis in (0, 1):
+            positions = adaptive_plane_positions(rough_mesh, spacing, axis, 1.0)
+            assert np.all(positions >= bounds.lo[axis] - spacing)
+            assert np.all(positions <= bounds.hi[axis] + spacing)
+            assert np.all(np.diff(positions) > 0)  # strictly ordered
+
+    def test_strength_zero_is_uniform(self, rough_mesh):
+        spacing = float(np.mean(rough_mesh.edge_lengths))
+        uniform = plane_positions(rough_mesh.xy_bounds(), spacing, 0)
+        adaptive = adaptive_plane_positions(rough_mesh, spacing, 0, strength=0.0)
+        np.testing.assert_allclose(adaptive, uniform)
+
+    def test_bad_strength(self, rough_mesh):
+        with pytest.raises(GeometryError):
+            adaptive_plane_positions(rough_mesh, 90.0, 0, strength=2.0)
+
+    def test_density_follows_roughness(self, rough_mesh):
+        """Planes concentrate where crossing lines are longest
+        relative to the straight traverse."""
+        spacing = float(np.mean(rough_mesh.edge_lengths))
+        from repro.msdn.crossing import crossing_line
+
+        uniform = plane_positions(rough_mesh.xy_bounds(), spacing, 1)
+        roughness = []
+        for v in uniform:
+            line = crossing_line(rough_mesh, 1, float(v))
+            straight = float(np.linalg.norm(line.points[-1, :2] - line.points[0, :2]))
+            roughness.append(line.length() / straight)
+        adaptive = adaptive_plane_positions(rough_mesh, spacing, 1, strength=1.0)
+        # Compare plane density in the roughest vs smoothest third.
+        order = np.argsort(roughness)
+        smooth_band = (uniform[order[0]] - spacing, uniform[order[0]] + spacing)
+        rough_band = (uniform[order[-1]] - spacing, uniform[order[-1]] + spacing)
+        in_smooth = np.sum((adaptive > smooth_band[0]) & (adaptive < smooth_band[1]))
+        in_rough = np.sum((adaptive > rough_band[0]) & (adaptive < rough_band[1]))
+        assert in_rough >= in_smooth
+
+    def test_lower_bounds_remain_valid(self, rough_mesh):
+        msdn = MSDN(rough_mesh, adaptive_planes=1.0)
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            a, b = rng.integers(0, rough_mesh.num_vertices, size=2)
+            if a == b:
+                continue
+            ds = ExactGeodesic(rough_mesh, int(a)).distance_to(int(b))
+            lb = msdn.lower_bound(
+                rough_mesh.vertices[a], rough_mesh.vertices[b], 1.0
+            ).value
+            assert lb <= ds + 1e-6
+
+
+class TestHigherPathnetResolutions:
+    def test_300_tightens_over_200(self, rough_mesh):
+        dmtm = DMTM(rough_mesh)
+        a, b = 5, rough_mesh.num_vertices - 7
+        ds = ExactGeodesic(rough_mesh, a).distance_to(b)
+        ub2 = dmtm.upper_bound(a, b, 2.0).value
+        ub3 = dmtm.upper_bound(a, b, 3.0).value
+        assert ub3 <= ub2 + 1e-9
+        assert ub3 >= ds - 1e-6
+
+    def test_steiner_mapping(self, rough_mesh):
+        dmtm = DMTM(rough_mesh, steiner_per_edge=1)
+        assert dmtm._steiner_for(2.0) == 1
+        assert dmtm._steiner_for(3.0) == 2
+        assert dmtm._steiner_for(5.0) == 4

@@ -1,0 +1,90 @@
+"""Unit tests for crossing-line extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import BoundingBox
+from repro.msdn.crossing import crossing_line, plane_positions, supersample_polyline
+from repro.geometry.polyline import Polyline
+
+
+class TestPlanePositions:
+    def test_spacing_and_interiority(self):
+        b = BoundingBox((0.0, 0.0), (100.0, 100.0))
+        values = plane_positions(b, 10.0, axis=1)
+        assert len(values) == 10
+        assert values[0] == pytest.approx(5.0)
+        assert all(0.0 < v < 100.0 for v in values)
+
+    def test_empty_when_too_wide(self):
+        b = BoundingBox((0.0, 0.0), (4.0, 4.0))
+        assert len(plane_positions(b, 10.0, axis=0)) == 0
+
+    def test_bad_axis(self):
+        b = BoundingBox((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(GeometryError):
+            plane_positions(b, 1.0, axis=2)
+
+    def test_bad_spacing(self):
+        b = BoundingBox((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(GeometryError):
+            plane_positions(b, 0.0, axis=0)
+
+
+class TestCrossingLine:
+    def test_all_points_on_plane(self, rough_mesh):
+        bounds = rough_mesh.xy_bounds()
+        y0 = float(bounds.center[1]) + 13.7
+        line = crossing_line(rough_mesh, 1, y0)
+        assert line is not None
+        np.testing.assert_allclose(line.points[:, 1], y0, atol=1e-9)
+
+    def test_monotone_in_other_axis(self, rough_mesh):
+        bounds = rough_mesh.xy_bounds()
+        x0 = float(bounds.center[0]) - 7.1
+        line = crossing_line(rough_mesh, 0, x0)
+        ys = line.points[:, 1]
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_points_on_surface(self, rough_mesh):
+        bounds = rough_mesh.xy_bounds()
+        y0 = float(bounds.center[1]) + 20.3
+        line = crossing_line(rough_mesh, 1, y0)
+        for p in line.points[::5]:
+            z = rough_mesh.elevation_at(float(p[0]), float(p[1]))
+            assert p[2] == pytest.approx(z, abs=1e-6)
+
+    def test_spans_terrain(self, rough_mesh):
+        bounds = rough_mesh.xy_bounds()
+        y0 = float(bounds.center[1]) + 5.0
+        line = crossing_line(rough_mesh, 1, y0)
+        assert line.points[0, 0] == pytest.approx(bounds.lo[0], abs=1e-6)
+        assert line.points[-1, 0] == pytest.approx(bounds.hi[0], abs=1e-6)
+
+    def test_plane_outside_returns_none(self, rough_mesh):
+        assert crossing_line(rough_mesh, 1, -1e9) is None
+
+
+class TestSupersample:
+    def test_point_count(self):
+        line = Polyline(np.array([[0, 0, 0], [4, 0, 0], [4, 4, 0]], dtype=float))
+        out = supersample_polyline(line, 4)
+        assert out.num_points == 2 * 4 + 1
+
+    def test_preserves_geometry(self):
+        line = Polyline(np.array([[0, 0, 0], [4, 0, 0], [4, 4, 0]], dtype=float))
+        out = supersample_polyline(line, 3)
+        assert out.length() == pytest.approx(line.length())
+        # Original points are kept.
+        for p in line.points:
+            assert any(np.allclose(p, q) for q in out.points)
+
+    def test_factor_one_identity(self):
+        line = Polyline(np.array([[0, 0, 0], [1, 1, 1]], dtype=float))
+        assert supersample_polyline(line, 1) is line
+
+    def test_bad_factor(self):
+        line = Polyline(np.array([[0, 0, 0], [1, 1, 1]], dtype=float))
+        with pytest.raises(GeometryError):
+            supersample_polyline(line, 0)

@@ -1,0 +1,106 @@
+"""Unit tests for SDN chunks and the layered lower-bound DP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.polyline import Polyline
+from repro.geometry.primitives import BoundingBox
+from repro.msdn.sdn import SdnChunk, build_sdn_chunks, lower_bound_via_planes
+
+
+def make_line(y: float, n: int = 9, z: float = 0.0) -> Polyline:
+    xs = np.linspace(0.0, 8.0, n)
+    pts = np.column_stack([xs, np.full(n, y), np.full(n, z)])
+    return Polyline(pts)
+
+
+class TestChunks:
+    def test_full_resolution(self):
+        chunks = build_sdn_chunks(make_line(0.0), 1, 0, 0.0, 1.0)
+        assert len(chunks) == 8
+        assert all(c.resolution == 1.0 for c in chunks)
+
+    def test_keys_unique(self):
+        chunks = build_sdn_chunks(make_line(0.0), 1, 3, 0.0, 0.5)
+        keys = [c.key for c in chunks]
+        assert len(set(keys)) == len(keys)
+
+    def test_encode_decode_roundtrip(self):
+        chunk = build_sdn_chunks(make_line(2.5, z=7.0), 0, 11, 2.5, 0.25)[0]
+        back = SdnChunk.decode(chunk.encode())
+        assert back.axis == chunk.axis
+        assert back.plane_index == chunk.plane_index
+        assert back.plane_value == pytest.approx(chunk.plane_value)
+        assert back.resolution == pytest.approx(chunk.resolution)
+        assert back.first == chunk.first and back.last == chunk.last
+        assert np.allclose(back.mbr.lo, chunk.mbr.lo)
+        assert np.allclose(back.mbr.hi, chunk.mbr.hi)
+
+
+class TestLowerBoundDP:
+    def test_no_planes_gives_euclid(self):
+        lb, path = lower_bound_via_planes((0, 0, 0), (3, 4, 0), [])
+        assert lb == pytest.approx(5.0)
+        assert path == []
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(GeometryError):
+            lower_bound_via_planes((0, 0, 0), (0, 5, 0), [[]])
+
+    def test_single_flat_plane(self):
+        layer = build_sdn_chunks(make_line(1.0), 1, 0, 1.0, 1.0)
+        a, b = (4.0, 0.0, 0.0), (4.0, 2.0, 0.0)
+        lb, path = lower_bound_via_planes(a, b, [layer])
+        assert lb == pytest.approx(2.0)
+        assert len(path) == 1
+
+    def test_elevated_plane_forces_detour(self):
+        """A crossing line high above the endpoints makes the bound
+        exceed the straight xy distance."""
+        layer = build_sdn_chunks(make_line(1.0, z=10.0), 1, 0, 1.0, 1.0)
+        a, b = (4.0, 0.0, 0.0), (4.0, 2.0, 0.0)
+        lb, _ = lower_bound_via_planes(a, b, [layer])
+        climb = np.hypot(1.0, 10.0)
+        assert lb == pytest.approx(2 * climb, rel=1e-6)
+
+    def test_multi_layer_monotone_with_count(self):
+        """More planes can only raise (or keep) the bound."""
+        a, b = (4.0, 0.0, 0.0), (4.0, 4.0, 0.0)
+        layers = [
+            build_sdn_chunks(make_line(y, z=3.0), 1, i, y, 1.0)
+            for i, y in enumerate((1.0, 2.0, 3.0))
+        ]
+        values = []
+        for count in (1, 2, 3):
+            lb, _ = lower_bound_via_planes(a, b, layers[:count])
+            values.append(lb)
+        assert values == sorted(values)
+
+    def test_coarser_chunks_weaker(self):
+        """The enclosure property makes lower resolutions weaker."""
+        rng = np.random.default_rng(2)
+        pts = np.column_stack(
+            [
+                np.linspace(0, 8, 17),
+                np.full(17, 1.0),
+                rng.uniform(0.0, 6.0, 17),
+            ]
+        )
+        line = Polyline(pts)
+        a, b = (4.0, 0.0, 0.0), (4.0, 2.0, 0.0)
+        prev = -1.0
+        for res in (0.25, 0.5, 1.0):
+            layer = build_sdn_chunks(line, 1, 0, 1.0, res)
+            lb, _ = lower_bound_via_planes(a, b, [layer])
+            assert lb >= prev - 1e-9
+            prev = lb
+
+    def test_path_keys_one_per_layer(self):
+        a, b = (4.0, 0.0, 0.0), (4.0, 4.0, 0.0)
+        layers = [
+            build_sdn_chunks(make_line(y), 1, i, y, 0.5)
+            for i, y in enumerate((1.0, 2.0, 3.0))
+        ]
+        _lb, path = lower_bound_via_planes(a, b, layers)
+        assert len(path) == 3

@@ -1,0 +1,85 @@
+"""Unit tests for the Distance Direct Mesh (DDM)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import BoundingBox
+from repro.multires.ddm import DistanceDirectMesh
+
+
+@pytest.fixture(scope="module")
+def ddm(request):
+    mesh = request.getfixturevalue("rough_mesh")
+    return DistanceDirectMesh(mesh)
+
+
+class TestStructure:
+    def test_counts(self, ddm, rough_mesh):
+        assert ddm.num_leaves == rough_mesh.num_vertices
+        assert ddm.num_nodes == 2 * rough_mesh.num_vertices - 1
+
+    def test_node_mbrs_nest(self, ddm):
+        """A parent's descendant MBR contains both children's."""
+        for node in ddm.history.nodes:
+            if node.children is not None:
+                parent_box = ddm.node_mbr(node.node_id)
+                for child in node.children:
+                    assert parent_box.contains_box(ddm.node_mbr(child))
+
+    def test_leaf_mbr_is_vertex(self, ddm, rough_mesh):
+        box = ddm.node_mbr(5)
+        assert box.lo == tuple(rough_mesh.vertices[5][:2])
+        assert box.lo == box.hi
+
+    def test_root_mbr_covers_terrain(self, ddm, rough_mesh):
+        root = ddm.history.roots[0]
+        terrain = rough_mesh.xy_bounds()
+        assert ddm.node_mbr(root).contains_box(terrain)
+
+
+class TestCuts:
+    def test_cut_fraction_sizes(self, ddm):
+        n = ddm.num_leaves
+        for fraction in (0.1, 0.25, 0.5, 1.0):
+            step = ddm.step_for_fraction(fraction)
+            cut = ddm.cut_nodes(step)
+            assert len(cut) == pytest.approx(max(2, round(n * fraction)), abs=1)
+
+    def test_roi_filtering(self, ddm, rough_mesh):
+        step = ddm.step_for_fraction(0.5)
+        bounds = rough_mesh.xy_bounds()
+        small = BoundingBox.around(bounds.center, float(bounds.extents[0]) * 0.15)
+        filtered = ddm.cut_nodes(step, small)
+        full = ddm.cut_nodes(step)
+        assert 0 < len(filtered) < len(full)
+        assert set(filtered) <= set(full)
+
+    def test_cut_node_ids_vectorized_matches(self, ddm, rough_mesh):
+        step = ddm.step_for_fraction(0.3)
+        bounds = rough_mesh.xy_bounds()
+        roi = BoundingBox.around(bounds.center, float(bounds.extents[0]) * 0.2)
+        via_list = set(ddm.cut_nodes(step, roi))
+        via_ids = {int(n) for n in ddm.cut_node_ids(step, [roi])}
+        assert via_list == via_ids
+
+    def test_approximate_vertices(self, ddm):
+        pts = ddm.approximate_vertices(0.25)
+        assert pts.shape[1] == 3
+        assert len(pts) == pytest.approx(ddm.num_leaves * 0.25, abs=2)
+
+
+class TestAncestors:
+    def test_full_resolution_identity(self, ddm):
+        anc, offset = ddm.ancestor(7, 0)
+        assert anc == 7
+        assert offset == 0.0
+
+    def test_offsets_grow_coarser(self, ddm):
+        """Walking to coarser cuts can only accumulate offset."""
+        leaf = 23
+        prev = 0.0
+        for fraction in (1.0, 0.5, 0.25, 0.1):
+            step = ddm.step_for_fraction(fraction)
+            _anc, offset = ddm.ancestor(leaf, step)
+            assert offset >= prev - 1e-12
+            prev = offset

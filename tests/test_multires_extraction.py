@@ -1,0 +1,56 @@
+"""Tests for LOD mesh extraction (Fig. 1 style)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MultiresError
+from repro.multires.dmtm import DMTM
+from repro.multires.extraction import extract_mesh
+
+
+@pytest.fixture(scope="module")
+def dmtm(request):
+    return DMTM(request.getfixturevalue("rough_mesh"))
+
+
+class TestExtractMesh:
+    def test_full_resolution_counts(self, dmtm, rough_mesh):
+        mesh = extract_mesh(dmtm, 1.0)
+        assert mesh.num_vertices == rough_mesh.num_vertices
+
+    def test_reduced_counts(self, dmtm, rough_mesh):
+        mesh = extract_mesh(dmtm, 0.25)
+        assert mesh.num_vertices == pytest.approx(
+            rough_mesh.num_vertices * 0.25, abs=2
+        )
+        assert mesh.num_faces < rough_mesh.num_faces
+
+    def test_result_is_valid_mesh(self, dmtm):
+        mesh = extract_mesh(dmtm, 0.3)
+        mesh.validate()  # manifold, oriented, no degenerate faces
+
+    def test_surface_area_converges(self, dmtm, rough_mesh):
+        """Finer cuts approximate the original surface area better."""
+        original = rough_mesh.surface_area()
+        errors = []
+        for fraction in (0.1, 0.5, 1.0):
+            area = extract_mesh(dmtm, fraction).surface_area()
+            errors.append(abs(area - original) / original)
+        assert errors[-1] < 0.02
+        assert errors[-1] <= errors[0] + 1e-9
+
+    def test_extent_preserved(self, dmtm, rough_mesh):
+        coarse = extract_mesh(dmtm, 0.25)
+        orig = rough_mesh.xy_bounds()
+        got = coarse.xy_bounds()
+        # Merged QEM positions drift inward a little; the approximate
+        # terrain must still cover most of the original footprint.
+        assert got.measure() >= orig.measure() * 0.6
+
+    def test_too_small_fraction_rejected(self, request):
+        from repro.terrain.mesh import TriangleMesh
+        from repro.terrain.synthetic import fractal_dem
+
+        tiny = DMTM(TriangleMesh.from_dem(fractal_dem(size=4, seed=1)))
+        with pytest.raises(MultiresError):
+            extract_mesh(tiny, 0.0001)

@@ -1,0 +1,70 @@
+"""Tests for DMTM persistence (save/load of the collapse history)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MultiresError
+from repro.multires.dmtm import DMTM
+from repro.multires.persist import load_history, save_history
+from repro.simplification.collapse import build_collapse_history
+
+
+@pytest.fixture(scope="module")
+def history(request):
+    return build_collapse_history(request.getfixturevalue("rough_mesh"))
+
+
+class TestRoundtrip:
+    def test_structure_identical(self, history, tmp_path):
+        path = tmp_path / "ddm.bin"
+        save_history(history, path)
+        back = load_history(path)
+        assert back.num_leaves == history.num_leaves
+        assert back.roots == history.roots
+        assert len(back.nodes) == len(history.nodes)
+        for a, b in zip(history.nodes, back.nodes):
+            assert a.node_id == b.node_id
+            assert a.rep == b.rep
+            assert a.children == b.children
+            assert a.parent == b.parent
+            assert a.birth_step == b.birth_step
+            assert a.death_step == b.death_step
+            assert a.error == pytest.approx(b.error)
+            assert a.offset_to_parent_rep == pytest.approx(b.offset_to_parent_rep)
+            np.testing.assert_allclose(a.position, b.position)
+            assert a.records == [(n, pytest.approx(d)) for n, d in b.records]
+
+    def test_cuts_identical(self, history, tmp_path):
+        path = tmp_path / "ddm.bin"
+        save_history(history, path)
+        back = load_history(path)
+        step = history.step_for_fraction(0.3)
+        assert back.cut_at_step(step) == history.cut_at_step(step)
+        assert sorted(back.edges_of_cut(back.cut_at_step(step))) == sorted(
+            history.edges_of_cut(history.cut_at_step(step))
+        )
+
+    def test_dmtm_queries_identical(self, request, tmp_path):
+        mesh = request.getfixturevalue("rough_mesh")
+        original = DMTM(mesh)
+        path = tmp_path / "dmtm.bin"
+        original.save(path)
+        restored = DMTM.load(mesh, path)
+        for res in (0.1, 0.5, 1.0):
+            a = original.upper_bound(3, 200, res)
+            b = restored.upper_bound(3, 200, res)
+            assert a.value == pytest.approx(b.value)
+
+    def test_wrong_mesh_rejected(self, request, tmp_path):
+        mesh = request.getfixturevalue("rough_mesh")
+        other = request.getfixturevalue("flat_mesh")
+        path = tmp_path / "dmtm.bin"
+        DMTM(mesh).save(path)
+        with pytest.raises(MultiresError):
+            DMTM.load(other, path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a ddm file at all")
+        with pytest.raises(MultiresError):
+            load_history(path)

@@ -1,0 +1,75 @@
+"""Property-based tests of the headline invariant:
+
+    lb_r(a, b)  <=  dS(a, b)  <=  ub_r(a, b)      for every resolution r
+
+with the exact geodesic as ground truth, on hypothesis-chosen vertex
+pairs of a fixed rugged terrain.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodesic.exact import ExactGeodesic
+from repro.msdn.msdn import MSDN
+from repro.multires.dmtm import DMTM, RESOLUTION_PATHNET
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import fractal_dem
+
+# Module-level singletons: hypothesis re-runs the test body many
+# times; structures must be built once.
+_MESH = TriangleMesh.from_dem(
+    fractal_dem(size=13, relief=500.0, roughness=0.7, seed=21)
+)
+_DMTM = DMTM(_MESH)
+_MSDN = MSDN(_MESH)
+_GEODESICS: dict[int, ExactGeodesic] = {}
+
+
+def _exact(a: int, b: int) -> float:
+    geo = _GEODESICS.get(a)
+    if geo is None:
+        geo = ExactGeodesic(_MESH, a)
+        _GEODESICS[a] = geo
+    return geo.distance_to(b)
+
+
+vertices = st.integers(min_value=0, max_value=_MESH.num_vertices - 1)
+
+
+class TestBoundInvariant:
+    @given(vertices, vertices, st.sampled_from([0.05, 0.25, 0.5, 1.0, RESOLUTION_PATHNET]))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bound_above_exact(self, a, b, res):
+        if a == b:
+            return
+        ds = _exact(a, b)
+        result = _DMTM.upper_bound(a, b, res)
+        assert result is not None
+        assert result.value >= ds - 1e-6
+
+    @given(vertices, vertices, st.sampled_from([0.25, 0.5, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_below_exact(self, a, b, res):
+        if a == b:
+            return
+        ds = _exact(a, b)
+        pa, pb = _MESH.vertices[a], _MESH.vertices[b]
+        lb = _MSDN.lower_bound(pa, pb, res).value
+        assert lb <= ds + 1e-6
+        assert lb >= float(np.linalg.norm(pa - pb)) - 1e-6
+
+    @given(vertices, vertices)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_symmetric(self, a, b):
+        if a == b:
+            return
+        assert _exact(a, b) == pytest.approx(_exact(b, a), rel=1e-6)
+
+    @given(vertices, vertices, vertices)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_triangle_inequality(self, a, b, c):
+        if len({a, b, c}) < 3:
+            return
+        assert _exact(a, c) <= _exact(a, b) + _exact(b, c) + 1e-6

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the geometry kernel."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polyline import Polyline, simplify_with_enclosure
+from repro.geometry.primitives import BoundingBox, Segment
+from repro.geometry.triangle import unfold_triangle
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32)
+
+
+@st.composite
+def boxes(draw, dim=2):
+    lo = [draw(coords) for _ in range(dim)]
+    hi = [l + abs(draw(coords)) for l in lo]
+    return BoundingBox(tuple(lo), tuple(hi))
+
+
+@st.composite
+def points(draw, dim=2):
+    return tuple(draw(coords) for _ in range(dim))
+
+
+class TestBoxProperties:
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+    @given(boxes(), boxes())
+    def test_intersects_iff_zero_distance(self, a, b):
+        if a.intersects(b):
+            assert a.min_dist_box(b) == 0.0
+        else:
+            assert a.min_dist_box(b) > 0.0
+
+    @given(boxes(), boxes())
+    def test_min_dist_symmetric(self, a, b):
+        assert a.min_dist_box(b) == b.min_dist_box(a)
+
+    @given(boxes(), points())
+    def test_point_dist_zero_iff_inside(self, box, p):
+        d = box.min_dist_point(p)
+        assert (d == 0.0) == box.contains_point(p)
+
+    @given(boxes(), boxes(), points())
+    def test_union_point_dist_never_larger(self, a, b, p):
+        """Growing a box can only reduce its distance to any point —
+        the inequality MSDN's enclosure monotonicity relies on."""
+        assert a.union(b).min_dist_point(p) <= a.min_dist_point(p) + 1e-6
+
+    @given(boxes(), boxes())
+    def test_overlap_fraction_bounds(self, a, b):
+        f = a.overlap_fraction(b)
+        assert 0.0 <= f <= 1.0 + 1e-9
+
+
+class TestSegmentProperties:
+    @given(points(3), points(3), points(3))
+    def test_point_dist_bounded_by_endpoints(self, a, b, p):
+        seg = Segment(a, b)
+        d = seg.dist_point(p)
+        to_a = math.dist(p, a)
+        to_b = math.dist(p, b)
+        assert d <= min(to_a, to_b) + 1e-6
+
+    @given(points(3), points(3))
+    def test_mbr_contains_endpoints(self, a, b):
+        m = Segment(a, b).mbr()
+        assert m.contains_point(a)
+        assert m.contains_point(b)
+
+
+class TestUnfoldProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=100.0),
+        st.floats(min_value=0.1, max_value=200.0),
+        st.floats(min_value=0.1, max_value=200.0),
+    )
+    def test_distances_preserved(self, edge, d_a, d_b):
+        # Enforce the triangle inequality to keep inputs geometric.
+        if d_a + d_b <= edge or edge + d_a <= d_b or edge + d_b <= d_a:
+            return
+        apex = unfold_triangle((0.0, 0.0), (edge, 0.0), d_a, d_b)
+        np.testing.assert_allclose(np.linalg.norm(apex), d_a, rtol=1e-7)
+        np.testing.assert_allclose(
+            np.linalg.norm(apex - np.array([edge, 0.0])), d_b, rtol=1e-7
+        )
+
+
+@st.composite
+def polylines(draw):
+    n = draw(st.integers(min_value=3, max_value=40))
+    pts = [
+        (
+            float(i),
+            draw(st.floats(min_value=-50, max_value=50, allow_nan=False)),
+            draw(st.floats(min_value=-50, max_value=50, allow_nan=False)),
+        )
+        for i in range(n)
+    ]
+    return Polyline(np.asarray(pts))
+
+
+class TestSimplifyProperties:
+    @given(polylines(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60)
+    def test_enclosure_always_holds(self, line, resolution):
+        chunks = simplify_with_enclosure(line, resolution)
+        for chunk in chunks:
+            for seg in range(chunk.first, chunk.last + 1):
+                assert chunk.mbr.contains_box(line.segment_mbr(seg))
+
+    @given(polylines(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60)
+    def test_partition_complete(self, line, resolution):
+        chunks = simplify_with_enclosure(line, resolution)
+        covered = [s for c in chunks for s in range(c.first, c.last + 1)]
+        assert covered == list(range(line.num_segments))

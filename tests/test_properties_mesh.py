@@ -1,0 +1,90 @@
+"""Property-based tests over generated terrains: mesh structure,
+crossing lines and DEM serialization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msdn.crossing import crossing_line
+from repro.terrain.dem import DemGrid
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import fractal_dem
+
+terrain_params = st.tuples(
+    st.integers(min_value=4, max_value=12),  # size
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.floats(min_value=0.0, max_value=800.0, allow_nan=False),  # relief
+)
+
+
+def build(params) -> TriangleMesh:
+    size, seed, relief = params
+    return TriangleMesh.from_dem(
+        fractal_dem(size=size, seed=seed, relief=relief)
+    )
+
+
+class TestMeshStructureProperties:
+    @given(terrain_params)
+    @settings(max_examples=25, deadline=None)
+    def test_euler_characteristic_of_disc(self, params):
+        mesh = build(params)
+        assert mesh.num_vertices - mesh.num_edges + mesh.num_faces == 1
+
+    @given(terrain_params)
+    @settings(max_examples=25, deadline=None)
+    def test_edge_manifold(self, params):
+        mesh = build(params)
+        for incident in mesh.edge_faces:
+            assert 1 <= len(incident) <= 2
+
+    @given(terrain_params)
+    @settings(max_examples=20, deadline=None)
+    def test_surface_area_at_least_extent(self, params):
+        mesh = build(params)
+        assert mesh.surface_area() >= mesh.xy_bounds().measure() - 1e-6
+
+
+class TestCrossingLineProperties:
+    @given(terrain_params, st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_crossing_line_on_plane_and_monotone(self, params, frac):
+        mesh = build(params)
+        bounds = mesh.xy_bounds()
+        y0 = bounds.lo[1] + frac * (bounds.hi[1] - bounds.lo[1])
+        # Nudge off grid lines to avoid degenerate vertex hits.
+        y0 += 0.37 * 1e-3 * (bounds.hi[1] - bounds.lo[1])
+        line = crossing_line(mesh, 1, float(y0))
+        if line is None:
+            return
+        np.testing.assert_allclose(line.points[:, 1], y0, atol=1e-9)
+        assert np.all(np.diff(line.points[:, 0]) >= 0)
+
+
+class TestDemProperties:
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40)
+    def test_ascii_roundtrip(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        dem = DemGrid(rng.uniform(-100, 3000, size=(rows, cols)), 25.0)
+        back = DemGrid.from_ascii(dem.to_ascii())
+        np.testing.assert_allclose(back.heights, dem.heights, rtol=1e-5)
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=40)
+    def test_bilinear_within_sample_range(self, size, seed, fx, fy):
+        rng = np.random.default_rng(seed)
+        dem = DemGrid(rng.uniform(0, 500, size=(size, size)), 10.0)
+        x = fx * dem.width
+        y = fy * dem.height
+        z = dem.elevation_at(x, y)
+        assert dem.heights.min() - 1e-9 <= z <= dem.heights.max() + 1e-9

@@ -1,0 +1,84 @@
+"""Tests for the EXPLAIN trace and the .hgt DEM format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.terrain.dem import DemGrid
+
+
+class TestExplainTrace:
+    def test_trace_present_and_consistent(self, small_engine):
+        qv = small_engine.snap(700.0, 900.0)
+        res = small_engine.query(qv, 3, step_length=2)
+        assert len(res.filter_trace) == res.metrics.iterations_filter
+        assert len(res.ranking_trace) == res.metrics.iterations_ranking
+        for entry in res.ranking_trace:
+            assert entry["active_after"] <= entry["active_before"] + 3
+            assert entry["kth_lb"] <= entry["kth_ub"] + 1e-9
+
+    def test_resolutions_follow_schedule(self, small_engine):
+        qv = small_engine.snap(700.0, 900.0)
+        res = small_engine.query(qv, 3, step_length=3)
+        from repro.core.schedule import ResolutionSchedule
+
+        schedule = ResolutionSchedule.preset(3)
+        for entry in res.ranking_trace:
+            want_u, want_l = schedule.level(entry["level"])
+            assert entry["dmtm_resolution"] == want_u
+            assert entry["msdn_resolution"] == want_l
+
+    def test_explain_renders(self, small_engine):
+        qv = small_engine.snap(700.0, 900.0)
+        res = small_engine.query(qv, 3)
+        text = res.explain()
+        assert "step 2 (filter C1)" in text
+        assert "step 4 (rank C2)" in text
+        assert "ms CPU" in text
+
+    def test_kth_ub_tightens_over_levels(self, small_engine):
+        qv = small_engine.snap(700.0, 900.0)
+        res = small_engine.query(qv, 3, step_length=1)
+        ubs = [e["kth_ub"] for e in res.ranking_trace]
+        assert ubs == sorted(ubs, reverse=True)
+
+
+class TestHgtFormat:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        dem = DemGrid(
+            np.round(rng.uniform(-100, 4000, size=(33, 33))), 90.0
+        )
+        back = DemGrid.from_hgt(dem.to_hgt(), cell_size=90.0)
+        np.testing.assert_allclose(back.heights, dem.heights)
+
+    def test_void_fill(self):
+        heights = np.zeros((4, 4))
+        dem = DemGrid(heights, 90.0)
+        raw = bytearray(dem.to_hgt())
+        # Poison one sample with the SRTM void value.
+        import struct
+
+        struct.pack_into(">h", raw, 0, -32768)
+        back = DemGrid.from_hgt(bytes(raw), void_fill=123.0)
+        assert (back.heights == 123.0).sum() == 1
+
+    def test_row_order_north_first(self):
+        # Sample (0,0) of an .hgt file is the NW corner, i.e. our
+        # last row.
+        heights = np.arange(16.0).reshape(4, 4)
+        dem = DemGrid(heights, 90.0)
+        raw = dem.to_hgt()
+        first = np.frombuffer(raw[:8], dtype=">i2")
+        np.testing.assert_array_equal(first, heights[-1])
+
+    def test_non_square_rejected(self):
+        dem = DemGrid(np.zeros((3, 4)), 90.0)
+        with pytest.raises(TerrainError):
+            dem.to_hgt()
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(TerrainError):
+            DemGrid.from_hgt(b"\x00" * 10)  # 5 samples: not square
+        with pytest.raises(TerrainError):
+            DemGrid.from_hgt(b"\x00" * 7)  # odd byte count

@@ -1,0 +1,98 @@
+"""Unit tests for the page manager and buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pages import PageManager
+from repro.storage.stats import DiskModel, IOStatistics
+
+
+class TestAllocation:
+    def test_ids_sequential(self):
+        pm = PageManager(page_size=128)
+        assert pm.allocate(b"a") == 0
+        assert pm.allocate(b"b") == 1
+        assert pm.num_pages == 2
+
+    def test_oversize_rejected(self):
+        pm = PageManager(page_size=64)
+        with pytest.raises(StorageError):
+            pm.allocate(b"x" * 65)
+
+    def test_bad_geometry(self):
+        with pytest.raises(StorageError):
+            PageManager(page_size=16)
+        with pytest.raises(StorageError):
+            PageManager(buffer_pages=0)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        stats = IOStatistics()
+        pm = PageManager(page_size=128, buffer_pages=4, stats=stats)
+        pid = pm.allocate(b"hello")
+        assert pm.read(pid) == b"hello"
+        assert stats.physical_reads == 1
+        pm.read(pid)
+        assert stats.physical_reads == 1  # buffer hit
+        assert stats.logical_reads == 2
+
+    def test_lru_eviction(self):
+        stats = IOStatistics()
+        pm = PageManager(page_size=128, buffer_pages=2, stats=stats)
+        pids = [pm.allocate(bytes([i])) for i in range(3)]
+        pm.read(pids[0])
+        pm.read(pids[1])
+        pm.read(pids[2])  # evicts pids[0]
+        pm.read(pids[0])  # miss again
+        assert stats.physical_reads == 4
+
+    def test_lru_recency_updated(self):
+        stats = IOStatistics()
+        pm = PageManager(page_size=128, buffer_pages=2, stats=stats)
+        pids = [pm.allocate(bytes([i])) for i in range(3)]
+        pm.read(pids[0])
+        pm.read(pids[1])
+        pm.read(pids[0])  # refresh 0; 1 becomes LRU
+        pm.read(pids[2])  # evicts 1
+        pm.read(pids[0])  # still cached
+        assert stats.physical_reads == 3
+
+    def test_drop_buffer(self):
+        stats = IOStatistics()
+        pm = PageManager(page_size=128, buffer_pages=4, stats=stats)
+        pid = pm.allocate(b"z")
+        pm.read(pid)
+        pm.drop_buffer()
+        pm.read(pid)
+        assert stats.physical_reads == 2
+
+    def test_missing_page(self):
+        pm = PageManager()
+        with pytest.raises(StorageError):
+            pm.read(99)
+
+
+class TestStatistics:
+    def test_snapshot_delta(self):
+        stats = IOStatistics()
+        pm = PageManager(page_size=128, buffer_pages=1, stats=stats)
+        a = pm.allocate(b"a")
+        b = pm.allocate(b"b")
+        before = stats.snapshot()
+        pm.read(a)
+        pm.read(b)
+        delta = stats.delta_since(before)
+        assert delta.physical_reads == 2
+        assert delta.logical_reads == 2
+
+    def test_reset(self):
+        stats = IOStatistics(logical_reads=5, physical_reads=3)
+        stats.reset()
+        assert stats.logical_reads == 0
+        assert stats.physical_reads == 0
+
+    def test_disk_model(self):
+        model = DiskModel(seconds_per_page=0.01)
+        stats = IOStatistics(physical_reads=25)
+        assert model.io_seconds(stats) == pytest.approx(0.25)

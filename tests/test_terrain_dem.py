@@ -1,0 +1,97 @@
+"""Unit tests for DEM grids."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.terrain.dem import DemGrid
+
+
+def ramp(rows=4, cols=5, cell=10.0):
+    heights = np.add.outer(np.arange(rows), np.zeros(cols)) * 5.0
+    return DemGrid(heights, cell)
+
+
+class TestConstruction:
+    def test_rejects_1d(self):
+        with pytest.raises(TerrainError):
+            DemGrid(np.arange(5.0), 1.0)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TerrainError):
+            DemGrid(np.zeros((1, 5)), 1.0)
+
+    def test_rejects_nan(self):
+        h = np.zeros((3, 3))
+        h[1, 1] = np.nan
+        with pytest.raises(TerrainError):
+            DemGrid(h, 1.0)
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(TerrainError):
+            DemGrid(np.zeros((3, 3)), 0.0)
+
+
+class TestGeometry:
+    def test_extent(self):
+        dem = ramp(4, 5, 10.0)
+        assert dem.width == pytest.approx(40.0)
+        assert dem.height == pytest.approx(30.0)
+
+    def test_area_km2(self):
+        dem = DemGrid(np.zeros((11, 11)), 100.0)  # 1 km x 1 km
+        assert dem.area_km2 == pytest.approx(1.0)
+
+    def test_sample_xy(self):
+        dem = DemGrid(np.zeros((3, 3)), 2.0, origin=(10.0, 20.0))
+        assert dem.sample_xy(1, 2) == (14.0, 22.0)
+
+
+class TestInterpolation:
+    def test_exact_at_samples(self):
+        dem = ramp()
+        assert dem.elevation_at(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_bilinear_midpoint(self):
+        dem = DemGrid(np.array([[0.0, 0.0], [10.0, 10.0]]), 1.0)
+        assert dem.elevation_at(0.5, 0.5) == pytest.approx(5.0)
+
+    def test_out_of_range_rejected(self):
+        dem = ramp()
+        with pytest.raises(TerrainError):
+            dem.elevation_at(-1.0, 0.0)
+
+
+class TestResampling:
+    def test_downsample(self):
+        dem = DemGrid(np.arange(25.0).reshape(5, 5), 10.0)
+        small = dem.downsample(2)
+        assert small.rows == 3
+        assert small.cell_size == 20.0
+        assert small.heights[1, 1] == dem.heights[2, 2]
+
+    def test_downsample_bad_step(self):
+        with pytest.raises(TerrainError):
+            ramp().downsample(0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        dem = DemGrid(np.arange(12.0).reshape(3, 4), 30.0, origin=(5.0, 7.0))
+        path = tmp_path / "grid.asc"
+        dem.save(path)
+        back = DemGrid.load(path)
+        assert back.rows == dem.rows
+        assert back.cols == dem.cols
+        assert back.cell_size == dem.cell_size
+        assert back.origin == dem.origin
+        np.testing.assert_allclose(back.heights, dem.heights)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TerrainError):
+            DemGrid.from_ascii("nrows 2\n1 2\n3 4\n")
+
+    def test_wrong_count_rejected(self):
+        text = "ncols 2\nnrows 2\ncellsize 1\n1 2 3\n"
+        with pytest.raises(TerrainError):
+            DemGrid.from_ascii(text)

@@ -1,0 +1,49 @@
+"""Unit tests for roughness statistics."""
+
+import pytest
+
+from repro.errors import TerrainError
+from repro.terrain.roughness import (
+    RoughnessReport,
+    roughness_report,
+    slope_statistics,
+    surface_to_euclid_ratio,
+)
+
+
+class TestSurfaceEuclidRatio:
+    def test_flat_is_one(self, flat_mesh):
+        # Edge-network paths on a flat grid are at worst the grid
+        # detour (~8 % for diagonal travel), never below 1.
+        ratio = surface_to_euclid_ratio(flat_mesh, num_pairs=10, seed=0)
+        assert 1.0 <= ratio <= 1.15
+
+    def test_rough_exceeds_flat(self, flat_mesh, rough_mesh):
+        flat = surface_to_euclid_ratio(flat_mesh, num_pairs=10, seed=0)
+        rough = surface_to_euclid_ratio(rough_mesh, num_pairs=10, seed=0)
+        assert rough > flat
+
+    def test_bad_pairs(self, flat_mesh):
+        with pytest.raises(TerrainError):
+            surface_to_euclid_ratio(flat_mesh, num_pairs=0)
+
+
+class TestSlopes:
+    def test_flat_zero(self, flat_mesh):
+        mean, peak = slope_statistics(flat_mesh)
+        assert mean == pytest.approx(0.0, abs=1e-9)
+        assert peak == pytest.approx(0.0, abs=1e-9)
+
+    def test_rough_positive(self, rough_mesh):
+        mean, peak = slope_statistics(rough_mesh)
+        assert 0 < mean < peak < 90
+
+
+class TestReport:
+    def test_fields(self, rough_mesh):
+        report = roughness_report(rough_mesh, num_pairs=8)
+        assert isinstance(report, RoughnessReport)
+        assert report.relief > 0
+        assert report.extra_distance_percent == pytest.approx(
+            (report.surface_euclid_ratio - 1.0) * 100.0
+        )

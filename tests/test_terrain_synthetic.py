@@ -1,0 +1,66 @@
+"""Unit tests for synthetic terrain generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.roughness import surface_to_euclid_ratio
+from repro.terrain.synthetic import (
+    bearhead_like,
+    eagle_peak_like,
+    fractal_dem,
+    gaussian_hills_dem,
+)
+
+
+class TestFractalDem:
+    def test_deterministic(self):
+        a = fractal_dem(size=17, seed=42)
+        b = fractal_dem(size=17, seed=42)
+        np.testing.assert_array_equal(a.heights, b.heights)
+
+    def test_seed_changes_output(self):
+        a = fractal_dem(size=17, seed=1)
+        b = fractal_dem(size=17, seed=2)
+        assert not np.array_equal(a.heights, b.heights)
+
+    def test_relief_respected(self):
+        dem = fractal_dem(size=17, relief=500.0, seed=3)
+        span = dem.heights.max() - dem.heights.min()
+        assert span == pytest.approx(500.0)
+
+    def test_non_power_sizes_cropped(self):
+        dem = fractal_dem(size=20, seed=1)
+        assert dem.rows == 20 and dem.cols == 20
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TerrainError):
+            fractal_dem(size=2)
+
+
+class TestGaussianHills:
+    def test_shape(self):
+        dem = gaussian_hills_dem(size=20, seed=4)
+        assert dem.rows == 20
+
+    def test_smooth_relief(self):
+        dem = gaussian_hills_dem(size=20, relief=100.0, seed=4)
+        assert dem.heights.max() - dem.heights.min() == pytest.approx(100.0)
+
+
+class TestDatasetContrast:
+    def test_bh_rougher_than_ep(self):
+        """The defining property of the two paper datasets: Bearhead's
+        surface/Euclid ratio must clearly exceed Eagle Peak's."""
+        bh = TriangleMesh.from_dem(bearhead_like(size=17))
+        ep = TriangleMesh.from_dem(eagle_peak_like(size=17))
+        r_bh = surface_to_euclid_ratio(bh, num_pairs=12, seed=0)
+        r_ep = surface_to_euclid_ratio(ep, num_pairs=12, seed=0)
+        assert r_bh > r_ep + 0.05
+        assert r_ep >= 1.0
+
+    def test_same_extent(self):
+        bh = bearhead_like(size=17)
+        ep = eagle_peak_like(size=17)
+        assert bh.width == ep.width
