@@ -9,7 +9,7 @@ import argparse
 import sys
 
 from repro.bench import experiments
-from repro.bench.runner import run_experiment
+from repro.bench.runner import experiment_records, run_experiment
 
 _FIGURES = {
     "fig7": experiments.fig7,
@@ -32,10 +32,29 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps (CI-sized)"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write one JSONL record per experiment point to PATH",
+    )
     args = parser.parse_args(argv)
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    if args.metrics_out:
+        from repro.obs.export import write_jsonl
+
+        try:  # fail on a bad path now, not after the sweep
+            write_jsonl(args.metrics_out, [])
+        except OSError as exc:
+            parser.error(f"cannot write --metrics-out {args.metrics_out!r}: {exc}")
+    records = []
     for name in names:
-        run_experiment(_FIGURES[name], quick=args.quick)
+        result = run_experiment(_FIGURES[name], quick=args.quick)
+        if args.metrics_out:
+            records.extend(experiment_records(name, result))
+    if args.metrics_out:
+        count = write_jsonl(args.metrics_out, records)
+        print(f"[wrote {count} records to {args.metrics_out}]")
     return 0
 
 

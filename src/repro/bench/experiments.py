@@ -137,12 +137,17 @@ def fig9(
     rows = []
     for k in ks:
         pages = {True: [], False: []}
+        dmtm_on, msdn_on = [], []
         for option in (True, False):
             for qv in queries:
                 result = engine.query(
                     qv, k, step_length=2, integrate_io=option
                 )
                 pages[option].append(result.metrics.pages_accessed)
+                if option:
+                    by_class = result.metrics.reads_by_class
+                    dmtm_on.append(by_class.get("dmtm", 0))
+                    msdn_on.append(by_class.get("msdn", 0))
         rows.append(
             {
                 "k": k,
@@ -151,11 +156,13 @@ def fig9(
                 "saving": 1.0 - float(np.mean(pages[True])) / max(
                     float(np.mean(pages[False])), 1.0
                 ),
+                "pages_dmtm": float(np.mean(dmtm_on)),
+                "pages_msdn": float(np.mean(msdn_on)),
             }
         )
     table = format_table(
         "Fig. 9 — integrated I/O region (pages accessed, s=2, o=4)",
-        ["k", "pages_on", "pages_off", "saving"],
+        ["k", "pages_on", "pages_off", "saving", "pages_dmtm", "pages_msdn"],
         rows,
     )
     return {"tables": [table], "rows": rows}
@@ -239,16 +246,24 @@ def _run_series(engine, queries, k) -> dict:
     """Mean metrics of each algorithm configuration over the queries."""
     out = {}
     for label, method, step in _SERIES:
-        total, cpu, pages = [], [], []
+        total, cpu, pages, logical = [], [], [], []
+        pages_dmtm, pages_msdn = [], []
         for qv in queries:
             result = engine.query(qv, k, method=method, step_length=step)
             total.append(result.metrics.total_seconds)
             cpu.append(result.metrics.cpu_seconds)
             pages.append(result.metrics.pages_accessed)
+            logical.append(result.metrics.logical_reads)
+            by_class = result.metrics.reads_by_class
+            pages_dmtm.append(by_class.get("dmtm", 0))
+            pages_msdn.append(by_class.get("msdn", 0))
         out[label] = {
             "total": float(np.mean(total)),
             "cpu": float(np.mean(cpu)),
             "pages": float(np.mean(pages)),
+            "logical": float(np.mean(logical)),
+            "pages_dmtm": float(np.mean(pages_dmtm)),
+            "pages_msdn": float(np.mean(pages_msdn)),
         }
     return out
 

@@ -48,3 +48,38 @@ def run_experiment(func, *args, verbose: bool = True, **kwargs):
             print()
         print(f"[{func.__name__} completed in {elapsed:.1f}s]")
     return result
+
+
+def experiment_records(figure: str, result: dict) -> list[dict]:
+    """Flatten a driver's ``rows`` into JSONL-ready records, one per
+    experiment point (``--metrics-out``).
+
+    Drivers return ``rows`` either as a list of row dicts (fig7-9,
+    related) or as ``{dataset: {x: {series: metrics}}}`` (figs 10-11);
+    both flatten to records carrying ``schema``/``figure``/``point``.
+    """
+    records: list[dict] = []
+    rows = result.get("rows")
+    if isinstance(rows, list):
+        for index, row in enumerate(rows):
+            records.append(
+                {
+                    "schema": "repro.bench/v1",
+                    "figure": figure,
+                    "index": index,
+                    "point": row,
+                }
+            )
+    elif isinstance(rows, dict):
+        for dataset, per_x in rows.items():
+            for x, series in per_x.items():
+                records.append(
+                    {
+                        "schema": "repro.bench/v1",
+                        "figure": figure,
+                        "dataset": dataset,
+                        "x": x,
+                        "point": series,
+                    }
+                )
+    return records

@@ -32,6 +32,8 @@ from repro.core.schedule import ResolutionSchedule
 from repro.errors import QueryError
 from repro.msdn.msdn import MSDN
 from repro.multires.dmtm import DMTM
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import NULL_TRACER, Span
 from repro.storage.pages import PageManager
 from repro.storage.stats import DiskModel, IOStatistics
 from repro.terrain.mesh import TriangleMesh
@@ -63,6 +65,11 @@ class SurfaceKNNEngine:
         Cost model converting pages into simulated I/O seconds.
     with_storage:
         Attach the paged storage layer (disable for pure-CPU runs).
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`.  When given (and
+        enabled), every query produces a span tree reachable from
+        ``QueryResult.root_span`` and from ``tracer.finished()``.
+        Defaults to the shared no-op tracer — zero overhead.
     """
 
     def __init__(
@@ -78,8 +85,10 @@ class SurfaceKNNEngine:
         msdn_supersample: int = 8,
         disk: DiskModel | None = None,
         with_storage: bool = True,
+        tracer=None,
     ):
         self.mesh = mesh
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.objects = (
             objects
             if objects is not None
@@ -167,10 +176,29 @@ class SurfaceKNNEngine:
             options=options,
             stats=self.stats,
             disk=self.disk,
+            tracer=self.tracer,
         )
-        result = processor.query(query_vertex, k)
+        with self.tracer.span(
+            "engine.query", method=method, k=k, cold_cache=cold_cache
+        ) as span:
+            result = processor.query(query_vertex, k)
+        if isinstance(span, Span):
+            result.root_span = span
         result.method = method if method == "ea" else f"mr3/{schedule.name}"
+        self._observe(result)
         return result
+
+    def _observe(self, result: QueryResult) -> None:
+        """Feed the default metrics registry from a finished query."""
+        registry = get_registry()
+        registry.counter(f"engine.queries.{result.method}").add(1)
+        registry.histogram("engine.query.cpu_seconds").observe(
+            result.metrics.cpu_seconds
+        )
+        registry.histogram(
+            "engine.query.pages_accessed",
+            buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000),
+        ).observe(result.metrics.pages_accessed)
 
     def query_xy(self, x: float, y: float, k: int, **kwargs) -> QueryResult:
         """Convenience: query at the vertex nearest (x, y)."""
@@ -211,12 +239,16 @@ class SurfaceKNNEngine:
             options=RankerOptions(**ranker_opts),
             stats=self.stats,
             disk=self.disk,
+            tracer=self.tracer,
         )
         return processor.query(query, k)
 
     def _query_exact(self, query_vertex: int, k: int) -> QueryResult:
         cpu_start = time.process_time()
-        pairs = exact_knn(self.mesh, self.objects, query_vertex, k)
+        with self.tracer.span(
+            "engine.query", method="exact", k=k, query_vertex=query_vertex
+        ):
+            pairs = exact_knn(self.mesh, self.objects, query_vertex, k)
         metrics = QueryMetrics(cpu_seconds=time.process_time() - cpu_start)
         return QueryResult(
             query_vertex=query_vertex,
@@ -250,14 +282,24 @@ class SurfaceKNNEngine:
         io_before = self.stats.snapshot()
         cpu_start = time.process_time()
         schedule = ResolutionSchedule.preset(step_length)
-        ranker = DistanceRanker(self.mesh, self.dmtm, self.msdn, schedule)
+        ranker = DistanceRanker(
+            self.mesh, self.dmtm, self.msdn, schedule,
+            stats=self.stats, tracer=self.tracer,
+        )
         q_xy = self.mesh.vertices[query_vertex][:2]
-        candidate_ids = self.objects.range_2d(q_xy, radius)
-        candidates = ranker.make_candidates(candidate_ids, self.objects)
-        inside, certain = ranker.rank_within(query_vertex, candidates, radius)
+        with self.tracer.span(
+            "engine.range_query", radius=radius, query_vertex=query_vertex
+        ):
+            candidate_ids = self.objects.range_2d(q_xy, radius)
+            candidates = ranker.make_candidates(candidate_ids, self.objects)
+            inside, certain = ranker.rank_within(
+                query_vertex, candidates, radius
+            )
         metrics = QueryMetrics(cpu_seconds=time.process_time() - cpu_start)
         delta = self.stats.delta_since(io_before)
         metrics.pages_accessed = delta.physical_reads
+        metrics.logical_reads = delta.logical_reads
+        metrics.reads_by_class = delta.physical_by_class
         metrics.io_seconds = self.disk.io_seconds(delta)
         metrics.candidates_examined = len(candidates)
         return QueryResult(

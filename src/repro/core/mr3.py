@@ -28,16 +28,26 @@ from repro.core.bounds import Candidate
 from repro.core.embedding import EmbeddedQuery, source_of
 from repro.core.ranking import DistanceRanker, RankerOptions
 from repro.errors import QueryError
+from repro.obs.tracing import NULL_TRACER, Span
 from repro.storage.stats import DiskModel, IOStatistics
 
 
 @dataclass
 class QueryMetrics:
-    """Per-query costs, mirroring the paper's reported series."""
+    """Per-query costs, mirroring the paper's reported series.
+
+    ``pages_accessed`` counts buffer-pool misses (the paper's
+    observable); ``logical_reads`` counts every page request, so warm
+    runs (``cold_cache=False``) are distinguishable from cold ones
+    through ``buffer_hit_rate``.  ``reads_by_class`` splits the
+    physical reads per structure (dmtm / msdn / objects / index).
+    """
 
     cpu_seconds: float = 0.0
     io_seconds: float = 0.0
     pages_accessed: int = 0
+    logical_reads: int = 0
+    reads_by_class: dict = field(default_factory=dict)
     iterations_filter: int = 0
     iterations_ranking: int = 0
     candidates_examined: int = 0
@@ -46,6 +56,14 @@ class QueryMetrics:
     def total_seconds(self) -> float:
         """Total cost = CPU + simulated disk time (Figs 10-11 (a)/(d))."""
         return self.cpu_seconds + self.io_seconds
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of this query's page requests served by the
+        buffer pool (0.0 when the query issued no reads)."""
+        if self.logical_reads == 0:
+            return 0.0
+        return 1.0 - self.pages_accessed / self.logical_reads
 
 
 @dataclass
@@ -59,39 +77,26 @@ class QueryResult:
     metrics: QueryMetrics = field(default_factory=QueryMetrics)
     method: str = "mr3"
     converged: bool = True
-    # EXPLAIN traces of the two ranking phases (one entry per
-    # resolution level): see RankingOutcome.trace.
+    # EXPLAIN traces of the two ranking phases: one typed
+    # repro.obs.events.LevelEvent per resolution level.
     filter_trace: list = field(default_factory=list)
     ranking_trace: list = field(default_factory=list)
+    # Root tracing span of the query, when run under an enabled
+    # tracer (repro.obs.tracing.Tracer); None otherwise.
+    root_span: Span | None = None
 
     def explain(self) -> str:
         """Human-readable account of how the query was answered."""
-        lines = [
-            f"{self.method} query at vertex {self.query_vertex}, "
-            f"k={self.k}, converged={self.converged}"
-        ]
-        for label, trace in (
-            ("step 2 (filter C1)", self.filter_trace),
-            ("step 4 (rank C2)", self.ranking_trace),
-        ):
-            if not trace:
-                continue
-            lines.append(f"{label}:")
-            for entry in trace:
-                lines.append(
-                    "  level {level}: DMTM {dmtm_resolution:>5.1%} / "
-                    "MSDN {msdn_resolution:>4.0%}  active {active_before}"
-                    " -> {active_after}  kth in [{kth_lb:.1f}, {kth_ub:.1f}]"
-                    "{done}".format(
-                        **{**entry, "done": "  DONE" if entry["done"] else ""}
-                    )
-                )
-        m = self.metrics
-        lines.append(
-            f"cost: {m.cpu_seconds * 1000:.0f} ms CPU, "
-            f"{m.pages_accessed} pages, {len(self.object_ids)} results"
-        )
-        return "\n".join(lines)
+        from repro.obs.export import render
+
+        return render(self)
+
+    def trace_record(self) -> dict:
+        """JSONL-ready export of this query's trace (events, metrics
+        and spans) — see :func:`repro.obs.export.query_record`."""
+        from repro.obs.export import query_record
+
+        return query_record(self)
 
     def __post_init__(self):
         if len(self.object_ids) != len(self.intervals):
@@ -111,11 +116,15 @@ class MR3QueryProcessor:
         options: RankerOptions | None = None,
         stats: IOStatistics | None = None,
         disk: DiskModel | None = None,
+        tracer=None,
     ):
         self.mesh = mesh
         self.objects = objects
         self.schedule = schedule
-        self.ranker = DistanceRanker(mesh, dmtm, msdn, schedule, options)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.ranker = DistanceRanker(
+            mesh, dmtm, msdn, schedule, options, stats=stats, tracer=self.tracer
+        )
         self.stats = stats
         self.disk = disk if disk is not None else DiskModel()
 
@@ -137,37 +146,51 @@ class MR3QueryProcessor:
         io_before = self.stats.snapshot() if self.stats is not None else None
         cpu_start = time.process_time()
 
-        q_pos, _anchors = source_of(self.mesh, query)
-        q_xy = q_pos[:2]
+        with self.tracer.span(
+            "mr3.query", query_vertex=query_vertex, k=k,
+            schedule=self.schedule.name,
+        ) as root:
+            q_pos, _anchors = source_of(self.mesh, query)
+            q_xy = q_pos[:2]
 
-        # Step 1: 2D k-NN filter.
-        c1_ids = self.objects.knn_2d(q_xy, k)
+            # Step 1: 2D k-NN filter.
+            with self.tracer.span("mr3.knn_2d", k=k) as sp:
+                c1_ids = self.objects.knn_2d(q_xy, k)
+                sp.set_attribute("candidates", len(c1_ids))
 
-        # Step 2: rank C1 to get a tight ub for the k-th neighbour.
-        cands1 = self.ranker.make_candidates(c1_ids, self.objects)
-        out1 = self.ranker.rank(
-            query,
-            cands1,
-            k,
-            tighten_kth=self.ranker.options.filter_tighten,
-        )
-        radius = out1.kth_ub
-        if not math.isfinite(radius):
-            raise QueryError(
-                "could not bound the k-th neighbour; is the terrain connected?"
-            )
+            # Step 2: rank C1 to get a tight ub for the k-th neighbour.
+            with self.tracer.span("mr3.filter", candidates=len(c1_ids)):
+                cands1 = self.ranker.make_candidates(c1_ids, self.objects)
+                out1 = self.ranker.rank(
+                    query,
+                    cands1,
+                    k,
+                    tighten_kth=self.ranker.options.filter_tighten,
+                    phase="filter",
+                )
+            radius = out1.kth_ub
+            if not math.isfinite(radius):
+                raise QueryError(
+                    "could not bound the k-th neighbour; "
+                    "is the terrain connected?"
+                )
 
-        # Step 3: 2D range query with the step-2 radius.
-        c2_ids = self.objects.range_2d(q_xy, radius)
+            # Step 3: 2D range query with the step-2 radius.
+            with self.tracer.span("mr3.range_2d", radius=radius) as sp:
+                c2_ids = self.objects.range_2d(q_xy, radius)
+                sp.set_attribute("candidates", len(c2_ids))
 
-        # Step 4: rank C2, reusing the intervals from step 2.
-        known: dict[int, Candidate] = {c.object_id: c for c in cands1}
-        cands2 = [
-            known.get(obj)
-            or self.ranker.make_candidates([obj], self.objects)[0]
-            for obj in c2_ids
-        ]
-        out2 = self.ranker.rank(query, cands2, k)
+            # Step 4: rank C2, reusing the intervals from step 2.
+            with self.tracer.span("mr3.ranking", candidates=len(c2_ids)):
+                known: dict[int, Candidate] = {
+                    c.object_id: c for c in cands1
+                }
+                cands2 = [
+                    known.get(obj)
+                    or self.ranker.make_candidates([obj], self.objects)[0]
+                    for obj in c2_ids
+                ]
+                out2 = self.ranker.rank(query, cands2, k, phase="ranking")
 
         cpu_seconds = time.process_time() - cpu_start
         metrics = QueryMetrics(
@@ -179,6 +202,8 @@ class MR3QueryProcessor:
         if io_before is not None:
             delta = self.stats.delta_since(io_before)
             metrics.pages_accessed = delta.physical_reads
+            metrics.logical_reads = delta.logical_reads
+            metrics.reads_by_class = delta.physical_by_class
             metrics.io_seconds = self.disk.io_seconds(delta)
 
         winners = out2.winners
@@ -192,4 +217,5 @@ class MR3QueryProcessor:
             converged=out2.converged,
             filter_trace=out1.trace or [],
             ranking_trace=out2.trace or [],
+            root_span=root if isinstance(root, Span) else None,
         )

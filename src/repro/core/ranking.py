@@ -22,6 +22,7 @@ schedule; at every iteration
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.core.regions import integrate_io_regions
 from repro.errors import QueryError
 from repro.geometry.ellipse import EllipseRegion
 from repro.geometry.primitives import BoundingBox
+from repro.obs.events import LevelEvent
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -61,8 +64,9 @@ class RankingOutcome:
     iterations: int
     converged: bool
     kth_ub: float
-    # EXPLAIN-style trace: one dict per iteration with the level's
-    # resolutions, active-candidate counts and the k-th bound state.
+    # EXPLAIN trace: one typed LevelEvent per iteration with the
+    # level's resolutions, candidate counts, k-th bound state and the
+    # page I/O attributed to that level (see repro.obs.events).
     trace: list = None
 
 
@@ -77,12 +81,25 @@ class _IterationPlan:
 class DistanceRanker:
     """Ranks candidates by surface-distance intervals over a schedule."""
 
-    def __init__(self, mesh, dmtm, msdn, schedule, options: RankerOptions | None = None):
+    def __init__(
+        self,
+        mesh,
+        dmtm,
+        msdn,
+        schedule,
+        options: RankerOptions | None = None,
+        stats=None,
+        tracer=None,
+    ):
         self.mesh = mesh
         self.dmtm = dmtm
         self.msdn = msdn
         self.schedule = schedule
         self.options = options if options is not None else RankerOptions()
+        # Shared IOStatistics: with it, every trace event carries the
+        # logical/physical page delta attributed to its level.
+        self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -103,6 +120,7 @@ class DistanceRanker:
         candidates: list[Candidate],
         k: int,
         tighten_kth: float = 0.0,
+        phase: str = "rank",
     ) -> RankingOutcome:
         """Run the multiresolution ranking loop.
 
@@ -115,6 +133,9 @@ class DistanceRanker:
         target — MR3's step 2 "needs an extra step to calculate an as
         tight as possible upper bound for the k-th neighbour", which
         becomes the step-3 search radius.
+
+        ``phase`` labels the emitted trace events and spans ("filter"
+        for MR3 step 2, "ranking" for step 4).
         """
         if k < 1:
             raise QueryError("k must be >= 1")
@@ -129,34 +150,56 @@ class DistanceRanker:
         kth_ub_estimate = float("inf")
         iterations = 0
         converged = False
-        trace: list[dict] = []
+        trace: list[LevelEvent] = []
         last_level = len(self.schedule) - 1
         for level, (res_u, res_l) in enumerate(self.schedule.levels()):
             iterations += 1
             active_before = len(active)
-            # At the final level the ub becomes the ranking key when
-            # ranges still overlap, so estimate it over the full
-            # ellipse rather than the refined corridor.
-            plan = self._plan_regions(
-                q_pos, active, level, refined=level < last_level
-            )
-            self._update_upper_bounds(anchors, active, plan, res_u)
-            self._update_lower_bounds(
-                q_pos, active, plan, res_l, kth_ub_estimate
-            )
-            verdict = classify_candidates(candidates, k)
-            kth_ub_estimate = verdict.kth_ub
+            io_before = self.stats.snapshot() if self.stats is not None else None
+            cpu_before = time.process_time()
+            with self.tracer.span(
+                "rank.level", phase=phase, level=level,
+                dmtm_resolution=res_u, msdn_resolution=res_l,
+            ) as span:
+                # At the final level the ub becomes the ranking key when
+                # ranges still overlap, so estimate it over the full
+                # ellipse rather than the refined corridor.
+                plan = self._plan_regions(
+                    q_pos, active, level, refined=level < last_level
+                )
+                self._update_upper_bounds(anchors, active, plan, res_u)
+                self._update_lower_bounds(
+                    q_pos, active, plan, res_l, kth_ub_estimate
+                )
+                verdict = classify_candidates(candidates, k)
+                kth_ub_estimate = verdict.kth_ub
+                if io_before is not None:
+                    io_delta = self.stats.delta_since(io_before)
+                    logical = io_delta.logical_reads
+                    physical = io_delta.physical_reads
+                    by_class = io_delta.physical_by_class
+                else:
+                    logical = physical = 0
+                    by_class = {}
+                span.set_attribute("active_before", active_before)
+                span.set_attribute("active_after", len(verdict.active))
+                span.set_attribute("physical_reads", physical)
             trace.append(
-                {
-                    "level": level,
-                    "dmtm_resolution": res_u,
-                    "msdn_resolution": res_l,
-                    "active_before": active_before,
-                    "active_after": len(verdict.active),
-                    "kth_ub": verdict.kth_ub,
-                    "kth_lb": verdict.kth_lb,
-                    "done": verdict.done,
-                }
+                LevelEvent(
+                    phase=phase,
+                    level=level,
+                    dmtm_resolution=res_u,
+                    msdn_resolution=res_l,
+                    active_before=active_before,
+                    active_after=len(verdict.active),
+                    kth_lb=verdict.kth_lb,
+                    kth_ub=verdict.kth_ub,
+                    done=verdict.done,
+                    cpu_seconds=time.process_time() - cpu_before,
+                    logical_reads=logical,
+                    physical_reads=physical,
+                    reads_by_class=by_class,
+                )
             )
             if verdict.done and verdict.kth_accuracy >= tighten_kth:
                 converged = True
@@ -175,7 +218,10 @@ class DistanceRanker:
                 break
         final = classify_candidates(candidates, k)
         if not final.done and self.options.final_polish:
-            self._polish_boundary(anchors, candidates, final, k)
+            with self.tracer.span(
+                "rank.polish", phase=phase, ambiguous=len(final.active)
+            ):
+                self._polish_boundary(anchors, candidates, final, k)
             final = classify_candidates(candidates, k)
         winners = sorted(final.winners, key=lambda c: (c.ub, c.object_id))[:k]
         if len(winners) < k:

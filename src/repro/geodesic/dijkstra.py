@@ -17,8 +17,17 @@ from __future__ import annotations
 import heapq
 
 from repro.errors import GeodesicError
+from repro.obs.metrics import get_registry
 
 Adjacency = list  # list[list[tuple[int, float]]]
+
+
+def _report(settled: int, relaxations: int) -> None:
+    # Batched once per call so the hot loop carries no registry cost.
+    reg = get_registry()
+    reg.counter("geodesic.dijkstra.calls").add(1)
+    reg.counter("geodesic.dijkstra.settled").add(settled)
+    reg.counter("geodesic.dijkstra.relaxations").add(relaxations)
 
 
 def dijkstra(
@@ -51,6 +60,7 @@ def dijkstra(
     dist: dict[int, float] = {}
     remaining = set(targets) if targets is not None else None
     heap: list[tuple[float, int]] = [(0.0, source)]
+    relaxations = 0
     while heap:
         d, u = heapq.heappop(heap)
         if u in dist:
@@ -67,6 +77,8 @@ def dijkstra(
                 nd = d + w
                 if max_dist is None or nd <= max_dist:
                     heapq.heappush(heap, (nd, v))
+                    relaxations += 1
+    _report(len(dist), relaxations)
     return dist
 
 
@@ -87,6 +99,7 @@ def dijkstra_with_parents(
     parent: dict[int, int] = {}
     remaining = set(targets) if targets is not None else None
     heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
+    relaxations = 0
     while heap:
         d, u, p = heapq.heappop(heap)
         if u in dist:
@@ -105,6 +118,8 @@ def dijkstra_with_parents(
                 nd = d + w
                 if max_dist is None or nd <= max_dist:
                     heapq.heappush(heap, (nd, v, u))
+                    relaxations += 1
+    _report(len(dist), relaxations)
     return dist, parent
 
 

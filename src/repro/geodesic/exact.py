@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GeodesicError
+from repro.obs.metrics import get_registry
 
 _EPS = 1e-9
 _ANGLE_EPS = 1e-7
@@ -352,31 +353,45 @@ class ExactGeodesic:
         """Drain the event queue; optionally stop once ``until_vertex``
         is provably final."""
         heap = self._heap
-        while heap:
-            key, _tie, kind, payload = heapq.heappop(heap)
-            if until_vertex is not None and key >= self.best[until_vertex] - _EPS:
-                # Everything still queued is at least this long.
-                heapq.heappush(heap, (key, _tie, kind, payload))
-                return
-            if kind == "vertex":
-                v = int(payload)
-                if key > self.best[v] + _EPS:
-                    continue  # stale event
-                # Relax along mesh edges: edge paths are valid surface
-                # paths, and the domination filter's "via a vertex,
-                # then along the edge" alternative relies on them
-                # being materialized here.
-                for w in self.mesh.vertex_neighbors[v]:
-                    self._update_vertex(
-                        w, float(self.best[v]) + self.mesh.edge_length(v, w)
-                    )
-                if self._is_spreader(v) and v != self.source:
-                    self._spawn_pseudo_source(v, float(self.best[v]))
-            else:
-                w = payload
-                if self._dominated(w):
-                    continue
-                self._propagate(w)
+        vertices_settled = 0
+        windows_propagated = 0
+        try:
+            while heap:
+                key, _tie, kind, payload = heapq.heappop(heap)
+                if until_vertex is not None and key >= self.best[until_vertex] - _EPS:
+                    # Everything still queued is at least this long.
+                    heapq.heappush(heap, (key, _tie, kind, payload))
+                    return
+                if kind == "vertex":
+                    v = int(payload)
+                    if key > self.best[v] + _EPS:
+                        continue  # stale event
+                    vertices_settled += 1
+                    # Relax along mesh edges: edge paths are valid surface
+                    # paths, and the domination filter's "via a vertex,
+                    # then along the edge" alternative relies on them
+                    # being materialized here.
+                    for w in self.mesh.vertex_neighbors[v]:
+                        self._update_vertex(
+                            w, float(self.best[v]) + self.mesh.edge_length(v, w)
+                        )
+                    if self._is_spreader(v) and v != self.source:
+                        self._spawn_pseudo_source(v, float(self.best[v]))
+                else:
+                    w = payload
+                    if self._dominated(w):
+                        continue
+                    windows_propagated += 1
+                    self._propagate(w)
+        finally:
+            if vertices_settled or windows_propagated:
+                reg = get_registry()
+                reg.counter("geodesic.exact.vertices_settled").add(
+                    vertices_settled
+                )
+                reg.counter("geodesic.exact.windows_propagated").add(
+                    windows_propagated
+                )
 
     def distance_to(self, target: int) -> float:
         """Exact surface distance from the source to ``target``."""

@@ -35,6 +35,7 @@ from repro.msdn.crossing import (
 from repro.msdn.sdn import SdnChunk, build_sdn_chunks, lower_bound_via_planes
 from repro.storage.locator import LocatorStore
 from repro.storage.pages import PageManager
+from repro.storage.stats import PAGE_CLASS_MSDN
 
 DEFAULT_RESOLUTIONS = (0.25, 0.375, 0.5, 0.75, 1.0)
 
@@ -162,7 +163,7 @@ class MSDN:
                 for chunk in chunks:
                     cluster = (axis, round(res * 1000), chunk.plane_index, chunk.first)
                     items.append((cluster, ("chunk",) + cluster, chunk.encode()))
-        self._store = LocatorStore(items, pages)
+        self._store = LocatorStore(items, pages, page_class=PAGE_CLASS_MSDN)
 
     def _touch(self, chunks: list[SdnChunk], resolution: float) -> None:
         if self._store is None:

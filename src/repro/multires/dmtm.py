@@ -32,6 +32,7 @@ from repro.multires.ddm import DistanceDirectMesh
 from repro.spatial.zorder import zorder_key_normalized
 from repro.storage.locator import LocatorStore
 from repro.storage.pages import PageManager
+from repro.storage.stats import PAGE_CLASS_DMTM
 
 RESOLUTION_PATHNET = 2.0
 
@@ -124,13 +125,17 @@ class DMTM:
                 float(node.position[0]), float(node.position[1]), world
             )
             node_items.append((key, node.node_id, self._encode_node(node)))
-        self._node_store = LocatorStore(node_items, pages)
+        self._node_store = LocatorStore(
+            node_items, pages, page_class=PAGE_CLASS_DMTM
+        )
         face_items = []
         for fi in range(self.mesh.num_faces):
             centroid = self.mesh.face_points(fi).mean(axis=0)
             key = zorder_key_normalized(float(centroid[0]), float(centroid[1]), world)
             face_items.append((key, fi, self._encode_face(fi)))
-        self._face_store = LocatorStore(face_items, pages)
+        self._face_store = LocatorStore(
+            face_items, pages, page_class=PAGE_CLASS_DMTM
+        )
 
     def _encode_node(self, node) -> bytes:
         head = struct.pack(

@@ -1,0 +1,43 @@
+"""Observability layer: tracing spans, metrics, typed trace events
+and per-query trace export.
+
+Everything here is zero-dependency and optional: the engine defaults
+to the shared :data:`~repro.obs.tracing.NULL_TRACER`, whose spans are
+no-ops.  See docs/observability.md for the concepts and the measured
+overhead.
+"""
+
+from repro.obs.events import LevelEvent, QueryTrace
+from repro.obs.export import (
+    query_record,
+    query_trace,
+    read_jsonl,
+    render,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LevelEvent",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "query_record",
+    "query_trace",
+    "read_jsonl",
+    "render",
+    "write_jsonl",
+]

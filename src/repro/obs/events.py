@@ -1,0 +1,95 @@
+"""Typed per-query trace events.
+
+These replace the untyped dicts the ranking loop used to append to
+``filter_trace``/``ranking_trace``: every refinement level now emits a
+:class:`LevelEvent` recording what the level *decided* (candidate
+counts, the k-th interval) and what it *cost* (CPU seconds plus the
+logical/physical page delta attributed to exactly that level, broken
+down by page class).  Summing the events' ``physical_reads`` over both
+phases reproduces the query's ``pages_accessed`` — the invariant
+tests/test_obs.py asserts.
+
+``LevelEvent`` supports read-only mapping access (``event["level"]``,
+``**event``) so existing dict-shaped consumers keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class LevelEvent:
+    """One resolution level of the MR3 ranking loop."""
+
+    phase: str  # "filter" (step 2) | "ranking" (step 4)
+    level: int
+    dmtm_resolution: float
+    msdn_resolution: float
+    active_before: int
+    active_after: int
+    kth_lb: float
+    kth_ub: float
+    done: bool
+    cpu_seconds: float = 0.0
+    logical_reads: int = 0
+    physical_reads: int = 0
+    # Physical reads by page class (dmtm / msdn / objects / index).
+    reads_by_class: dict = field(default_factory=dict)
+
+    # -- read-only mapping protocol (legacy dict-trace compatibility) --
+
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def keys(self):
+        return [f.name for f in fields(self)]
+
+    def to_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["reads_by_class"] = dict(self.reads_by_class)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LevelEvent":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass
+class QueryTrace:
+    """Everything observed about one query, ready for export."""
+
+    method: str
+    query_vertex: int
+    k: int
+    converged: bool
+    events: list[LevelEvent]
+    metrics: dict
+    spans: dict | None = None  # root Span.to_dict(), when traced
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "query_vertex": self.query_vertex,
+            "k": self.k,
+            "converged": self.converged,
+            "events": [e.to_dict() for e in self.events],
+            "metrics": dict(self.metrics),
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryTrace":
+        return cls(
+            method=data["method"],
+            query_vertex=data["query_vertex"],
+            k=data["k"],
+            converged=data["converged"],
+            events=[LevelEvent.from_dict(e) for e in data["events"]],
+            metrics=dict(data["metrics"]),
+            spans=data.get("spans"),
+        )

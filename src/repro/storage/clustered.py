@@ -15,6 +15,7 @@ from repro.errors import StorageError
 from repro.spatial.bplustree import BPlusTree
 from repro.storage.pages import PageManager
 from repro.storage.records import RecordCodec, pack_page, paginate, unpack_page
+from repro.storage.stats import PAGE_CLASS_INDEX
 
 
 class ClusteredRecordStore:
@@ -29,9 +30,17 @@ class ClusteredRecordStore:
         Record encoder/decoder.
     pages:
         The shared :class:`PageManager` this store writes into.
+    page_class:
+        Structure label for per-structure read attribution.
     """
 
-    def __init__(self, items, codec: RecordCodec, pages: PageManager):
+    def __init__(
+        self,
+        items,
+        codec: RecordCodec,
+        pages: PageManager,
+        page_class: str = PAGE_CLASS_INDEX,
+    ):
         self._codec = codec
         self._pages = pages
         ordered = sorted(items, key=lambda kv: kv[0])
@@ -40,7 +49,9 @@ class ClusteredRecordStore:
         self._page_ids: list[int] = []
         cursor = 0
         for batch in paginate(encoded, pages.page_size):
-            page_id = pages.allocate(pack_page(batch, pages.page_size))
+            page_id = pages.allocate(
+                pack_page(batch, pages.page_size), page_class=page_class
+            )
             self._page_ids.append(page_id)
             for slot in range(len(batch)):
                 key = ordered[cursor][0]

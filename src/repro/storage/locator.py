@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.errors import StorageError
 from repro.storage.pages import PageManager
 from repro.storage.records import pack_page, paginate, unpack_page
+from repro.storage.stats import PAGE_CLASS_OTHER
 
 
 class LocatorStore:
@@ -25,9 +26,12 @@ class LocatorStore:
         out on pages in cluster-key order.
     pages:
         Shared :class:`PageManager`.
+    page_class:
+        Structure label under which this store's pages are allocated,
+        for per-structure read attribution (e.g. "dmtm", "msdn").
     """
 
-    def __init__(self, items, pages: PageManager):
+    def __init__(self, items, pages: PageManager, page_class: str = PAGE_CLASS_OTHER):
         self._pages = pages
         ordered = sorted(items, key=lambda t: t[0])
         blobs = [blob for _key, _rid, blob in ordered]
@@ -35,7 +39,9 @@ class LocatorStore:
         self._page_ids: list[int] = []
         cursor = 0
         for batch in paginate(blobs, pages.page_size):
-            page_id = pages.allocate(pack_page(batch, pages.page_size))
+            page_id = pages.allocate(
+                pack_page(batch, pages.page_size), page_class=page_class
+            )
             self._page_ids.append(page_id)
             for slot in range(len(batch)):
                 rid = ordered[cursor][1]

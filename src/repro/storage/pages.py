@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.errors import StorageError
-from repro.storage.stats import IOStatistics
+from repro.storage.stats import PAGE_CLASS_OTHER, IOStatistics
 
 DEFAULT_PAGE_SIZE = 8192
 
@@ -44,14 +44,20 @@ class PageManager:
         self.stats = stats if stats is not None else IOStatistics()
         self._disk: dict[int, bytes] = {}
         self._buffer: OrderedDict[int, bytes] = OrderedDict()
+        self._page_class: dict[int, str] = {}
         self._next_id = 0
 
     @property
     def num_pages(self) -> int:
         return len(self._disk)
 
-    def allocate(self, data: bytes) -> int:
-        """Write a new page to disk; returns its page id."""
+    def allocate(self, data: bytes, page_class: str = PAGE_CLASS_OTHER) -> int:
+        """Write a new page to disk; returns its page id.
+
+        ``page_class`` labels the structure the page belongs to
+        (dmtm / msdn / objects / index) so reads can be attributed
+        per structure in :class:`IOStatistics`.
+        """
         if len(data) > self.page_size:
             raise StorageError(
                 f"page payload of {len(data)} bytes exceeds page size "
@@ -60,20 +66,27 @@ class PageManager:
         page_id = self._next_id
         self._next_id += 1
         self._disk[page_id] = bytes(data)
+        if page_class != PAGE_CLASS_OTHER:
+            self._page_class[page_id] = page_class
         self.stats.pages_written += 1
         return page_id
 
+    def page_class_of(self, page_id: int) -> str:
+        """The class a page was allocated under."""
+        return self._page_class.get(page_id, PAGE_CLASS_OTHER)
+
     def read(self, page_id: int) -> bytes:
         """Fetch a page through the buffer pool."""
-        self.stats.logical_reads += 1
+        page_class = self._page_class.get(page_id, PAGE_CLASS_OTHER)
         cached = self._buffer.get(page_id)
         if cached is not None:
+            self.stats.record_read(page_class, physical=False)
             self._buffer.move_to_end(page_id)
             return cached
         data = self._disk.get(page_id)
         if data is None:
             raise StorageError(f"page {page_id} does not exist")
-        self.stats.physical_reads += 1
+        self.stats.record_read(page_class, physical=True)
         self._buffer[page_id] = data
         if len(self._buffer) > self.buffer_pages:
             self._buffer.popitem(last=False)

@@ -16,6 +16,7 @@ from repro.spatial.rtree import RTree
 from repro.spatial.zorder import zorder_key_normalized
 from repro.storage.pages import PageManager
 from repro.storage.records import RecordCodec, pack_page, paginate, unpack_page
+from repro.storage.stats import PAGE_CLASS_OBJECTS
 
 
 class SpatialRecordStore:
@@ -29,9 +30,18 @@ class SpatialRecordStore:
         Record encoder/decoder.
     pages:
         Shared :class:`PageManager`.
+    page_class:
+        Structure label for per-structure read attribution.
     """
 
-    def __init__(self, items, codec: RecordCodec, pages: PageManager):
+    def __init__(
+        self,
+        items,
+        codec: RecordCodec,
+        pages: PageManager,
+        page_class: str = PAGE_CLASS_OBJECTS,
+    ):
+        self._page_class = page_class
         self._codec = codec
         self._pages = pages
         items = list(items)
@@ -52,7 +62,9 @@ class SpatialRecordStore:
         encoded = [codec.encode(rec) for _mbr, rec in ordered]
         cursor = 0
         for batch in paginate(encoded, pages.page_size):
-            page_id = pages.allocate(pack_page(batch, pages.page_size))
+            page_id = pages.allocate(
+                pack_page(batch, pages.page_size), page_class=page_class
+            )
             self._page_ids.append(page_id)
             for slot in range(len(batch)):
                 mbr = ordered[cursor][0]

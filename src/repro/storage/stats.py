@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+#: Well-known page classes; free-form strings are also accepted.
+PAGE_CLASS_DMTM = "dmtm"
+PAGE_CLASS_MSDN = "msdn"
+PAGE_CLASS_OBJECTS = "objects"
+PAGE_CLASS_INDEX = "index"
+PAGE_CLASS_OTHER = "other"
 
 
 @dataclass
@@ -10,28 +17,72 @@ class IOStatistics:
     """Counters maintained by a :class:`repro.storage.PageManager`.
 
     ``physical_reads`` is the paper's "pages accessed": logical page
-    requests that missed the buffer pool and had to be fetched.
+    requests that missed the buffer pool and had to be fetched.  The
+    ``*_by_class`` dicts attribute the same counts to the structure
+    the page belongs to (dmtm / msdn / objects / index), so a query's
+    page bill can be split per structure.
     """
 
     logical_reads: int = 0
     physical_reads: int = 0
     pages_written: int = 0
+    logical_by_class: dict = field(default_factory=dict)
+    physical_by_class: dict = field(default_factory=dict)
+
+    def record_read(self, page_class: str, physical: bool) -> None:
+        """Account one logical read (and its miss, when physical)."""
+        self.logical_reads += 1
+        self.logical_by_class[page_class] = (
+            self.logical_by_class.get(page_class, 0) + 1
+        )
+        if physical:
+            self.physical_reads += 1
+            self.physical_by_class[page_class] = (
+                self.physical_by_class.get(page_class, 0) + 1
+            )
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of logical reads served from the buffer pool."""
+        if self.logical_reads == 0:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
 
     def reset(self) -> None:
         self.logical_reads = 0
         self.physical_reads = 0
         self.pages_written = 0
+        self.logical_by_class = {}
+        self.physical_by_class = {}
 
     def snapshot(self) -> "IOStatistics":
         return IOStatistics(
-            self.logical_reads, self.physical_reads, self.pages_written
+            logical_reads=self.logical_reads,
+            physical_reads=self.physical_reads,
+            pages_written=self.pages_written,
+            logical_by_class=dict(self.logical_by_class),
+            physical_by_class=dict(self.physical_by_class),
         )
 
     def delta_since(self, earlier: "IOStatistics") -> "IOStatistics":
+        def diff(now: dict, then: dict) -> dict:
+            out = {}
+            for cls, count in now.items():
+                d = count - then.get(cls, 0)
+                if d:
+                    out[cls] = d
+            return out
+
         return IOStatistics(
-            self.logical_reads - earlier.logical_reads,
-            self.physical_reads - earlier.physical_reads,
-            self.pages_written - earlier.pages_written,
+            logical_reads=self.logical_reads - earlier.logical_reads,
+            physical_reads=self.physical_reads - earlier.physical_reads,
+            pages_written=self.pages_written - earlier.pages_written,
+            logical_by_class=diff(
+                self.logical_by_class, earlier.logical_by_class
+            ),
+            physical_by_class=diff(
+                self.physical_by_class, earlier.physical_by_class
+            ),
         )
 
 

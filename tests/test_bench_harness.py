@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.experiments import fig7, fig8, fig9, fig10, fig11
-from repro.bench.runner import format_table
+from repro.bench.runner import experiment_records, format_table
 from repro.bench.workload import build_engine, dataset, mesh_for, query_vertices, vertex_pairs
 from repro.errors import QueryError
 
@@ -70,6 +70,8 @@ class TestExperimentShapes:
         out = fig9(quick=True, size=17, ks=(6,), queries_per_k=1)
         row = out["rows"][0]
         assert row["pages_on"] <= row["pages_off"]
+        # Per-structure breakdown of the integrated run.
+        assert row["pages_dmtm"] + row["pages_msdn"] <= row["pages_on"]
 
     def test_fig10_series_present(self):
         out = fig10(
@@ -88,6 +90,21 @@ class TestExperimentShapes:
         )
         per_o = out["rows"]["BH"]
         assert set(per_o) == {4, 10}
+
+    def test_experiment_records_flatten_both_shapes(self):
+        # List-shaped rows (fig7/8/9, related) -> one record per row.
+        flat = experiment_records("fig9", {"rows": [{"k": 3}, {"k": 6}]})
+        assert [r["point"] for r in flat] == [{"k": 3}, {"k": 6}]
+        # Nested rows (fig10/11) -> one record per (dataset, x) point.
+        nested = experiment_records(
+            "fig10", {"rows": {"BH": {4: {"s=1": {"pages": 2.0}}}}}
+        )
+        (record,) = nested
+        assert record["dataset"] == "BH" and record["x"] == 4
+        for r in flat + nested:
+            assert r["schema"] == "repro.bench/v1"
+            assert r["figure"] in ("fig9", "fig10")
+            assert "point" in r
 
     def test_related_experiment(self):
         from repro.bench.experiments import related

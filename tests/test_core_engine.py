@@ -31,6 +31,16 @@ class TestQueryBasics:
         with pytest.raises(QueryError):
             small_engine.query(0, 1, method="nope")
 
+    def test_bad_method_message_names_alternatives(self, small_engine):
+        with pytest.raises(QueryError, match="'mr3', 'ea' or 'exact'"):
+            small_engine.query(0, 1, method="dijkstra")
+
+    def test_bad_schedule_preset(self):
+        from repro.core.schedule import ResolutionSchedule
+
+        with pytest.raises(QueryError):
+            ResolutionSchedule.preset("not-a-preset")
+
     def test_query_xy_snaps(self, small_engine):
         res = small_engine.query_xy(700.0, 700.0, k=2)
         assert len(res.object_ids) == 2
@@ -44,6 +54,16 @@ class TestQueryBasics:
         assert m.total_seconds >= m.cpu_seconds
         assert m.iterations_filter >= 1
         assert m.candidates_examined >= 3
+        assert m.logical_reads >= m.pages_accessed
+        assert 0.0 <= m.buffer_hit_rate <= 1.0
+        assert sum(m.reads_by_class.values()) == m.pages_accessed
+
+    def test_explain_reports_io(self, small_engine):
+        res = small_engine.query(small_engine.snap(600.0, 900.0), 3)
+        text = res.explain()
+        assert "ms I/O" in text
+        assert "logical" in text
+        assert "hit rate" in text
 
 
 class TestCorrectness:
@@ -89,6 +109,16 @@ class TestEngineConfig:
         res = engine.query(engine.snap(700.0, 700.0), 2)
         assert res.metrics.pages_accessed == 0
         assert len(res.object_ids) == 2
+
+    def test_cold_cache_without_storage(self, bh_mesh):
+        """cold_cache=True must be a no-op when ``pages is None``
+        (with_storage=False), not an AttributeError."""
+        engine = SurfaceKNNEngine(bh_mesh, density=10.0, seed=3, with_storage=False)
+        assert engine.pages is None
+        res = engine.query(engine.snap(700.0, 700.0), 2, cold_cache=True)
+        assert res.metrics.pages_accessed == 0
+        assert res.metrics.logical_reads == 0
+        assert res.metrics.buffer_hit_rate == 0.0
 
     def test_set_objects(self, small_engine):
         original = small_engine.objects
