@@ -1,6 +1,9 @@
 """Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
 
-Figures: fig7, fig8, fig9, fig10, fig11, all.
+Figures: fig7, fig8, fig9, fig10, fig11, related, batch, all.
+The ``batch`` mode takes ``--batch N --workers W`` and reports
+throughput / latency percentiles of the concurrent executor against
+the sequential baseline.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ _FIGURES = {
     "fig10": experiments.fig10,
     "fig11": experiments.fig11,
     "related": experiments.related,
+    "batch": experiments.batch,
 }
 
 
@@ -31,6 +35,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps (CI-sized)"
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        metavar="N",
+        default=None,
+        help="batch mode: number of queries in the batch",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="W",
+        default=4,
+        help="batch mode: thread-pool size (default 4)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -49,7 +67,12 @@ def main(argv=None) -> int:
             parser.error(f"cannot write --metrics-out {args.metrics_out!r}: {exc}")
     records = []
     for name in names:
-        result = run_experiment(_FIGURES[name], quick=args.quick)
+        kwargs = {"quick": args.quick}
+        if name == "batch":
+            kwargs["workers"] = args.workers
+            if args.batch is not None:
+                kwargs["batch"] = args.batch
+        result = run_experiment(_FIGURES[name], **kwargs)
         if args.metrics_out:
             records.extend(experiment_records(name, result))
     if args.metrics_out:

@@ -24,6 +24,13 @@ from repro.core.network_baselines import ine_knn, ier_knn
 from repro.core.embedding import EmbeddedQuery, embed_point
 from repro.core.pairs import surface_closest_pair
 from repro.core.engine import SurfaceKNNEngine
+from repro.core.batch import (
+    BatchQuery,
+    BatchQueryExecutor,
+    BatchReport,
+    BoundCache,
+    shared_bound_cache,
+)
 
 __all__ = [
     "DistanceInterval",
@@ -46,4 +53,9 @@ __all__ = [
     "embed_point",
     "surface_closest_pair",
     "SurfaceKNNEngine",
+    "BatchQuery",
+    "BatchQueryExecutor",
+    "BatchReport",
+    "BoundCache",
+    "shared_bound_cache",
 ]

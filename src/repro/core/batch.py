@@ -1,0 +1,344 @@
+"""Concurrent batch query execution with shared bound caching.
+
+Road-network k-NN experience says simple, cache-friendly batch
+execution beats clever per-query indexing at scale: nearby queries in
+a batch repeat most of each other's work.  For MR3 that repeated work
+is the per-level bound estimation — DMTM network extractions and
+Dijkstra passes for upper bounds, MSDN plane sweeps for lower bounds,
+Kanai-Suzuki polishing for the stragglers.  All of it is a *pure
+function* of (structures, source, target, resolution, region), which
+makes it safely memoizable across queries.
+
+Three pieces cooperate:
+
+* :class:`BoundCache` — a process-wide, thread-safe LRU memo of those
+  pure computations.  The transparency contract: a cache hit returns
+  exactly the value the miss path would compute, so reuse changes CPU
+  cost only — never results, bounds, or logical page accounting
+  (page charging happens per integrated region *before* candidates
+  consult the cache).  ``BatchQueryExecutor(workers=1)`` is therefore
+  bit-identical to a plain ``engine.query`` loop.
+* a shared :class:`~repro.storage.pages.BufferPool` — the engines'
+  page managers already cache through a pool object; the executor's
+  engine can point at the process-wide pool
+  (:func:`repro.storage.pages.shared_buffer_pool`).
+* :class:`~repro.storage.stats.ThreadLocalIOStatistics` — installed
+  on the engine by the executor so each worker accounts page I/O into
+  its own counters; per-query deltas stay exact under concurrency and
+  still sum to the global aggregate.
+
+Example
+-------
+>>> from repro import bearhead_like
+>>> from repro.core import SurfaceKNNEngine
+>>> from repro.core.batch import BatchQueryExecutor
+>>> engine = SurfaceKNNEngine.from_dem(bearhead_like(size=17), density=8)
+>>> executor = BatchQueryExecutor(engine, workers=4)
+>>> report = executor.run([(3, 2), (40, 3), (3, 2)])
+>>> [len(r.object_ids) for r in report.results]
+[2, 3, 2]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.obs.tracing import Tracer
+from repro.storage.stats import ThreadLocalIOStatistics
+
+_MISSING = object()
+
+
+class BoundCache:
+    """Thread-safe LRU memo of deterministic bound computations.
+
+    Keys are tuples built by the ranker from the query anchors, the
+    target vertex, the resolution and the (hashable) search region;
+    values are whatever the underlying computation produced,
+    ``None`` included (a "no path inside this region" outcome is as
+    cacheable as a bound).  Extracted networks are kept in a second,
+    smaller LRU because entries are whole graphs.
+
+    Because every cached value equals the value the computation would
+    return for the same key, sharing one cache across queries — or
+    across threads, under this cache's lock — cannot change any
+    query's answer, bounds, or logical read counts; it only removes
+    repeated CPU work.  That is what keeps batch execution
+    bit-identical to sequential execution.
+    """
+
+    def __init__(self, max_entries: int = 200_000, max_networks: int = 64):
+        if max_entries < 1 or max_networks < 1:
+            raise QueryError("cache capacities must be >= 1")
+        self.max_entries = max_entries
+        self.max_networks = max_networks
+        self._lock = threading.RLock()
+        self._values: OrderedDict = OrderedDict()
+        self._networks: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.network_hits = 0
+        self.network_misses = 0
+
+    def lookup(self, key) -> tuple[bool, object]:
+        """(found, value); value may legitimately be None."""
+        with self._lock:
+            value = self._values.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return False, None
+            self._values.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def store(self, key, value) -> None:
+        with self._lock:
+            self._values[key] = value
+            self._values.move_to_end(key)
+            while len(self._values) > self.max_entries:
+                self._values.popitem(last=False)
+
+    def lookup_network(self, key) -> tuple[bool, object]:
+        with self._lock:
+            value = self._networks.get(key, _MISSING)
+            if value is _MISSING:
+                self.network_misses += 1
+                return False, None
+            self._networks.move_to_end(key)
+            self.network_hits += 1
+            return True, value
+
+    def store_network(self, key, network) -> None:
+        with self._lock:
+            self._networks[key] = network
+            self._networks.move_to_end(key)
+            while len(self._networks) > self.max_networks:
+                self._networks.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def stats(self) -> dict:
+        """JSON-ready counters (for bench reports)."""
+        with self._lock:
+            return {
+                "entries": len(self._values),
+                "networks": len(self._networks),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "network_hits": self.network_hits,
+                "network_misses": self.network_misses,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+            self._networks.clear()
+
+
+_shared_bound_cache: BoundCache | None = None
+_shared_bound_cache_lock = threading.Lock()
+
+
+def shared_bound_cache() -> BoundCache:
+    """The process-wide bound cache, created on first use."""
+    global _shared_bound_cache
+    with _shared_bound_cache_lock:
+        if _shared_bound_cache is None:
+            _shared_bound_cache = BoundCache()
+        return _shared_bound_cache
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One sk-NN query in a batch."""
+
+    vertex: int
+    k: int
+    method: str = "mr3"
+    step_length: int = 1
+
+    @classmethod
+    def of(cls, spec) -> "BatchQuery":
+        """Coerce ``(vertex, k)`` tuples / dicts / BatchQuery."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, dict):
+            return cls(**spec)
+        try:
+            vertex, k = spec
+        except (TypeError, ValueError):
+            raise QueryError(
+                f"batch query spec {spec!r} is not a BatchQuery, "
+                "(vertex, k) pair or kwargs dict"
+            ) from None
+        return cls(vertex=int(vertex), k=int(k))
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one executor run.
+
+    ``results`` is in submission order regardless of worker
+    interleaving; ``latencies`` are per-query wall seconds.
+    """
+
+    results: list
+    latencies: list[float]
+    wall_seconds: float
+    workers: int
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+    def latency_quantile(self, q: float) -> float:
+        """Exact empirical q-quantile of the per-query latencies."""
+        if not 0.0 <= q <= 1.0:
+            raise QueryError(f"quantile must be in [0, 1], got {q}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        """JSON-ready roll-up (throughput, latency percentiles, I/O)."""
+        return {
+            "queries": len(self.results),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "latency_p50": self.latency_quantile(0.50),
+            "latency_p95": self.latency_quantile(0.95),
+            "latency_p99": self.latency_quantile(0.99),
+            "logical_reads": sum(
+                r.metrics.logical_reads for r in self.results
+            ),
+            "pages_accessed": sum(
+                r.metrics.pages_accessed for r in self.results
+            ),
+            "bound_cache": dict(self.cache_stats),
+        }
+
+
+class BatchQueryExecutor:
+    """Runs many sk-NN queries concurrently over one engine.
+
+    Parameters
+    ----------
+    engine:
+        A built :class:`~repro.core.engine.SurfaceKNNEngine`.  On
+        construction the executor installs a
+        :class:`~repro.storage.stats.ThreadLocalIOStatistics` router
+        on the engine (idempotent), so worker threads account page
+        I/O without cross-talk; the engine keeps working normally for
+        sequential use afterwards.
+    workers:
+        Thread-pool width.  ``workers=1`` executes inline and is
+        bit-identical to calling ``engine.query`` in a loop.
+    bound_cache:
+        Shared :class:`BoundCache`; default a fresh private cache.
+        Pass :func:`shared_bound_cache` to share across executors, or
+        ``None`` explicitly via ``share_bounds=False`` to disable.
+    share_bounds:
+        Disable bound sharing entirely when False.
+    tracing:
+        When True every query runs under its own
+        :class:`~repro.obs.tracing.Tracer`, so span trees never mix
+        between concurrent queries (``result.root_span`` per query).
+    cold_cache:
+        Forwarded to ``engine.query`` (default True, the paper's
+        per-query cold-start measurement).
+    """
+
+    def __init__(
+        self,
+        engine,
+        workers: int = 1,
+        bound_cache: BoundCache | None = None,
+        share_bounds: bool = True,
+        tracing: bool = False,
+        cold_cache: bool = True,
+    ):
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.workers = workers
+        self.tracing = tracing
+        self.cold_cache = cold_cache
+        if not share_bounds:
+            self.bound_cache = None
+        else:
+            self.bound_cache = (
+                bound_cache if bound_cache is not None else BoundCache()
+            )
+        self._install_thread_local_stats()
+
+    def _install_thread_local_stats(self) -> None:
+        """Swap the engine's IOStatistics for a per-thread router."""
+        if isinstance(self.engine.stats, ThreadLocalIOStatistics):
+            return
+        router = ThreadLocalIOStatistics()
+        self.engine.stats = router
+        if self.engine.pages is not None:
+            self.engine.pages.stats = router
+
+    # ------------------------------------------------------------------
+
+    def _run_one(self, spec: BatchQuery):
+        tracer = Tracer() if self.tracing else None
+        start = time.perf_counter()
+        result = self.engine.query(
+            spec.vertex,
+            spec.k,
+            method=spec.method,
+            step_length=spec.step_length,
+            cold_cache=self.cold_cache,
+            tracer=tracer,
+            bound_cache=self.bound_cache,
+        )
+        return result, time.perf_counter() - start
+
+    def run(self, queries) -> BatchReport:
+        """Execute the batch; results come back in submission order."""
+        specs = [BatchQuery.of(q) for q in queries]
+        start = time.perf_counter()
+        if self.workers == 1 or len(specs) <= 1:
+            outcomes = [self._run_one(spec) for spec in specs]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="sknn-batch"
+            ) as pool:
+                outcomes = list(pool.map(self._run_one, specs))
+        wall = time.perf_counter() - start
+        return BatchReport(
+            results=[r for r, _t in outcomes],
+            latencies=[t for _r, t in outcomes],
+            wall_seconds=wall,
+            workers=self.workers,
+            cache_stats=(
+                self.bound_cache.stats() if self.bound_cache is not None else {}
+            ),
+        )
+
+    def run_vertices(self, vertices, k: int, **spec_kwargs) -> BatchReport:
+        """Convenience: same ``k`` (and options) for many vertices."""
+        return self.run(
+            [BatchQuery(vertex=int(v), k=k, **spec_kwargs) for v in vertices]
+        )

@@ -70,6 +70,12 @@ class SurfaceKNNEngine:
         enabled), every query produces a span tree reachable from
         ``QueryResult.root_span`` and from ``tracer.finished()``.
         Defaults to the shared no-op tracer — zero overhead.
+    buffer_pool:
+        Optional :class:`repro.storage.pages.BufferPool` to cache
+        pages through — pass
+        :func:`repro.storage.pages.shared_buffer_pool` to share one
+        process-wide LRU across engines and threads.  By default the
+        engine keeps a private pool of ``buffer_pages``.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class SurfaceKNNEngine:
         disk: DiskModel | None = None,
         with_storage: bool = True,
         tracer=None,
+        buffer_pool=None,
     ):
         self.mesh = mesh
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -103,7 +110,10 @@ class SurfaceKNNEngine:
         self.pages: PageManager | None = None
         if with_storage:
             self.pages = PageManager(
-                page_size=page_size, buffer_pages=buffer_pages, stats=self.stats
+                page_size=page_size,
+                buffer_pages=buffer_pages,
+                stats=self.stats,
+                buffer=buffer_pool,
             )
             self.dmtm.attach_storage(self.pages)
             self.msdn.attach_storage(self.pages)
@@ -143,17 +153,24 @@ class SurfaceKNNEngine:
         use_refined_region: bool = True,
         use_dummy_lb: bool = True,
         cold_cache: bool = True,
+        tracer=None,
+        bound_cache=None,
     ) -> QueryResult:
         """Answer an sk-NN query at a mesh vertex.
 
         ``cold_cache`` drops the buffer pool first, so every query is
         measured from a cold start (the paper reports per-query page
-        counts).
+        counts).  ``tracer`` overrides the engine tracer for this one
+        query (the batch executor gives every query its own);
+        ``bound_cache`` is an optional
+        :class:`repro.core.batch.BoundCache` sharing bound
+        computations across queries without changing any answer.
         """
+        tracer = tracer if tracer is not None else self.tracer
         if cold_cache and self.pages is not None:
             self.pages.drop_buffer()
         if method == "exact":
-            return self._query_exact(query_vertex, k)
+            return self._query_exact(query_vertex, k, tracer=tracer)
         if method == "mr3":
             schedule = ResolutionSchedule.preset(step_length)
         elif method == "ea":
@@ -176,9 +193,10 @@ class SurfaceKNNEngine:
             options=options,
             stats=self.stats,
             disk=self.disk,
-            tracer=self.tracer,
+            tracer=tracer,
+            bound_cache=bound_cache,
         )
-        with self.tracer.span(
+        with tracer.span(
             "engine.query", method=method, k=k, cold_cache=cold_cache
         ) as span:
             result = processor.query(query_vertex, k)
@@ -243,9 +261,10 @@ class SurfaceKNNEngine:
         )
         return processor.query(query, k)
 
-    def _query_exact(self, query_vertex: int, k: int) -> QueryResult:
+    def _query_exact(self, query_vertex: int, k: int, tracer=None) -> QueryResult:
+        tracer = tracer if tracer is not None else self.tracer
         cpu_start = time.process_time()
-        with self.tracer.span(
+        with tracer.span(
             "engine.query", method="exact", k=k, query_vertex=query_vertex
         ):
             pairs = exact_knn(self.mesh, self.objects, query_vertex, k)

@@ -117,13 +117,15 @@ class MR3QueryProcessor:
         stats: IOStatistics | None = None,
         disk: DiskModel | None = None,
         tracer=None,
+        bound_cache=None,
     ):
         self.mesh = mesh
         self.objects = objects
         self.schedule = schedule
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.ranker = DistanceRanker(
-            mesh, dmtm, msdn, schedule, options, stats=stats, tracer=self.tracer
+            mesh, dmtm, msdn, schedule, options, stats=stats,
+            tracer=self.tracer, bound_cache=bound_cache,
         )
         self.stats = stats
         self.disk = disk if disk is not None else DiskModel()

@@ -37,6 +37,12 @@ from repro.obs.events import LevelEvent
 from repro.obs.tracing import NULL_TRACER
 
 
+def _anchors_key(anchors) -> tuple:
+    """Hashable, type-normalized form of a query's (vertex, offset)
+    anchors, for bound-cache keys."""
+    return tuple((int(v), float(off)) for v, off in anchors)
+
+
 @dataclass(frozen=True)
 class RankerOptions:
     """Tuning knobs of the ranking loop (all paper-described)."""
@@ -90,6 +96,7 @@ class DistanceRanker:
         options: RankerOptions | None = None,
         stats=None,
         tracer=None,
+        bound_cache=None,
     ):
         self.mesh = mesh
         self.dmtm = dmtm
@@ -100,6 +107,13 @@ class DistanceRanker:
         # logical/physical page delta attributed to its level.
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Optional repro.core.batch.BoundCache.  Every bound the loop
+        # computes is a pure function of (structures, anchors, target,
+        # resolution, region); the cache memoizes those computations
+        # across queries.  Page charging (touch_region) is never
+        # skipped on a hit, so cached and uncached runs are identical
+        # in results AND logical reads — the cache only saves CPU.
+        self.bound_cache = bound_cache
 
     # ------------------------------------------------------------------
 
@@ -290,20 +304,12 @@ class DistanceRanker:
         if active and self.options.final_polish:
             # Straddling candidates get the Kanai-Suzuki polish so the
             # in/out decision is made with ~3 %-accurate upper bounds.
-            from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
-
             for cand in active:
                 best = cand.ub
                 for anchor_vertex, offset in anchors:
                     best = min(
                         best,
-                        offset
-                        + kanai_suzuki_distance(
-                            self.mesh,
-                            anchor_vertex,
-                            cand.vertex,
-                            tolerance=self.options.polish_tolerance,
-                        ),
+                        offset + self._ks_distance(anchor_vertex, cand.vertex),
                     )
                 cand.interval.refine_ub(best)
             active = [c for c in active if c.lb <= radius < c.ub]
@@ -319,8 +325,6 @@ class DistanceRanker:
         slack; selectively refining just the ambiguous candidates is
         exactly how the paper's EA reaches its 97 % accuracy.
         """
-        from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
-
         # Ambiguous candidates plus the current winners they compete
         # with (a winner's stale ub may be the blocking range).
         targets = list(verdict.active) + [
@@ -329,12 +333,7 @@ class DistanceRanker:
         for cand in targets:
             best = cand.ub
             for anchor_vertex, offset in anchors:
-                value = offset + kanai_suzuki_distance(
-                    self.mesh,
-                    anchor_vertex,
-                    cand.vertex,
-                    tolerance=self.options.polish_tolerance,
-                )
+                value = offset + self._ks_distance(anchor_vertex, cand.vertex)
                 best = min(best, value)
             cand.interval.refine_ub(best)
 
@@ -381,9 +380,10 @@ class DistanceRanker:
         """
         groups = self._group_for_io(active, plan.io_regions)
         for group_box, members in groups:
-            # One fetch per integrated region...
+            # One fetch per integrated region (page I/O is charged
+            # here unconditionally — a bound-cache hit below never
+            # changes the read accounting).
             self.dmtm.touch_region(res_u, group_box)
-            shared = self.dmtm.extract_network(res_u, group_box, charge_io=False)
             refinables = []
             for idx in members:
                 cand = active[idx]
@@ -400,8 +400,8 @@ class DistanceRanker:
                     cand.interval.refine_ub(value)
                     cand.ub_path_keys = keys
             if refinables:
-                combined = self._combined_ubs(
-                    anchors, [c.vertex for c in refinables], shared
+                combined = self._combined_ubs_over_region(
+                    anchors, [c.vertex for c in refinables], res_u, group_box
                 )
                 for cand in refinables:
                     result = combined.get(cand.vertex)
@@ -409,6 +409,54 @@ class DistanceRanker:
                         value, keys = result
                         cand.interval.refine_ub(value)
                         cand.ub_path_keys = keys
+
+    def _combined_ubs_over_region(
+        self, anchors, target_vertices, res_u: float, group_box
+    ) -> dict:
+        """Combined upper bounds for targets sharing one fetched
+        region, memoized per (anchors, target, resolution, region)."""
+        cache = self.bound_cache
+        if cache is None:
+            shared = self.dmtm.extract_network(
+                res_u, group_box, charge_io=False
+            )
+            return self._combined_ubs(anchors, target_vertices, shared)
+        anchors_key = _anchors_key(anchors)
+        out: dict = {}
+        missing: list[int] = []
+        for vertex in dict.fromkeys(target_vertices):
+            key = ("ub", anchors_key, vertex, res_u, group_box)
+            found, value = cache.lookup(key)
+            if found:
+                if value is not None:
+                    out[vertex] = value
+            else:
+                missing.append(vertex)
+        if missing:
+            shared = self._shared_network(res_u, group_box)
+            computed = self._combined_ubs(anchors, missing, shared)
+            for vertex in missing:
+                value = computed.get(vertex)
+                cache.store(("ub", anchors_key, vertex, res_u, group_box), value)
+                if value is not None:
+                    out[vertex] = value
+        return out
+
+    def _shared_network(self, res_u: float, group_box):
+        """Extract (or reuse) the group's shared network.  Extraction
+        is pure given (resolution, region), and the KeyedGraph is only
+        read afterwards, so one instance can serve many queries."""
+        cache = self.bound_cache
+        if cache is None:
+            return self.dmtm.extract_network(res_u, group_box, charge_io=False)
+        key = ("net", res_u, group_box)
+        found, network = cache.lookup_network(key)
+        if not found:
+            network = self.dmtm.extract_network(
+                res_u, group_box, charge_io=False
+            )
+            cache.store_network(key, network)
+        return network
 
     def _combined_ubs(self, anchors, target_vertices, network):
         """Best upper bound per target over all source anchors:
@@ -430,6 +478,22 @@ class DistanceRanker:
     def _estimate_ub_refined(self, anchors, cand, boxes, res_u):
         """Try the refined corridor, widening it (the paper doubles
         each vertex MBR) before falling back to the shared network."""
+        cache = self.bound_cache
+        if cache is not None:
+            key = (
+                "ubr", _anchors_key(anchors), cand.vertex, res_u, tuple(boxes),
+            )
+            found, value = cache.lookup(key)
+            if found:
+                return value
+            value = self._estimate_ub_refined_uncached(
+                anchors, cand, boxes, res_u
+            )
+            cache.store(key, value)
+            return value
+        return self._estimate_ub_refined_uncached(anchors, cand, boxes, res_u)
+
+    def _estimate_ub_refined_uncached(self, anchors, cand, boxes, res_u):
         margin = 0.0
         for _attempt in range(3):
             region = [b.expanded(margin) if margin else b for b in boxes]
@@ -498,12 +562,55 @@ class DistanceRanker:
                     # smaller) cannot either, so skip the full pass.
                     if dummy.value < kth_ub_estimate:
                         continue
-                result = self.msdn.lower_bound(
-                    q_pos, cand.position, res_l, roi=roi_arg, charge_io=False
-                )
+                result = self._lower_bound(q_pos, cand.position, res_l, roi)
                 cand.interval.refine_lb(result.value)
                 cand.lb_path_keys = result.path_keys
                 cand.lb_path_resolution = result.resolution
+
+    def _lower_bound(self, q_pos, position, res_l: float, roi):
+        """Full MSDN lower bound, memoized per
+        (source, target, resolution, region)."""
+        roi_arg = [roi] if roi is not None else None
+        cache = self.bound_cache
+        if cache is None:
+            return self.msdn.lower_bound(
+                q_pos, position, res_l, roi=roi_arg, charge_io=False
+            )
+        key = (
+            "lb",
+            tuple(float(c) for c in q_pos),
+            tuple(float(c) for c in position),
+            res_l,
+            roi,
+        )
+        found, result = cache.lookup(key)
+        if not found:
+            result = self.msdn.lower_bound(
+                q_pos, position, res_l, roi=roi_arg, charge_io=False
+            )
+            cache.store(key, result)
+        return result
+
+    def _ks_distance(self, anchor_vertex: int, vertex: int) -> float:
+        """Kanai-Suzuki polish distance, memoized per (pair, tolerance)
+        — the single most expensive repeated computation in a batch of
+        overlapping queries."""
+        from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
+
+        tolerance = self.options.polish_tolerance
+        cache = self.bound_cache
+        if cache is None:
+            return kanai_suzuki_distance(
+                self.mesh, anchor_vertex, vertex, tolerance=tolerance
+            )
+        key = ("ks", int(anchor_vertex), int(vertex), tolerance)
+        found, value = cache.lookup(key)
+        if not found:
+            value = kanai_suzuki_distance(
+                self.mesh, anchor_vertex, vertex, tolerance=tolerance
+            )
+            cache.store(key, value)
+        return value
 
     # ------------------------------------------------------------------
     # I/O grouping

@@ -53,6 +53,34 @@ def query_record(result) -> dict:
     return record
 
 
+def normalize_record(record: dict) -> dict:
+    """Copy of a ``repro.query_trace/v1`` record with every wall-clock
+    quantity zeroed (metrics seconds, per-event CPU, span durations).
+
+    Page counts, candidate counts and bound values are deterministic
+    for a given engine/query and stay untouched — this is what golden
+    regression tests compare against.
+    """
+    out = json.loads(json.dumps(record, sort_keys=True))
+    metrics = out.get("metrics")
+    if isinstance(metrics, dict):
+        for key in ("cpu_seconds", "io_seconds", "total_seconds"):
+            if key in metrics:
+                metrics[key] = 0.0
+    for event in out.get("events", []):
+        if "cpu_seconds" in event:
+            event["cpu_seconds"] = 0.0
+
+    def scrub(span: dict) -> None:
+        span["duration_seconds"] = 0.0
+        for child in span.get("children", []):
+            scrub(child)
+
+    if isinstance(out.get("spans"), dict):
+        scrub(out["spans"])
+    return out
+
+
 def write_jsonl(path, records, append: bool = False) -> int:
     """Write dict records one-per-line; returns the record count."""
     mode = "a" if append else "w"

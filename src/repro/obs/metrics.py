@@ -22,21 +22,29 @@ import threading
 
 
 class Counter:
-    """Monotonically increasing total."""
+    """Monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    ``add`` takes the instrument lock: attribute ``+=`` is not atomic
+    in CPython, so unlocked concurrent increments from a query thread
+    pool would lose counts.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def add(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
@@ -74,7 +82,9 @@ class Histogram:
     tests/test_obs.py.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "_min", "_max")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "_min", "_max", "_lock",
+    )
 
     def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
         bounds = tuple(float(b) for b in buckets)
@@ -89,16 +99,18 @@ class Histogram:
         self.total = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
+        with self._lock:
+            self.counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
 
     @property
     def mean(self) -> float:
@@ -123,11 +135,12 @@ class Histogram:
         return self._max
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-        self._min = math.inf
-        self._max = -math.inf
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0.0
+            self._min = math.inf
+            self._max = -math.inf
 
 
 class MetricsRegistry:

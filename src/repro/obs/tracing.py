@@ -116,7 +116,8 @@ class _SpanContext:
         if stack:
             stack[-1].children.append(span)
         else:
-            self._tracer._finished.append(span)
+            with self._tracer._lock:
+                self._tracer._finished.append(span)
         return False  # never swallow the exception
 
 
@@ -134,6 +135,7 @@ class Tracer:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._local = threading.local()
+        self._lock = threading.Lock()
         self._finished: list[Span] = []
 
     def _stack(self) -> list[Span]:
@@ -155,15 +157,18 @@ class Tracer:
 
     def finished(self) -> list[Span]:
         """Finished *root* spans, oldest first."""
-        return list(self._finished)
+        with self._lock:
+            return list(self._finished)
 
     def take(self) -> list[Span]:
         """Return finished root spans and clear the buffer."""
-        spans, self._finished = self._finished, []
+        with self._lock:
+            spans, self._finished = self._finished, []
         return spans
 
     def reset(self) -> None:
-        self._finished.clear()
+        with self._lock:
+            self._finished.clear()
         self._stack().clear()
 
 

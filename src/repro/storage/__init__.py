@@ -11,8 +11,8 @@ per-page latency converts page counts into the simulated I/O seconds
 that enter "total time" in Figures 10–11.
 """
 
-from repro.storage.stats import IOStatistics, DiskModel
-from repro.storage.pages import PageManager
+from repro.storage.stats import IOStatistics, DiskModel, ThreadLocalIOStatistics
+from repro.storage.pages import BufferPool, PageManager, shared_buffer_pool
 from repro.storage.records import RecordCodec, pack_floats, unpack_floats
 from repro.storage.clustered import ClusteredRecordStore
 from repro.storage.segstore import SpatialRecordStore
@@ -21,7 +21,10 @@ from repro.storage.locator import LocatorStore
 __all__ = [
     "IOStatistics",
     "DiskModel",
+    "ThreadLocalIOStatistics",
+    "BufferPool",
     "PageManager",
+    "shared_buffer_pool",
     "RecordCodec",
     "pack_floats",
     "unpack_floats",

@@ -1,18 +1,102 @@
-"""Fixed-size pages behind an LRU buffer pool.
+"""Fixed-size pages behind a thread-safe LRU buffer pool.
 
-The "disk" is a dict of immutable byte blocks; reads go through the
-buffer pool and misses increment ``IOStatistics.physical_reads`` —
-the paper's *pages accessed* observable.
+The "disk" is a dict of immutable byte blocks; reads go through a
+:class:`BufferPool` and misses increment
+``IOStatistics.physical_reads`` — the paper's *pages accessed*
+observable.
+
+The buffer pool is a separate object so it can be shared: by default
+every :class:`PageManager` owns a private pool sized by its
+``buffer_pages`` (the original per-engine behaviour), but any number
+of managers — and any number of threads — may account into one
+process-wide pool (:func:`shared_buffer_pool`), which is what the
+batch query executor uses.  Pool entries are keyed by
+``(owner, page_id)`` so managers sharing a pool never alias each
+other's page ids.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections import OrderedDict
 
 from repro.errors import StorageError
 from repro.storage.stats import PAGE_CLASS_OTHER, IOStatistics
 
 DEFAULT_PAGE_SIZE = 8192
+
+#: Capacity of the process-wide shared pool (pages, not bytes).
+DEFAULT_SHARED_BUFFER_PAGES = 4096
+
+_owner_tokens = itertools.count()
+
+
+class BufferPool:
+    """A thread-safe LRU cache of pages, shareable across managers.
+
+    Entries are keyed by ``(owner, page_id)``; each
+    :class:`PageManager` passes its own owner token, so several
+    managers (one per engine, say) can share one pool without page-id
+    collisions.  All operations hold the pool's lock, so concurrent
+    readers from a thread pool see a consistent LRU.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise StorageError("buffer pool capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, owner: int, page_id: int) -> bytes | None:
+        """The cached page, refreshed to most-recently-used; None on miss."""
+        key = (owner, page_id)
+        with self._lock:
+            data = self._entries.get(key)
+            if data is not None:
+                self._entries.move_to_end(key)
+            return data
+
+    def put(self, owner: int, page_id: int, data: bytes) -> None:
+        """Insert a page, evicting least-recently-used beyond capacity."""
+        with self._lock:
+            self._entries[(owner, page_id)] = data
+            self._entries.move_to_end((owner, page_id))
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def drop(self, owner: int | None = None) -> None:
+        """Evict one owner's pages (or everything when owner is None)."""
+        with self._lock:
+            if owner is None:
+                self._entries.clear()
+                return
+            for key in [k for k in self._entries if k[0] == owner]:
+                del self._entries[key]
+
+
+_shared_pool: BufferPool | None = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_buffer_pool(capacity: int | None = None) -> BufferPool:
+    """The process-wide buffer pool, created on first use.
+
+    ``capacity`` only applies to the creating call; later callers get
+    the existing pool regardless.
+    """
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = BufferPool(
+                DEFAULT_SHARED_BUFFER_PAGES if capacity is None else capacity
+            )
+        return _shared_pool
 
 
 class PageManager:
@@ -23,10 +107,19 @@ class PageManager:
     page_size:
         Capacity of each page in bytes (Oracle-style 8 KiB default).
     buffer_pages:
-        Number of pages the LRU buffer pool can hold.
+        Capacity of the private pool built when ``buffer`` is omitted.
     stats:
         Optional shared :class:`IOStatistics` (several stores can
         account into one counter set, as one database would).
+    buffer:
+        Optional :class:`BufferPool` to cache through — pass
+        :func:`shared_buffer_pool` to share one LRU across engines
+        and threads; by default a private pool of ``buffer_pages``
+        is created (the classic per-engine buffer).
+
+    Reads are guarded by a per-manager lock so the buffer probe and
+    the hit/miss accounting are atomic with respect to other threads
+    using this manager.
     """
 
     def __init__(
@@ -34,6 +127,7 @@ class PageManager:
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_pages: int = 256,
         stats: IOStatistics | None = None,
+        buffer: BufferPool | None = None,
     ):
         if page_size < 64:
             raise StorageError("page_size must be at least 64 bytes")
@@ -42,14 +136,21 @@ class PageManager:
         self.page_size = page_size
         self.buffer_pages = buffer_pages
         self.stats = stats if stats is not None else IOStatistics()
+        self._buffer = buffer if buffer is not None else BufferPool(buffer_pages)
+        self._owner = next(_owner_tokens)
+        self._lock = threading.RLock()
         self._disk: dict[int, bytes] = {}
-        self._buffer: OrderedDict[int, bytes] = OrderedDict()
         self._page_class: dict[int, str] = {}
         self._next_id = 0
 
     @property
     def num_pages(self) -> int:
         return len(self._disk)
+
+    @property
+    def buffer(self) -> BufferPool:
+        """The pool this manager caches through (possibly shared)."""
+        return self._buffer
 
     def allocate(self, data: bytes, page_class: str = PAGE_CLASS_OTHER) -> int:
         """Write a new page to disk; returns its page id.
@@ -63,12 +164,13 @@ class PageManager:
                 f"page payload of {len(data)} bytes exceeds page size "
                 f"{self.page_size}"
             )
-        page_id = self._next_id
-        self._next_id += 1
-        self._disk[page_id] = bytes(data)
-        if page_class != PAGE_CLASS_OTHER:
-            self._page_class[page_id] = page_class
-        self.stats.pages_written += 1
+        with self._lock:
+            page_id = self._next_id
+            self._next_id += 1
+            self._disk[page_id] = bytes(data)
+            if page_class != PAGE_CLASS_OTHER:
+                self._page_class[page_id] = page_class
+            self.stats.record_write()
         return page_id
 
     def page_class_of(self, page_id: int) -> str:
@@ -76,22 +178,26 @@ class PageManager:
         return self._page_class.get(page_id, PAGE_CLASS_OTHER)
 
     def read(self, page_id: int) -> bytes:
-        """Fetch a page through the buffer pool."""
+        """Fetch a page through the buffer pool.
+
+        The probe, the stats update and the pool insertion happen
+        under the manager lock, so hit/miss accounting stays exact
+        when many threads hammer one manager (the invariant
+        ``logical_reads == hits + physical_reads`` holds).
+        """
         page_class = self._page_class.get(page_id, PAGE_CLASS_OTHER)
-        cached = self._buffer.get(page_id)
-        if cached is not None:
-            self.stats.record_read(page_class, physical=False)
-            self._buffer.move_to_end(page_id)
-            return cached
-        data = self._disk.get(page_id)
-        if data is None:
-            raise StorageError(f"page {page_id} does not exist")
-        self.stats.record_read(page_class, physical=True)
-        self._buffer[page_id] = data
-        if len(self._buffer) > self.buffer_pages:
-            self._buffer.popitem(last=False)
-        return data
+        with self._lock:
+            cached = self._buffer.get(self._owner, page_id)
+            if cached is not None:
+                self.stats.record_read(page_class, physical=False)
+                return cached
+            data = self._disk.get(page_id)
+            if data is None:
+                raise StorageError(f"page {page_id} does not exist")
+            self.stats.record_read(page_class, physical=True)
+            self._buffer.put(self._owner, page_id, data)
+            return data
 
     def drop_buffer(self) -> None:
-        """Empty the buffer pool (cold-cache experiment runs)."""
-        self._buffer.clear()
+        """Evict this manager's pages (cold-cache experiment runs)."""
+        self._buffer.drop(self._owner)

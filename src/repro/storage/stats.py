@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 #: Well-known page classes; free-form strings are also accepted.
@@ -28,6 +29,10 @@ class IOStatistics:
     pages_written: int = 0
     logical_by_class: dict = field(default_factory=dict)
     physical_by_class: dict = field(default_factory=dict)
+
+    def record_write(self) -> None:
+        """Account one page allocation."""
+        self.pages_written += 1
 
     def record_read(self, page_class: str, physical: bool) -> None:
         """Account one logical read (and its miss, when physical)."""
@@ -84,6 +89,102 @@ class IOStatistics:
                 self.physical_by_class, earlier.physical_by_class
             ),
         )
+
+
+class ThreadLocalIOStatistics:
+    """An :class:`IOStatistics` facade keeping one instance per thread.
+
+    Concurrent queries sharing one :class:`~repro.storage.pages.PageManager`
+    would trample each other's ``snapshot()``/``delta_since()`` windows
+    on a single counter set.  This router gives every thread its own
+    private ``IOStatistics``: ``record_read``/``record_write``/
+    ``snapshot``/``delta_since`` all act on the calling thread's
+    instance, so a worker's per-query delta only ever contains its own
+    page traffic.  :meth:`aggregate` sums every thread's counters into
+    one global view — by construction the sum of all per-query deltas
+    (plus whatever ran outside a delta window) equals the aggregate,
+    the invariant the batch stress tests assert.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._parts: list[IOStatistics] = []
+
+    def _stats(self) -> IOStatistics:
+        stats = getattr(self._local, "stats", None)
+        if stats is None:
+            stats = self._local.stats = IOStatistics()
+            with self._lock:
+                self._parts.append(stats)
+        return stats
+
+    # -- accounting (thread-local) -------------------------------------
+
+    def record_read(self, page_class: str, physical: bool) -> None:
+        self._stats().record_read(page_class, physical)
+
+    def record_write(self) -> None:
+        self._stats().record_write()
+
+    def snapshot(self) -> IOStatistics:
+        """Snapshot of the *calling thread's* counters."""
+        return self._stats().snapshot()
+
+    def delta_since(self, earlier: IOStatistics) -> IOStatistics:
+        """Delta of the *calling thread's* counters."""
+        return self._stats().delta_since(earlier)
+
+    # -- global view ----------------------------------------------------
+
+    def aggregate(self) -> IOStatistics:
+        """Sum of every thread's counters (one merged IOStatistics)."""
+        with self._lock:
+            parts = list(self._parts)
+        total = IOStatistics()
+        for part in parts:
+            total.logical_reads += part.logical_reads
+            total.physical_reads += part.physical_reads
+            total.pages_written += part.pages_written
+            for cls, count in part.logical_by_class.items():
+                total.logical_by_class[cls] = (
+                    total.logical_by_class.get(cls, 0) + count
+                )
+            for cls, count in part.physical_by_class.items():
+                total.physical_by_class[cls] = (
+                    total.physical_by_class.get(cls, 0) + count
+                )
+        return total
+
+    @property
+    def logical_reads(self) -> int:
+        return self.aggregate().logical_reads
+
+    @property
+    def physical_reads(self) -> int:
+        return self.aggregate().physical_reads
+
+    @property
+    def pages_written(self) -> int:
+        return self.aggregate().pages_written
+
+    @property
+    def logical_by_class(self) -> dict:
+        return self.aggregate().logical_by_class
+
+    @property
+    def physical_by_class(self) -> dict:
+        return self.aggregate().physical_by_class
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        return self.aggregate().buffer_hit_rate
+
+    def reset(self) -> None:
+        with self._lock:
+            parts = list(self._parts)
+        for part in parts:
+            part.reset()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,142 @@
+"""Differential suite: MR3 against brute-force exact-geodesic k-NN.
+
+Every (terrain, density, k, query) point in the grid runs both the
+MR3 pipeline and :func:`repro.core.baseline.exact_knn` over the same
+object set, then checks
+
+* the returned id set matches the exact answer (exactly on flat
+  terrain; with the paper's 3 % surface-distance tie tolerance on
+  rough terrain, where Kanai-Suzuki polishing is allowed that error);
+* every reported interval brackets the true surface distance:
+  ``lb - eps <= dS <= ub + eps``;
+* reported intervals are ordered and winners come back ascending.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import exact_knn
+from repro.core.engine import SurfaceKNNEngine
+
+EPS = 1e-6
+TIE_TOLERANCE = 1.03  # the paper's 3 % approximation allowance
+
+
+@pytest.fixture(scope="module")
+def rough_engine(rough_mesh) -> SurfaceKNNEngine:
+    """A dedicated engine (module-owned: the density sweep calls
+    ``set_objects``, which must not leak into session fixtures)."""
+    return SurfaceKNNEngine(rough_mesh, density=12.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def flat_engine(flat_mesh) -> SurfaceKNNEngine:
+    return SurfaceKNNEngine(flat_mesh, density=25.0, seed=11)
+
+
+def _query_vertices(mesh) -> list[int]:
+    """Deterministic spread of query positions: center, corner area,
+    mid-edge area."""
+    bounds = mesh.xy_bounds()
+    cx, cy = bounds.center
+    lox, loy = bounds.lo[0], bounds.lo[1]
+    hix, hiy = bounds.hi[0], bounds.hi[1]
+    picks = [
+        (cx, cy),
+        (lox + 0.15 * (hix - lox), loy + 0.2 * (hiy - loy)),
+        (hix - 0.1 * (hix - lox), cy),
+    ]
+    return sorted({mesh.nearest_vertex(p) for p in picks})
+
+
+def _truth(engine, qv) -> list[tuple[int, float]]:
+    return exact_knn(engine.mesh, engine.objects, qv, len(engine.objects))
+
+
+def _check_one(engine, qv, k, step_length, *, exact_sets: bool) -> None:
+    truth = _truth(engine, qv)
+    truth_dist = dict(truth)
+    want = {obj for obj, _d in truth[:k]}
+    kth = truth[k - 1][1]
+
+    result = engine.query(qv, k, step_length=step_length)
+    got = set(result.object_ids)
+    assert len(result.object_ids) == k
+    assert len(got) == k, "duplicate neighbours returned"
+
+    if exact_sets or got != want:
+        if exact_sets:
+            assert got == want, (
+                f"qv={qv} k={k} s={step_length}: {sorted(got)} != "
+                f"{sorted(want)}"
+            )
+        else:
+            # Rough terrain: extras must be 3 %-ties of the true k-th.
+            for obj in got - want:
+                assert truth_dist[obj] <= kth * TIE_TOLERANCE + EPS, (
+                    f"qv={qv} k={k}: object {obj} at dS="
+                    f"{truth_dist[obj]:.3f} is no tie of kth={kth:.3f}"
+                )
+
+    # Interval soundness against the exact surface distance.
+    prev_ub = -np.inf
+    for obj, (lb, ub) in zip(result.object_ids, result.intervals):
+        ds = truth_dist[obj]
+        assert lb <= ds + EPS + 1e-9 * ds, (obj, lb, ds)
+        assert ub >= ds - EPS - 1e-9 * ds, (obj, ub, ds)
+        assert lb <= ub + EPS
+        assert ub >= prev_ub - EPS, "winners not ascending by ub"
+        prev_ub = ub
+
+
+class TestFlatTerrain:
+    """On a flat grid dS == dE, so MR3 must match exactly."""
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    @pytest.mark.parametrize("step_length", [1, 2])
+    def test_matches_exact(self, flat_engine, k, step_length):
+        for qv in _query_vertices(flat_engine.mesh):
+            _check_one(
+                flat_engine, qv, k, step_length, exact_sets=True
+            )
+
+    def test_flat_distances_are_euclidean(self, flat_engine):
+        mesh = flat_engine.mesh
+        qv = _query_vertices(mesh)[0]
+        for obj, ds in _truth(flat_engine, qv)[:5]:
+            p = flat_engine.objects.position_of(obj)
+            de = float(np.linalg.norm(mesh.vertices[qv] - p))
+            assert ds == pytest.approx(de, rel=1e-6, abs=1e-6)
+
+
+class TestRoughTerrain:
+    """The full grid on rugged terrain: densities x k x positions."""
+
+    @pytest.mark.parametrize("density,seed", [(8.0, 2), (12.0, 7)])
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_grid(self, rough_engine, density, seed, k):
+        rough_engine.set_objects(density=density, seed=seed)
+        try:
+            for qv in _query_vertices(rough_engine.mesh):
+                _check_one(rough_engine, qv, k, 2, exact_sets=False)
+        finally:
+            rough_engine.set_objects(density=12.0, seed=7)
+
+    @pytest.mark.parametrize("step_length", [1, 3])
+    def test_step_lengths_agree_with_exact(self, rough_engine, step_length):
+        qv = _query_vertices(rough_engine.mesh)[0]
+        _check_one(rough_engine, qv, 4, step_length, exact_sets=False)
+
+    def test_ea_matches_exact_too(self, rough_engine):
+        """The EA benchmark path gives the same guarantees."""
+        qv = _query_vertices(rough_engine.mesh)[1]
+        truth = _truth(rough_engine, qv)
+        truth_dist = dict(truth)
+        k = 3
+        kth = truth[k - 1][1]
+        result = rough_engine.query(qv, k, method="ea")
+        want = {obj for obj, _d in truth[:k]}
+        for obj in set(result.object_ids) - want:
+            assert truth_dist[obj] <= kth * TIE_TOLERANCE + EPS

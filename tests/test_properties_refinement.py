@@ -1,0 +1,169 @@
+"""Property tests of multiresolution refinement (paper §3.3/§4.2).
+
+Three layers of invariants, from raw structures to the MR3 loop:
+
+* **sandwich** — at every schedule level ``lb_r <= dS <= ub_r``;
+* **monotone refinement** — raw DMTM upper bounds are non-increasing
+  along the resolution ladder, and the *refined* candidate interval
+  (running ``max`` of lbs, running ``min`` of ubs — exactly what
+  ``DistanceInterval`` does) nests level over level while always
+  containing dS;
+* **k-th interval shrink** — in the LevelEvent traces of a real
+  query, the tracked k-th upper bound never rises within a phase and
+  the k-th interval ends tighter than it started.  (The k-th *lower*
+  bound alone is not monotone: the identity of the k-th candidate
+  changes as others are rejected.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import ResolutionSchedule
+from repro.geodesic.exact import ExactGeodesic
+from repro.msdn.msdn import MSDN
+from repro.multires.dmtm import DMTM
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import fractal_dem
+
+# Built once; hypothesis re-runs test bodies many times.
+_MESH = TriangleMesh.from_dem(
+    fractal_dem(size=13, relief=600.0, roughness=0.7, seed=33)
+)
+_DMTM = DMTM(_MESH)
+_MSDN = MSDN(_MESH)
+_SCHEDULE = ResolutionSchedule.preset(1)
+_GEODESICS: dict[int, ExactGeodesic] = {}
+
+EPS = 1e-6
+
+
+def _exact(a: int, b: int) -> float:
+    geo = _GEODESICS.get(a)
+    if geo is None:
+        geo = _GEODESICS[a] = ExactGeodesic(_MESH, a)
+    return geo.distance_to(b)
+
+
+def _ladder(a: int, b: int) -> list[tuple[float, float]]:
+    """Raw (lb, ub) at each schedule level, whole-terrain region."""
+    out = []
+    pa, pb = _MESH.vertices[a], _MESH.vertices[b]
+    for res_u, res_l in _SCHEDULE.levels():
+        ub_res = _DMTM.upper_bound(a, b, res_u)
+        assert ub_res is not None
+        lb = _MSDN.lower_bound(pa, pb, res_l).value
+        out.append((lb, ub_res.value))
+    return out
+
+
+vertices = st.integers(min_value=0, max_value=_MESH.num_vertices - 1)
+
+
+class TestSandwich:
+    @given(vertices, vertices)
+    @settings(max_examples=25, deadline=None)
+    def test_every_level_brackets_exact(self, a, b):
+        if a == b:
+            return
+        ds = _exact(a, b)
+        for lb, ub in _ladder(a, b):
+            assert lb <= ds + EPS
+            assert ub >= ds - EPS
+            assert lb >= 0.0
+
+    @given(vertices, vertices)
+    @settings(max_examples=25, deadline=None)
+    def test_lower_bound_at_least_euclidean(self, a, b):
+        if a == b:
+            return
+        de = float(
+            np.linalg.norm(_MESH.vertices[a] - _MESH.vertices[b])
+        )
+        for lb, _ub in _ladder(a, b):
+            assert lb >= de - EPS
+
+
+class TestMonotoneRefinement:
+    @given(vertices, vertices)
+    @settings(max_examples=25, deadline=None)
+    def test_upper_bounds_non_increasing(self, a, b):
+        if a == b:
+            return
+        ubs = [ub for _lb, ub in _ladder(a, b)]
+        for coarse, fine in zip(ubs, ubs[1:]):
+            assert fine <= coarse + EPS + 1e-9 * coarse
+
+    @given(vertices, vertices)
+    @settings(max_examples=25, deadline=None)
+    def test_refined_interval_nests_and_contains_exact(self, a, b):
+        """Running-refined intervals (what ``DistanceInterval`` keeps
+        per candidate) nest level over level around dS."""
+        if a == b:
+            return
+        ds = _exact(a, b)
+        run_lb, run_ub = 0.0, math.inf
+        prev = (run_lb, run_ub)
+        for lb, ub in _ladder(a, b):
+            run_lb = max(run_lb, lb)
+            run_ub = min(run_ub, ub)
+            assert run_lb <= run_ub + EPS
+            assert prev[0] - EPS <= run_lb and run_ub <= prev[1] + EPS
+            assert run_lb <= ds + EPS <= ds + EPS
+            assert run_ub >= ds - EPS
+            prev = (run_lb, run_ub)
+
+
+def _phase_traces(engine, qv, k, step_length):
+    result = engine.query(qv, k, step_length=step_length)
+    return [t for t in (result.filter_trace, result.ranking_trace) if t]
+
+
+class TestKthIntervalShrink:
+    """MR3's tracked k-th interval over real queries (LevelEvents)."""
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    @pytest.mark.parametrize("step_length", [1, 2])
+    def test_kth_ub_never_rises(self, small_engine, k, step_length):
+        qv = small_engine.mesh.nearest_vertex(
+            small_engine.mesh.xy_bounds().center
+        )
+        for trace in _phase_traces(small_engine, qv, k, step_length):
+            ubs = [e.kth_ub for e in trace]
+            finite = [u for u in ubs if math.isfinite(u)]
+            assert finite, "no finite kth ub at any level"
+            for coarse, fine in zip(ubs, ubs[1:]):
+                assert fine <= coarse + EPS + 1e-9 * min(coarse, 1e12)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kth_interval_ends_tighter(self, small_engine, k):
+        qv = small_engine.mesh.nearest_vertex(
+            small_engine.mesh.xy_bounds().center
+        )
+        for trace in _phase_traces(small_engine, qv, k, 2):
+            if len(trace) < 2:
+                continue
+            first = trace[0].kth_ub - trace[0].kth_lb
+            last = trace[-1].kth_ub - trace[-1].kth_lb
+            if not math.isfinite(first):
+                continue
+            assert last <= first + EPS + 1e-9 * abs(first)
+
+    def test_levels_follow_schedule(self, small_engine):
+        """Events report the schedule's resolutions, ascending."""
+        qv = small_engine.mesh.nearest_vertex(
+            small_engine.mesh.xy_bounds().center
+        )
+        schedule = ResolutionSchedule.preset(2)
+        for trace in _phase_traces(small_engine, qv, 3, 2):
+            for event in trace:
+                want_u, want_l = schedule.level(event.level)
+                assert event.dmtm_resolution == pytest.approx(want_u)
+                assert event.msdn_resolution == pytest.approx(want_l)
+            levels = [e.level for e in trace]
+            assert levels == sorted(levels)

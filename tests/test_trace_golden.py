@@ -1,0 +1,113 @@
+"""Golden regression tests for the query-trace surface.
+
+``QueryResult.explain()`` and the ``repro.query_trace/v1`` JSONL
+record are consumed downstream (humans, jq pipelines), so their shape
+and deterministic content are pinned against golden files.  Wall-clock
+fields are normalized to zero first
+(:func:`repro.obs.export.normalize_record`); page counts, candidate
+counts, bound values and span structure must reproduce exactly on a
+fresh engine.
+
+Regenerate after an intentional format change with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import SurfaceKNNEngine
+from repro.obs.export import normalize_record, query_record
+from repro.obs.tracing import Tracer
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("UPDATE_GOLDENS") == "1"
+
+
+def _golden_result():
+    """The pinned query: fresh engine, fixed terrain/objects/query.
+
+    A fresh engine (not a session fixture) keeps physical page counts
+    deterministic: nothing else has touched the buffer pool.
+    """
+    from repro.terrain.mesh import TriangleMesh
+    from repro.terrain.synthetic import bearhead_like
+
+    engine = SurfaceKNNEngine(
+        TriangleMesh.from_dem(bearhead_like(size=17)),
+        density=10.0,
+        seed=3,
+        tracer=Tracer(),
+    )
+    qv = engine.mesh.nearest_vertex(engine.mesh.xy_bounds().center)
+    return engine.query(qv, 3, step_length=2)
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    return _golden_result()
+
+
+def _check_or_update(path: Path, text: str) -> None:
+    if UPDATE or not path.exists():
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        if UPDATE:
+            return
+    assert path.read_text(encoding="utf-8") == text, (
+        f"{path.name} drifted; regenerate with UPDATE_GOLDENS=1 if the "
+        "change is intentional"
+    )
+
+
+class TestExplainGolden:
+    def test_explain_matches_golden(self, golden_result):
+        # Zero the wall-clock numbers explain() prints; everything
+        # else in the rendering is deterministic.
+        golden_result.metrics.cpu_seconds = 0.0
+        golden_result.metrics.io_seconds = 0.0
+        text = golden_result.explain() + "\n"
+        _check_or_update(GOLDEN_DIR / "query_explain.txt", text)
+
+    def test_explain_mentions_key_facts(self, golden_result):
+        text = golden_result.explain()
+        assert "step 2 (filter C1)" in text
+        assert "step 4 (rank C2)" in text
+        assert "pages by structure" in text
+
+
+class TestTraceRecordGolden:
+    def test_record_matches_golden(self, golden_result):
+        record = normalize_record(query_record(golden_result))
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        _check_or_update(GOLDEN_DIR / "query_trace.json", text)
+
+    def test_record_is_reproducible(self, golden_result):
+        """A second fresh engine produces the identical normalized
+        record — the determinism the golden file relies on."""
+        again = normalize_record(query_record(_golden_result()))
+        assert again == normalize_record(query_record(golden_result))
+
+    def test_schema_and_normalization(self, golden_result):
+        record = query_record(golden_result)
+        assert record["schema"] == "repro.query_trace/v1"
+        normalized = normalize_record(record)
+        assert normalized["metrics"]["cpu_seconds"] == 0.0
+        assert normalized["metrics"]["io_seconds"] == 0.0
+        assert normalized["metrics"]["total_seconds"] == 0.0
+        assert all(e["cpu_seconds"] == 0.0 for e in normalized["events"])
+
+        def all_durations(span):
+            yield span["duration_seconds"]
+            for child in span["children"]:
+                yield from all_durations(child)
+
+        assert set(all_durations(normalized["spans"])) == {0.0}
+        # Normalization must not touch the original record.
+        assert record["metrics"]["total_seconds"] >= 0.0
+        assert record["spans"]["duration_seconds"] > 0.0
