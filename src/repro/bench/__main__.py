@@ -1,9 +1,11 @@
 """Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
 
-Figures: fig7, fig8, fig9, fig10, fig11, related, batch, all.
+Figures: fig7, fig8, fig9, fig10, fig11, related, batch, faults, all.
 The ``batch`` mode takes ``--batch N --workers W`` and reports
 throughput / latency percentiles of the concurrent executor against
-the sequential baseline.
+the sequential baseline.  The ``faults`` mode sweeps injected storage
+fault rates and per-query page budgets, reporting retry/corruption
+counters and degraded-answer rates (``--workers`` applies here too).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ _FIGURES = {
     "fig11": experiments.fig11,
     "related": experiments.related,
     "batch": experiments.batch,
+    "faults": experiments.faults,
 }
 
 
@@ -72,6 +75,8 @@ def main(argv=None) -> int:
             kwargs["workers"] = args.workers
             if args.batch is not None:
                 kwargs["batch"] = args.batch
+        elif name == "faults":
+            kwargs["workers"] = args.workers
         result = run_experiment(_FIGURES[name], **kwargs)
         if args.metrics_out:
             records.extend(experiment_records(name, result))

@@ -55,8 +55,9 @@ def experiment_records(figure: str, result: dict) -> list[dict]:
     experiment point (``--metrics-out``).
 
     Drivers return ``rows`` either as a list of row dicts (fig7-9,
-    related) or as ``{dataset: {x: {series: metrics}}}`` (figs 10-11);
-    both flatten to records carrying ``schema``/``figure``/``point``.
+    related), as ``{dataset: {x: {series: metrics}}}`` (figs 10-11),
+    or as ``{group: [row, ...]}`` (faults); all flatten to records
+    carrying ``schema``/``figure``/``point``.
     """
     records: list[dict] = []
     rows = result.get("rows")
@@ -72,6 +73,18 @@ def experiment_records(figure: str, result: dict) -> list[dict]:
             )
     elif isinstance(rows, dict):
         for dataset, per_x in rows.items():
+            if isinstance(per_x, list):
+                for index, row in enumerate(per_x):
+                    records.append(
+                        {
+                            "schema": "repro.bench/v1",
+                            "figure": figure,
+                            "group": dataset,
+                            "index": index,
+                            "point": row,
+                        }
+                    )
+                continue
             for x, series in per_x.items():
                 records.append(
                     {

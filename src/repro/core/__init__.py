@@ -24,11 +24,14 @@ from repro.core.network_baselines import ine_knn, ier_knn
 from repro.core.embedding import EmbeddedQuery, embed_point
 from repro.core.pairs import surface_closest_pair
 from repro.core.engine import SurfaceKNNEngine
+from repro.core.budget import BudgetTracker, QueryBudget
 from repro.core.batch import (
+    BatchError,
     BatchQuery,
     BatchQueryExecutor,
     BatchReport,
     BoundCache,
+    CircuitBreaker,
     shared_bound_cache,
 )
 
@@ -53,9 +56,13 @@ __all__ = [
     "embed_point",
     "surface_closest_pair",
     "SurfaceKNNEngine",
+    "QueryBudget",
+    "BudgetTracker",
+    "BatchError",
     "BatchQuery",
     "BatchQueryExecutor",
     "BatchReport",
     "BoundCache",
+    "CircuitBreaker",
     "shared_bound_cache",
 ]

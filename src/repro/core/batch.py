@@ -47,7 +47,9 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.errors import QueryError
+from repro.core.budget import QueryBudget
+from repro.errors import QueryError, StorageError, SurfKnnError
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer
 from repro.storage.stats import ThreadLocalIOStatistics
 
@@ -163,12 +165,18 @@ def shared_bound_cache() -> BoundCache:
 
 @dataclass(frozen=True)
 class BatchQuery:
-    """One sk-NN query in a batch."""
+    """One sk-NN query in a batch.
+
+    ``budget`` optionally caps this query's resources
+    (:class:`~repro.core.budget.QueryBudget`); it overrides the
+    executor's batch-wide default when both are given.
+    """
 
     vertex: int
     k: int
     method: str = "mr3"
     step_length: int = 1
+    budget: QueryBudget | None = None
 
     @classmethod
     def of(cls, spec) -> "BatchQuery":
@@ -187,12 +195,75 @@ class BatchQuery:
         return cls(vertex=int(vertex), k=int(k))
 
 
+@dataclass(frozen=True)
+class BatchError:
+    """One failed (or unadmitted) query in a batch.
+
+    The batch never aborts on a member failure: the slot in
+    ``BatchReport.results`` holds ``None`` and this record explains
+    why.  ``skipped`` marks queries the circuit breaker refused to
+    admit (they never ran).
+    """
+
+    index: int
+    vertex: int
+    k: int
+    kind: str  # exception class name, or "CircuitOpen" for skipped
+    message: str
+    skipped: bool = False
+
+
+class CircuitBreaker:
+    """Stops admitting batch queries after ``threshold`` *consecutive*
+    storage failures.
+
+    A storage failure that survives the page manager's retries means
+    the simulated disk is persistently unhealthy; hammering it with
+    the rest of the batch just burns the retry budget.  Any success
+    closes the circuit again (failures must be consecutive).  All
+    transitions take the breaker lock, so concurrent workers see a
+    consistent state.
+    """
+
+    def __init__(self, threshold: int = 8):
+        if threshold < 1:
+            raise QueryError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self.trips = 0  # times the circuit went from closed to open
+
+    @property
+    def open(self) -> bool:
+        with self._lock:
+            return self._consecutive_failures >= self.threshold
+
+    def allow(self) -> bool:
+        """May the next query run? (False once the circuit is open.)"""
+        return not self.open
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._consecutive_failures == self.threshold:
+                self.trips += 1
+                get_registry().counter("batch.circuit_trips_total").add(1)
+
+
 @dataclass
 class BatchReport:
     """Outcome of one executor run.
 
     ``results`` is in submission order regardless of worker
-    interleaving; ``latencies`` are per-query wall seconds.
+    interleaving; ``latencies`` are per-query wall seconds.  A query
+    that failed (or was refused by the circuit breaker) leaves
+    ``None`` in its ``results`` slot and a :class:`BatchError` in
+    ``errors`` — per-query faults are isolated, the batch always
+    completes.
     """
 
     results: list
@@ -200,6 +271,12 @@ class BatchReport:
     wall_seconds: float
     workers: int
     cache_stats: dict = field(default_factory=dict)
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok_results(self) -> list:
+        """The successful results only (failed slots filtered out)."""
+        return [r for r in self.results if r is not None]
 
     @property
     def throughput_qps(self) -> float:
@@ -219,6 +296,7 @@ class BatchReport:
 
     def summary(self) -> dict:
         """JSON-ready roll-up (throughput, latency percentiles, I/O)."""
+        ok = self.ok_results
         return {
             "queries": len(self.results),
             "workers": self.workers,
@@ -227,13 +305,12 @@ class BatchReport:
             "latency_p50": self.latency_quantile(0.50),
             "latency_p95": self.latency_quantile(0.95),
             "latency_p99": self.latency_quantile(0.99),
-            "logical_reads": sum(
-                r.metrics.logical_reads for r in self.results
-            ),
-            "pages_accessed": sum(
-                r.metrics.pages_accessed for r in self.results
-            ),
+            "logical_reads": sum(r.metrics.logical_reads for r in ok),
+            "pages_accessed": sum(r.metrics.pages_accessed for r in ok),
             "bound_cache": dict(self.cache_stats),
+            "failed": sum(1 for e in self.errors if not e.skipped),
+            "skipped": sum(1 for e in self.errors if e.skipped),
+            "degraded": sum(1 for r in ok if r.degraded),
         }
 
 
@@ -265,6 +342,15 @@ class BatchQueryExecutor:
     cold_cache:
         Forwarded to ``engine.query`` (default True, the paper's
         per-query cold-start measurement).
+    budget:
+        Batch-wide default :class:`~repro.core.budget.QueryBudget`
+        applied to every query (a spec's own ``budget`` wins).
+    circuit_threshold:
+        Consecutive storage failures before the circuit breaker stops
+        admitting queries (remaining specs are reported as skipped,
+        not run).  The breaker only reacts to
+        :class:`~repro.errors.StorageError` — query-shaped failures
+        (bad k etc.) are isolated but don't open the circuit.
     """
 
     def __init__(
@@ -275,6 +361,8 @@ class BatchQueryExecutor:
         share_bounds: bool = True,
         tracing: bool = False,
         cold_cache: bool = True,
+        budget: QueryBudget | None = None,
+        circuit_threshold: int = 8,
     ):
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -282,6 +370,8 @@ class BatchQueryExecutor:
         self.workers = workers
         self.tracing = tracing
         self.cold_cache = cold_cache
+        self.budget = budget
+        self.circuit_breaker = CircuitBreaker(circuit_threshold)
         if not share_bounds:
             self.bound_cache = None
         else:
@@ -301,40 +391,75 @@ class BatchQueryExecutor:
 
     # ------------------------------------------------------------------
 
-    def _run_one(self, spec: BatchQuery):
+    def _run_one(self, item):
+        """Run one spec with fault isolation.
+
+        Returns ``(result_or_None, latency, BatchError_or_None)``.  A
+        library failure (:class:`~repro.errors.SurfKnnError`) becomes
+        an error record instead of poisoning the pool; programming
+        errors still propagate.  Storage failures feed the circuit
+        breaker; once it opens, remaining specs are refused without
+        running.
+        """
+        index, spec = item
+        breaker = self.circuit_breaker
+        if not breaker.allow():
+            return None, 0.0, BatchError(
+                index=index, vertex=spec.vertex, k=spec.k,
+                kind="CircuitOpen",
+                message=(
+                    f"circuit breaker open after {breaker.threshold} "
+                    "consecutive storage failures; query not admitted"
+                ),
+                skipped=True,
+            )
         tracer = Tracer() if self.tracing else None
         start = time.perf_counter()
-        result = self.engine.query(
-            spec.vertex,
-            spec.k,
-            method=spec.method,
-            step_length=spec.step_length,
-            cold_cache=self.cold_cache,
-            tracer=tracer,
-            bound_cache=self.bound_cache,
-        )
-        return result, time.perf_counter() - start
+        try:
+            result = self.engine.query(
+                spec.vertex,
+                spec.k,
+                method=spec.method,
+                step_length=spec.step_length,
+                cold_cache=self.cold_cache,
+                tracer=tracer,
+                bound_cache=self.bound_cache,
+                budget=spec.budget if spec.budget is not None else self.budget,
+            )
+        except SurfKnnError as exc:
+            latency = time.perf_counter() - start
+            if isinstance(exc, StorageError):
+                breaker.record_failure()
+            get_registry().counter("batch.query_failures_total").add(1)
+            return None, latency, BatchError(
+                index=index, vertex=spec.vertex, k=spec.k,
+                kind=type(exc).__name__, message=str(exc),
+            )
+        breaker.record_success()
+        return result, time.perf_counter() - start, None
 
     def run(self, queries) -> BatchReport:
         """Execute the batch; results come back in submission order."""
         specs = [BatchQuery.of(q) for q in queries]
         start = time.perf_counter()
+        items = list(enumerate(specs))
         if self.workers == 1 or len(specs) <= 1:
-            outcomes = [self._run_one(spec) for spec in specs]
+            outcomes = [self._run_one(item) for item in items]
         else:
             with ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="sknn-batch"
             ) as pool:
-                outcomes = list(pool.map(self._run_one, specs))
+                outcomes = list(pool.map(self._run_one, items))
         wall = time.perf_counter() - start
         return BatchReport(
-            results=[r for r, _t in outcomes],
-            latencies=[t for _r, t in outcomes],
+            results=[r for r, _t, _e in outcomes],
+            latencies=[t for _r, t, _e in outcomes],
             wall_seconds=wall,
             workers=self.workers,
             cache_stats=(
                 self.bound_cache.stats() if self.bound_cache is not None else {}
             ),
+            errors=[e for _r, _t, e in outcomes if e is not None],
         )
 
     def run_vertices(self, vertices, k: int, **spec_kwargs) -> BatchReport:

@@ -1,0 +1,122 @@
+"""Query budgets with graceful degradation (anytime sk-NN).
+
+MR3's interval ranking makes budget-bounded search natural: every
+candidate carries a sound ``[lb, ub]`` surface-distance interval at
+all times, so stopping refinement early still leaves a well-defined
+approximate answer with a per-query error bound — the same
+observation that makes budget-bounded k-NN practical on road
+networks.
+
+A :class:`QueryBudget` is a reusable, immutable *spec*; each query
+materializes it into a :class:`BudgetTracker` pinned to that query's
+start time and I/O snapshot.  Budget checks happen between refinement
+levels, so exhaustion stops the loop at the current resolution — the
+answer returned is the normal top-k by upper bound, flagged
+``degraded=True`` with a computed ``max_error``, never an exception.
+
+Semantics:
+
+* ``max_pages`` bounds the query's *logical* page reads.  Logical
+  reads are deterministic for a given engine and query (physical
+  reads depend on shared buffer-pool state), so the same budget
+  always degrades at the same level.
+* ``max_seconds`` bounds wall-clock time from query start.
+* Checks are level-granular: the level that trips the budget runs to
+  completion, so a budget can be slightly overshot — the contract is
+  "stop refining", not "hard-abort mid-level".
+* The very first filter level always runs (without it no candidate
+  has a finite upper bound and there would be no answer to degrade
+  to).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query resource limits (``None`` = unlimited).
+
+    ``max_pages`` counts logical page reads; ``max_seconds`` counts
+    wall-clock seconds from query start.
+    """
+
+    max_pages: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self):
+        if self.max_pages is not None and self.max_pages < 0:
+            raise QueryError(f"max_pages must be >= 0, got {self.max_pages}")
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise QueryError(
+                f"max_seconds must be >= 0, got {self.max_seconds}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_pages is None and self.max_seconds is None
+
+    def tracker(self, stats=None) -> "BudgetTracker":
+        """Materialize this spec for one query starting *now*."""
+        return BudgetTracker(self, stats)
+
+
+class BudgetTracker:
+    """One query's live budget state.
+
+    Exhaustion is *sticky*: once a check trips, every later check
+    reports exhausted, so the filter and ranking phases of one query
+    agree.  ``stats`` may be a plain
+    :class:`~repro.storage.stats.IOStatistics` or the thread-local
+    router — ``snapshot``/``delta_since`` are per-thread on the
+    latter, which is exactly the per-query window wanted under
+    concurrency.  Without stats (``with_storage=False`` engines) the
+    page limit is untracked and only the time limit applies.
+    """
+
+    def __init__(self, budget: QueryBudget, stats=None):
+        self.budget = budget
+        self._stats = stats if budget.max_pages is not None else None
+        self._io0 = self._stats.snapshot() if self._stats is not None else None
+        self._t0 = time.perf_counter()
+        self.exhausted_reason: str | None = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.exhausted_reason is not None
+
+    def pages_used(self) -> int:
+        """Logical reads since this tracker started (0 untracked)."""
+        if self._stats is None:
+            return 0
+        return self._stats.delta_since(self._io0).logical_reads
+
+    def seconds_used(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def check(self) -> bool:
+        """Re-evaluate the limits; True once the budget is exhausted."""
+        if self.exhausted_reason is not None:
+            return True
+        budget = self.budget
+        if budget.max_pages is not None and self._stats is not None:
+            used = self.pages_used()
+            if used >= budget.max_pages:
+                self.exhausted_reason = (
+                    f"page budget exhausted ({used}/{budget.max_pages} "
+                    "logical reads)"
+                )
+                return True
+        if budget.max_seconds is not None:
+            elapsed = self.seconds_used()
+            if elapsed >= budget.max_seconds:
+                self.exhausted_reason = (
+                    f"time budget exhausted ({elapsed:.3f}s"
+                    f"/{budget.max_seconds:.3f}s)"
+                )
+                return True
+        return False

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 
 from repro.core.baseline import exact_knn
+from repro.core.budget import QueryBudget
 from repro.core.mr3 import MR3QueryProcessor, QueryMetrics, QueryResult
 from repro.core.objects import ObjectSet
 from repro.core.ranking import RankerOptions
@@ -76,6 +77,17 @@ class SurfaceKNNEngine:
         :func:`repro.storage.pages.shared_buffer_pool` to share one
         process-wide LRU across engines and threads.  By default the
         engine keeps a private pool of ``buffer_pages``.
+    fault_injector:
+        Optional :class:`repro.storage.FaultInjector` attached to the
+        simulated disk — reads then see the injector's seeded schedule
+        of transient errors, corruption and latency spikes, and the
+        page manager's CRC + retry machinery recovers (or surfaces
+        :class:`repro.errors.PageReadError` /
+        :class:`repro.errors.PageCorruptionError`).  With no injector
+        the read path is byte-identical to a fault-free engine.
+    retry_policy:
+        :class:`repro.storage.RetryPolicy` governing fault retries
+        (default: 4 attempts, exponential simulated backoff).
     """
 
     def __init__(
@@ -93,6 +105,8 @@ class SurfaceKNNEngine:
         with_storage: bool = True,
         tracer=None,
         buffer_pool=None,
+        fault_injector=None,
+        retry_policy=None,
     ):
         self.mesh = mesh
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -114,6 +128,9 @@ class SurfaceKNNEngine:
                 buffer_pages=buffer_pages,
                 stats=self.stats,
                 buffer=buffer_pool,
+                fault_injector=fault_injector,
+                retry_policy=retry_policy,
+                tracer=self.tracer,
             )
             self.dmtm.attach_storage(self.pages)
             self.msdn.attach_storage(self.pages)
@@ -143,6 +160,24 @@ class SurfaceKNNEngine:
         """Nearest mesh vertex to a horizontal position."""
         return self.mesh.nearest_vertex((x, y))
 
+    def _validate_query_args(self, query_vertex: int | None, k: int) -> None:
+        """Reject malformed query arguments up front, with messages
+        naming the offending value — before any storage or ranking
+        work starts."""
+        if k <= 0:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if k > len(self.objects):
+            raise QueryError(
+                f"k={k} exceeds the {len(self.objects)} stored objects"
+            )
+        if query_vertex is not None and not (
+            0 <= int(query_vertex) < self.mesh.num_vertices
+        ):
+            raise QueryError(
+                f"query vertex {query_vertex} out of range "
+                f"[0, {self.mesh.num_vertices})"
+            )
+
     def query(
         self,
         query_vertex: int,
@@ -155,6 +190,7 @@ class SurfaceKNNEngine:
         cold_cache: bool = True,
         tracer=None,
         bound_cache=None,
+        budget: QueryBudget | None = None,
     ) -> QueryResult:
         """Answer an sk-NN query at a mesh vertex.
 
@@ -165,7 +201,14 @@ class SurfaceKNNEngine:
         ``bound_cache`` is an optional
         :class:`repro.core.batch.BoundCache` sharing bound
         computations across queries without changing any answer.
+
+        ``budget`` optionally caps the query's logical page reads
+        and/or wall-clock seconds
+        (:class:`repro.core.budget.QueryBudget`).  Exhaustion degrades
+        gracefully: the result comes back ``degraded=True`` with sound
+        intervals and a per-query ``max_error`` instead of raising.
         """
+        self._validate_query_args(query_vertex, k)
         tracer = tracer if tracer is not None else self.tracer
         if cold_cache and self.pages is not None:
             self.pages.drop_buffer()
@@ -199,7 +242,7 @@ class SurfaceKNNEngine:
         with tracer.span(
             "engine.query", method=method, k=k, cold_cache=cold_cache
         ) as span:
-            result = processor.query(query_vertex, k)
+            result = processor.query(query_vertex, k, budget=budget)
         if isinstance(span, Span):
             result.root_span = span
         result.method = method if method == "ea" else f"mr3/{schedule.name}"
@@ -217,6 +260,11 @@ class SurfaceKNNEngine:
             "engine.query.pages_accessed",
             buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000),
         ).observe(result.metrics.pages_accessed)
+        if result.degraded:
+            registry.counter("engine.queries.degraded").add(1)
+            registry.histogram("engine.query.max_error").observe(
+                result.max_error
+            )
 
     def query_xy(self, x: float, y: float, k: int, **kwargs) -> QueryResult:
         """Convenience: query at the vertex nearest (x, y)."""
@@ -230,6 +278,7 @@ class SurfaceKNNEngine:
         method: str = "mr3",
         step_length: int = 1,
         cold_cache: bool = True,
+        budget: QueryBudget | None = None,
         **ranker_opts,
     ) -> QueryResult:
         """sk-NN at an *arbitrary* surface point, via the paper's
@@ -238,11 +287,12 @@ class SurfaceKNNEngine:
         a genuine surface path length."""
         from repro.core.embedding import embed_point
 
+        self._validate_query_args(None, k)
         query = embed_point(self.mesh, x, y)
         if isinstance(query, int):
             return self.query(
                 query, k, method=method, step_length=step_length,
-                cold_cache=cold_cache, **ranker_opts,
+                cold_cache=cold_cache, budget=budget, **ranker_opts,
             )
         if method != "mr3":
             raise QueryError("embedded-point queries support method='mr3'")
@@ -259,7 +309,7 @@ class SurfaceKNNEngine:
             disk=self.disk,
             tracer=self.tracer,
         )
-        return processor.query(query, k)
+        return processor.query(query, k, budget=budget)
 
     def _query_exact(self, query_vertex: int, k: int, tracer=None) -> QueryResult:
         tracer = tracer if tracer is not None else self.tracer

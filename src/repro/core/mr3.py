@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.bounds import Candidate
+from repro.core.budget import QueryBudget
 from repro.core.embedding import EmbeddedQuery, source_of
 from repro.core.ranking import DistanceRanker, RankerOptions
 from repro.errors import QueryError
@@ -84,6 +85,14 @@ class QueryResult:
     # Root tracing span of the query, when run under an enabled
     # tracer (repro.obs.tracing.Tracer); None otherwise.
     root_span: Span | None = None
+    # Anytime contract: True when a query budget stopped refinement
+    # early.  The answer is then the best-known top-k by upper bound
+    # and ``max_error`` bounds how far the reported k-th distance can
+    # sit above the true one (0.0 for exact answers).  Degraded
+    # results are never an exception — intervals stay sound.
+    degraded: bool = False
+    max_error: float = 0.0
+    budget_reason: str | None = None
 
     def explain(self) -> str:
         """Human-readable account of how the query was answered."""
@@ -130,9 +139,18 @@ class MR3QueryProcessor:
         self.stats = stats
         self.disk = disk if disk is not None else DiskModel()
 
-    def query(self, query, k: int) -> QueryResult:
+    def query(
+        self, query, k: int, budget: QueryBudget | None = None
+    ) -> QueryResult:
         """Answer the sk-NN query at a mesh vertex or an
-        :class:`repro.core.embedding.EmbeddedQuery` point."""
+        :class:`repro.core.embedding.EmbeddedQuery` point.
+
+        ``budget`` optionally bounds the query's resources
+        (:class:`repro.core.budget.QueryBudget`).  An exhausted budget
+        degrades gracefully: refinement stops at the current
+        resolution and the result carries ``degraded=True`` plus a
+        sound ``max_error`` — it never raises.
+        """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
         if isinstance(query, EmbeddedQuery):
@@ -147,6 +165,11 @@ class MR3QueryProcessor:
             )
         io_before = self.stats.snapshot() if self.stats is not None else None
         cpu_start = time.process_time()
+        tracker = (
+            budget.tracker(self.stats)
+            if budget is not None and not budget.unlimited
+            else None
+        )
 
         with self.tracer.span(
             "mr3.query", query_vertex=query_vertex, k=k,
@@ -169,6 +192,8 @@ class MR3QueryProcessor:
                     k,
                     tighten_kth=self.ranker.options.filter_tighten,
                     phase="filter",
+                    budget=tracker,
+                    min_levels=1,
                 )
             radius = out1.kth_ub
             if not math.isfinite(radius):
@@ -192,7 +217,10 @@ class MR3QueryProcessor:
                     or self.ranker.make_candidates([obj], self.objects)[0]
                     for obj in c2_ids
                 ]
-                out2 = self.ranker.rank(query, cands2, k, phase="ranking")
+                out2 = self.ranker.rank(
+                    query, cands2, k, phase="ranking",
+                    budget=tracker, min_levels=0,
+                )
 
         cpu_seconds = time.process_time() - cpu_start
         metrics = QueryMetrics(
@@ -209,6 +237,23 @@ class MR3QueryProcessor:
             metrics.io_seconds = self.disk.io_seconds(delta)
 
         winners = out2.winners
+        degraded = (
+            out1.budget_exhausted or out2.budget_exhausted
+        ) and not out2.converged
+        max_error = 0.0
+        if degraded and winners:
+            # Sound per-query error bound for the anytime answer.  The
+            # true k-th distance d_k is (a) at most the k-th reported
+            # upper bound (each reported object's true distance is at
+            # most its ub) and (b) at least the k-th smallest lower
+            # bound over the whole step-4 candidate set (which
+            # contains the true k-NN: the step-3 radius is a genuine
+            # upper bound on d_k even when the filter was truncated).
+            # The reported answer therefore overshoots d_k by at most
+            # kth_ub - kth_lb.
+            lbs = sorted(c.lb for c in out2.all_candidates)
+            kth_lb = lbs[k - 1] if len(lbs) >= k else 0.0
+            max_error = max(0.0, winners[-1].ub - kth_lb)
         return QueryResult(
             query_vertex=query_vertex,
             k=k,
@@ -220,4 +265,7 @@ class MR3QueryProcessor:
             filter_trace=out1.trace or [],
             ranking_trace=out2.trace or [],
             root_span=root if isinstance(root, Span) else None,
+            degraded=degraded,
+            max_error=max_error,
+            budget_reason=tracker.exhausted_reason if tracker else None,
         )

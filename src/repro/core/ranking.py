@@ -74,6 +74,10 @@ class RankingOutcome:
     # level's resolutions, candidate counts, k-th bound state and the
     # page I/O attributed to that level (see repro.obs.events).
     trace: list = None
+    # True when a query budget stopped refinement before the schedule
+    # (or the classification rule) was done — the intervals are sound
+    # but looser than an unbudgeted run would produce.
+    budget_exhausted: bool = False
 
 
 @dataclass
@@ -135,6 +139,8 @@ class DistanceRanker:
         k: int,
         tighten_kth: float = 0.0,
         phase: str = "rank",
+        budget=None,
+        min_levels: int = 1,
     ) -> RankingOutcome:
         """Run the multiresolution ranking loop.
 
@@ -150,6 +156,17 @@ class DistanceRanker:
 
         ``phase`` labels the emitted trace events and spans ("filter"
         for MR3 step 2, "ranking" for step 4).
+
+        ``budget`` is an optional
+        :class:`repro.core.budget.BudgetTracker` (passed per call, not
+        stored, so one ranker can serve concurrent queries).  The
+        check runs between levels: an exhausted budget stops
+        refinement at the current resolution and the outcome is
+        flagged ``budget_exhausted``.  The first ``min_levels`` levels
+        always run — MR3's filter phase passes 1 so every candidate
+        gets a finite upper bound (the step-3 radius and the degraded
+        answer both need one), the ranking phase passes 0 because its
+        candidates inherit step-2 intervals.
         """
         if k < 1:
             raise QueryError("k must be >= 1")
@@ -164,9 +181,13 @@ class DistanceRanker:
         kth_ub_estimate = float("inf")
         iterations = 0
         converged = False
+        exhausted = False
         trace: list[LevelEvent] = []
         last_level = len(self.schedule) - 1
         for level, (res_u, res_l) in enumerate(self.schedule.levels()):
+            if budget is not None and level >= min_levels and budget.check():
+                exhausted = True
+                break
             iterations += 1
             active_before = len(active)
             io_before = self.stats.snapshot() if self.stats is not None else None
@@ -231,7 +252,7 @@ class DistanceRanker:
                 converged = True
                 break
         final = classify_candidates(candidates, k)
-        if not final.done and self.options.final_polish:
+        if not final.done and self.options.final_polish and not exhausted:
             with self.tracer.span(
                 "rank.polish", phase=phase, ambiguous=len(final.active)
             ):
@@ -260,6 +281,7 @@ class DistanceRanker:
             converged=converged or final.done,
             kth_ub=winners[-1].ub if winners else float("inf"),
             trace=trace,
+            budget_exhausted=exhausted,
         )
 
     def rank_within(

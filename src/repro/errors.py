@@ -24,13 +24,28 @@ class TerrainError(SurfKnnError):
     """A DEM or terrain model is malformed or out of range."""
 
 
-class IndexError_(SurfKnnError):
-    """A spatial index was used incorrectly (named with a trailing
-    underscore to avoid shadowing the builtin)."""
+class SpatialIndexError(SurfKnnError):
+    """A spatial index was used incorrectly."""
+
+
+#: Deprecated alias — the class was originally named with a trailing
+#: underscore to avoid shadowing the builtin; existing imports keep
+#: working.  New code should catch :class:`SpatialIndexError`.
+IndexError_ = SpatialIndexError
 
 
 class StorageError(SurfKnnError):
     """The paged storage layer detected an inconsistency."""
+
+
+class PageReadError(StorageError):
+    """A page read failed after exhausting the retry policy (the
+    simulated disk kept returning transient faults)."""
+
+
+class PageCorruptionError(StorageError):
+    """A page's payload failed its CRC check on every retry — the
+    stored data no longer matches what was written."""
 
 
 class SimplificationError(SurfKnnError):

@@ -62,11 +62,74 @@ def save_history(history: CollapseHistory, path) -> None:
     Path(path).write_bytes(b"".join(parts))
 
 
-def load_history(path) -> CollapseHistory:
-    """Read a collapse history written by :func:`save_history`."""
-    data = Path(path).read_bytes()
+def validate(data: bytes, source="<bytes>") -> None:
+    """Structural integrity check of a serialized collapse history.
+
+    Walks the full framed layout — magic, header, root table, every
+    node and neighbour record — verifying each frame fits inside
+    ``data`` and the counts are mutually consistent, and raises
+    :class:`MultiresError` naming ``source`` and the offending frame.
+    A file that passes cannot make :func:`load_history` run off the
+    end of the buffer or mis-frame a node (a flipped byte inside a
+    float payload is indistinguishable from data, which is why pages
+    additionally carry CRCs in the storage layer).
+    """
+
+    def need(offset: int, size: int, what: str) -> None:
+        if offset + size > len(data):
+            raise MultiresError(
+                f"{source}: truncated DDM history — {what} needs "
+                f"{size} bytes at offset {offset}, file has {len(data)}"
+            )
+
     if not data.startswith(_MAGIC):
-        raise MultiresError(f"{path} is not a DDM history file")
+        raise MultiresError(f"{source} is not a DDM history file (bad magic)")
+    offset = len(_MAGIC)
+    need(offset, _HEAD.size, "header")
+    num_leaves, num_nodes = _HEAD.unpack_from(data, offset)
+    offset += _HEAD.size
+    if num_leaves > num_nodes:
+        raise MultiresError(
+            f"{source}: header claims {num_leaves} leaves but only "
+            f"{num_nodes} nodes"
+        )
+    need(offset, 8, "root count")
+    (num_roots,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+    if num_roots > num_nodes:
+        raise MultiresError(
+            f"{source}: {num_roots} roots exceed the {num_nodes} nodes"
+        )
+    need(offset, 8 * num_roots, "root table")
+    roots = struct.unpack_from(f"<{num_roots}Q", data, offset)
+    offset += 8 * num_roots
+    for root in roots:
+        if root >= num_nodes:
+            raise MultiresError(
+                f"{source}: root id {root} out of range [0, {num_nodes})"
+            )
+    for index in range(num_nodes):
+        need(offset, _NODE.size, f"node {index}")
+        record_count = _NODE.unpack_from(data, offset)[-1]
+        offset += _NODE.size
+        need(offset, _REC.size * record_count, f"node {index} records")
+        offset += _REC.size * record_count
+    if offset != len(data):
+        raise MultiresError(
+            f"{source}: {len(data) - offset} trailing bytes after the "
+            f"last node"
+        )
+
+
+def load_history(path) -> CollapseHistory:
+    """Read a collapse history written by :func:`save_history`.
+
+    The byte stream is validated (:func:`validate`) before parsing,
+    so a truncated or structurally corrupted file raises
+    :class:`MultiresError` instead of a bare ``struct.error``.
+    """
+    data = Path(path).read_bytes()
+    validate(data, source=str(path))
     offset = len(_MAGIC)
     num_leaves, num_nodes = _HEAD.unpack_from(data, offset)
     offset += _HEAD.size

@@ -47,9 +47,19 @@ def query_trace(result) -> QueryTrace:
 
 
 def query_record(result) -> dict:
-    """One JSONL-ready record for a finished query."""
+    """One JSONL-ready record for a finished query.
+
+    Degradation keys are only present on degraded (budget-exhausted)
+    results, so records of exact queries — and the golden traces
+    built from them — are byte-identical to the pre-budget format.
+    """
     record = query_trace(result).to_dict()
     record["schema"] = "repro.query_trace/v1"
+    if getattr(result, "degraded", False):
+        record["degraded"] = True
+        record["max_error"] = result.max_error
+        if getattr(result, "budget_reason", None):
+            record["budget_reason"] = result.budget_reason
     return record
 
 
@@ -132,6 +142,12 @@ def render(result) -> str:
         f"{result.method} query at vertex {result.query_vertex}, "
         f"k={result.k}, converged={result.converged}"
     ]
+    if getattr(result, "degraded", False):
+        reason = getattr(result, "budget_reason", None) or "budget exhausted"
+        lines.append(
+            f"DEGRADED: {reason}; answer is best-known top-{result.k} "
+            f"with max_error {result.max_error:.1f}"
+        )
     for label, trace in (
         ("step 2 (filter C1)", result.filter_trace),
         ("step 4 (rank C2)", result.ranking_trace),

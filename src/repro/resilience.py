@@ -1,0 +1,71 @@
+"""repro.resilience — one import for the fault-tolerance surface.
+
+The pieces live where they act (the injector and retry policy in
+:mod:`repro.storage`, budgets and the circuit breaker in
+:mod:`repro.core`), but hardening an engine touches all of them at
+once, so this module re-exports the whole contract:
+
+* **Fault model** — :class:`FaultInjector` (seeded schedule of
+  transient read errors, silent corruption, latency spikes) attached
+  to an engine's simulated disk; :class:`FaultEvent` / ``injector.log``
+  is the ground-truth record of what was injected.
+* **Detection & retry** — every page carries a CRC-32;
+  :class:`RetryPolicy` bounds re-attempts with deterministic
+  (simulated, never slept) backoff; :class:`FaultStats` on the page
+  manager counts what was detected, retried and given up on;
+  :class:`PageReadError` / :class:`PageCorruptionError` surface only
+  once the policy is exhausted.
+* **Budgets & degradation** — :class:`QueryBudget` caps a query's
+  logical page reads and/or wall-clock seconds; an exhausted budget
+  stops refinement at the current resolution and the
+  ``QueryResult`` comes back ``degraded=True`` with sound intervals
+  and a per-query ``max_error`` bound, never an exception.
+* **Batch isolation** — :class:`BatchQueryExecutor` confines each
+  member failure to a :class:`BatchError` record, and its
+  :class:`CircuitBreaker` stops admitting queries after consecutive
+  storage failures.
+
+Example
+-------
+>>> from repro import bearhead_like
+>>> from repro.core import SurfaceKNNEngine
+>>> from repro.resilience import FaultInjector, QueryBudget, RetryPolicy
+>>> engine = SurfaceKNNEngine.from_dem(
+...     bearhead_like(size=17), density=8,
+...     fault_injector=FaultInjector(seed=7, transient_rate=0.05),
+...     retry_policy=RetryPolicy(max_attempts=6),
+... )
+>>> result = engine.query(40, k=3, budget=QueryBudget(max_pages=50))
+>>> result.degraded, result.max_error >= 0.0
+(True, True)
+"""
+
+from repro.core.batch import BatchError, CircuitBreaker
+from repro.core.budget import BudgetTracker, QueryBudget
+from repro.errors import PageCorruptionError, PageReadError, StorageError
+from repro.storage.faults import (
+    FAULT_CORRUPT,
+    FAULT_LATENCY,
+    FAULT_TRANSIENT,
+    FaultEvent,
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_CORRUPT",
+    "FAULT_LATENCY",
+    "FAULT_TRANSIENT",
+    "BatchError",
+    "BudgetTracker",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultStats",
+    "PageCorruptionError",
+    "PageReadError",
+    "QueryBudget",
+    "RetryPolicy",
+    "StorageError",
+]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 
 
 class _LeafNode:
@@ -41,7 +41,7 @@ class BPlusTree:
 
     def __init__(self, order: int = 32):
         if order < 4:
-            raise IndexError_("order must be >= 4")
+            raise SpatialIndexError("order must be >= 4")
         self.order = order
         self._root: _LeafNode | _InnerNode = _LeafNode()
         self._size = 0

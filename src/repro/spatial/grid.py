@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.primitives import BoundingBox
 
 
@@ -22,12 +22,12 @@ class UniformGrid:
     def __init__(self, points, payloads=None, target_per_cell: float = 4.0):
         pts = [(float(p[0]), float(p[1])) for p in points]
         if not pts:
-            raise IndexError_("UniformGrid needs at least one point")
+            raise SpatialIndexError("UniformGrid needs at least one point")
         if payloads is None:
             payloads = list(range(len(pts)))
         payloads = list(payloads)
         if len(payloads) != len(pts):
-            raise IndexError_("payloads length must match points length")
+            raise SpatialIndexError("payloads length must match points length")
         self._points = pts
         self._payloads = payloads
         xs = [p[0] for p in pts]
@@ -65,7 +65,7 @@ class UniformGrid:
     def circle_query(self, center, radius: float) -> list:
         """Payloads of points within ``radius`` of ``center``."""
         if radius < 0:
-            raise IndexError_("radius must be non-negative")
+            raise SpatialIndexError("radius must be non-negative")
         cx, cy = float(center[0]), float(center[1])
         region = BoundingBox.around((cx, cy), radius)
         c_lo = self._cell_of(region.lo[0], region.lo[1])
@@ -87,7 +87,7 @@ class UniformGrid:
         k-th best distance is closer than the next unexplored ring.
         """
         if k < 1:
-            raise IndexError_("k must be >= 1")
+            raise SpatialIndexError("k must be >= 1")
         qx, qy = float(point[0]), float(point[1])
         center = self._cell_of(qx, qy)
         found: list[tuple[float, object]] = []

@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.primitives import BoundingBox
 
 
@@ -52,13 +52,13 @@ class RTree:
 
     def __init__(self, max_entries: int = 8, min_entries: int | None = None):
         if max_entries < 2:
-            raise IndexError_("max_entries must be >= 2")
+            raise SpatialIndexError("max_entries must be >= 2")
         self.max_entries = max_entries
         self.min_entries = min_entries if min_entries is not None else max(
             2, max_entries // 3
         )
         if self.min_entries * 2 > max_entries:
-            raise IndexError_("min_entries must be at most max_entries / 2")
+            raise SpatialIndexError("min_entries must be at most max_entries / 2")
         self._root = _Node(leaf=True)
         self._size = 0
 
@@ -210,7 +210,7 @@ class RTree:
         check so no false positives leak through.
         """
         if radius < 0:
-            raise IndexError_("radius must be non-negative")
+            raise SpatialIndexError("radius must be non-negative")
         c = tuple(float(v) for v in center)
         region = BoundingBox.around(c, radius)
         result = []
@@ -237,7 +237,7 @@ class RTree:
         order; fewer than k when the tree is smaller.
         """
         if k < 1:
-            raise IndexError_("k must be >= 1")
+            raise SpatialIndexError("k must be >= 1")
         return list(itertools.islice(self.nearest_iter(point), k))
 
     def nearest_iter(self, point):

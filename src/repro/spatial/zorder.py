@@ -10,7 +10,7 @@ contiguous key ranges, i.e. few disk pages.
 
 from __future__ import annotations
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 
 _BITS = 21  # 21 + 21 interleaved bits fit comfortably in a Python int.
 
@@ -29,7 +29,7 @@ def _part1by1(n: int) -> int:
 def zorder_key(ix: int, iy: int) -> int:
     """Morton key of non-negative integer cell coordinates."""
     if ix < 0 or iy < 0:
-        raise IndexError_("z-order cells must be non-negative")
+        raise SpatialIndexError("z-order cells must be non-negative")
     return _part1by1(ix) | (_part1by1(iy) << 1)
 
 
@@ -37,7 +37,7 @@ def zorder_key_normalized(x: float, y: float, bounds, bits: int = 16) -> int:
     """Morton key of a point quantized to ``2**bits`` cells per axis
     within the 2D bounding box ``bounds``."""
     if not 1 <= bits <= _BITS:
-        raise IndexError_(f"bits must be in [1, {_BITS}]")
+        raise SpatialIndexError(f"bits must be in [1, {_BITS}]")
     lo_x, lo_y = bounds.lo[0], bounds.lo[1]
     hi_x, hi_y = bounds.hi[0], bounds.hi[1]
     span_x = max(hi_x - lo_x, 1e-12)

@@ -12,7 +12,18 @@ that enter "total time" in Figures 10–11.
 """
 
 from repro.storage.stats import IOStatistics, DiskModel, ThreadLocalIOStatistics
-from repro.storage.pages import BufferPool, PageManager, shared_buffer_pool
+from repro.storage.pages import (
+    BufferPool,
+    PageManager,
+    SimulatedDisk,
+    shared_buffer_pool,
+)
+from repro.storage.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+)
 from repro.storage.records import RecordCodec, pack_floats, unpack_floats
 from repro.storage.clustered import ClusteredRecordStore
 from repro.storage.segstore import SpatialRecordStore
@@ -24,7 +35,12 @@ __all__ = [
     "ThreadLocalIOStatistics",
     "BufferPool",
     "PageManager",
+    "SimulatedDisk",
     "shared_buffer_pool",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
     "RecordCodec",
     "pack_floats",
     "unpack_floats",

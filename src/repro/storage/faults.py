@@ -1,0 +1,238 @@
+"""Fault injection for the simulated disk.
+
+A real deployment sees flaky disks: transient read errors, silently
+flipped bits, latency spikes.  The simulated storage layer models all
+three so the rest of the stack can be hardened against them:
+
+* :class:`FaultInjector` — draws faults from a *seeded* schedule, one
+  draw per physical read attempt, so a test run is reproducible;
+* :class:`RetryPolicy` — bounded attempts with deterministic
+  exponential backoff (the backoff is *simulated* seconds, accounted
+  but never slept, so fault-heavy tests stay fast);
+* :class:`FaultStats` — per-manager counters of what was injected,
+  detected and retried, mirrored into the process-wide
+  :mod:`repro.obs` metrics registry.
+
+The injector sits on the read path of
+:class:`~repro.storage.pages.SimulatedDisk`: a transient fault raises
+:class:`~repro.errors.PageReadError` for that attempt, a corruption
+fault flips bytes in the returned payload (detected downstream by the
+page CRC), a latency fault reports simulated extra seconds.  With no
+injector attached the read path is byte-for-byte the pre-fault
+behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+#: Fault kinds drawn by the injector.
+FAULT_TRANSIENT = "transient"
+FAULT_CORRUPT = "corrupt"
+FAULT_LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the injector's log."""
+
+    kind: str  # transient | corrupt | latency
+    page_id: int
+    sequence: int  # monotone per-injector event number
+    detail: float = 0.0  # latency seconds for latency faults
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``max_attempts`` counts the initial attempt too (so 4 means one
+    try plus up to three retries).  Backoff for retry *i* (1-based) is
+    ``backoff_base * backoff_factor ** (i - 1)`` seconds — simulated,
+    never slept, accumulated into :class:`FaultStats`.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.001
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise StorageError("retry policy needs max_attempts >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise StorageError(
+                "retry backoff needs base >= 0 and factor >= 1"
+            )
+
+    def backoff_seconds(self, retry_number: int) -> float:
+        """Deterministic backoff before the ``retry_number``-th retry
+        (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (retry_number - 1)
+
+
+@dataclass
+class FaultStats:
+    """Counters kept by a :class:`~repro.storage.pages.PageManager`.
+
+    ``retries_total`` counts re-attempts actually performed; with
+    every fault eventually recovered it equals the number of failed
+    attempts (one retry per detected transient or corruption).
+    """
+
+    retries_total: int = 0
+    transient_faults_total: int = 0
+    corruptions_total: int = 0
+    latency_events_total: int = 0
+    latency_seconds_total: float = 0.0
+    backoff_seconds_total: float = 0.0
+    reads_failed_total: int = 0  # reads that exhausted the policy
+
+    def as_dict(self) -> dict:
+        return {
+            "retries_total": self.retries_total,
+            "transient_faults_total": self.transient_faults_total,
+            "corruptions_total": self.corruptions_total,
+            "latency_events_total": self.latency_events_total,
+            "latency_seconds_total": self.latency_seconds_total,
+            "backoff_seconds_total": self.backoff_seconds_total,
+            "reads_failed_total": self.reads_failed_total,
+        }
+
+
+class _TransientFault(Exception):
+    """Internal marker raised by the injector for one failed attempt
+    (converted to PageReadError once retries are exhausted)."""
+
+
+class FaultInjector:
+    """Seeded fault schedule for the simulated disk.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private RNG — the whole schedule is a
+        deterministic function of the seed and the sequence of read
+        attempts.
+    transient_rate, corrupt_rate, latency_rate:
+        Independent per-attempt probabilities of each fault kind (a
+        transient draw wins over a corruption draw; latency is
+        orthogonal and can accompany a successful read).
+    latency_seconds:
+        Simulated extra seconds added by one latency spike.
+    max_faults:
+        Optional hard cap on injected transient+corrupt faults (keeps
+        worst-case retry storms bounded in stress tests).
+
+    Thread safety: draws take the injector lock, so worker threads
+    hammering one disk see a consistent (if interleaving-dependent)
+    schedule, and the log/counters never tear.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_seconds: float = 0.05,
+        max_faults: int | None = None,
+    ):
+        for name, rate in (
+            ("transient_rate", transient_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("latency_rate", latency_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise StorageError(f"{name} must be in [0, 1], got {rate}")
+        self.transient_rate = transient_rate
+        self.corrupt_rate = corrupt_rate
+        self.latency_rate = latency_rate
+        self.latency_seconds = latency_seconds
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._sequence = 0
+        self.log: list[FaultEvent] = []
+        self.counts: dict[str, int] = {
+            FAULT_TRANSIENT: 0,
+            FAULT_CORRUPT: 0,
+            FAULT_LATENCY: 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: str, page_id: int, detail: float = 0.0) -> None:
+        event = FaultEvent(
+            kind=kind, page_id=page_id, sequence=self._sequence, detail=detail
+        )
+        self._sequence += 1
+        self.log.append(event)
+        self.counts[kind] += 1
+
+    def _budget_left(self) -> bool:
+        if self.max_faults is None:
+            return True
+        hard = self.counts[FAULT_TRANSIENT] + self.counts[FAULT_CORRUPT]
+        return hard < self.max_faults
+
+    def on_read(self, page_id: int, data: bytes) -> tuple[bytes, float]:
+        """One physical read attempt: returns (payload, extra seconds).
+
+        Raises the internal transient marker when this attempt fails;
+        may return a corrupted payload (the caller's CRC check detects
+        it); may report simulated latency alongside a clean payload.
+        """
+        with self._lock:
+            latency = 0.0
+            if self.latency_rate and self._rng.random() < self.latency_rate:
+                latency = self.latency_seconds
+                self._record(FAULT_LATENCY, page_id, detail=latency)
+            if self._budget_left():
+                if (
+                    self.transient_rate
+                    and self._rng.random() < self.transient_rate
+                ):
+                    self._record(FAULT_TRANSIENT, page_id)
+                    raise _TransientFault(
+                        f"injected transient fault on page {page_id}"
+                    )
+                if (
+                    self.corrupt_rate
+                    and self._rng.random() < self.corrupt_rate
+                ):
+                    self._record(FAULT_CORRUPT, page_id)
+                    return self._corrupt(data), latency
+            return data, latency
+
+    def _corrupt(self, data: bytes) -> bytes:
+        """Flip one byte at a schedule-chosen offset (empty pages get
+        a phantom byte appended so the corruption is still visible)."""
+        if not data:
+            return b"\xff"
+        index = self._rng.randrange(len(data))
+        flipped = bytes([data[index] ^ 0xFF])
+        return data[:index] + flipped + data[index + 1:]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def injected_total(self) -> int:
+        """Transient + corruption faults injected so far."""
+        return self.counts[FAULT_TRANSIENT] + self.counts[FAULT_CORRUPT]
+
+    def summary(self) -> dict:
+        """JSON-ready injector state (for bench reports)."""
+        with self._lock:
+            return {
+                "transient": self.counts[FAULT_TRANSIENT],
+                "corrupt": self.counts[FAULT_CORRUPT],
+                "latency": self.counts[FAULT_LATENCY],
+                "latency_seconds": sum(
+                    e.detail for e in self.log if e.kind == FAULT_LATENCY
+                ),
+                "events": len(self.log),
+            }

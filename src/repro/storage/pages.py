@@ -1,7 +1,7 @@
 """Fixed-size pages behind a thread-safe LRU buffer pool.
 
-The "disk" is a dict of immutable byte blocks; reads go through a
-:class:`BufferPool` and misses increment
+The "disk" is a :class:`SimulatedDisk` of immutable byte blocks;
+reads go through a :class:`BufferPool` and misses increment
 ``IOStatistics.physical_reads`` — the paper's *pages accessed*
 observable.
 
@@ -13,15 +13,33 @@ process-wide pool (:func:`shared_buffer_pool`), which is what the
 batch query executor uses.  Pool entries are keyed by
 ``(owner, page_id)`` so managers sharing a pool never alias each
 other's page ids.
+
+Resilience: every allocated page carries a CRC-32; a physical read
+verifies it and retries transient faults and detected corruption
+under a :class:`~repro.storage.faults.RetryPolicy`, surfacing
+:class:`~repro.errors.PageReadError` /
+:class:`~repro.errors.PageCorruptionError` only once the policy is
+exhausted.  With no :class:`~repro.storage.faults.FaultInjector`
+attached the read path is behaviourally identical to the pre-fault
+code: the CRC always matches and no retry/fault counter moves.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import zlib
 from collections import OrderedDict
 
-from repro.errors import StorageError
+from repro.errors import PageCorruptionError, PageReadError, StorageError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import NOOP_SPAN, NULL_TRACER
+from repro.storage.faults import (
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+    _TransientFault,
+)
 from repro.storage.stats import PAGE_CLASS_OTHER, IOStatistics
 
 DEFAULT_PAGE_SIZE = 8192
@@ -30,6 +48,45 @@ DEFAULT_PAGE_SIZE = 8192
 DEFAULT_SHARED_BUFFER_PAGES = 4096
 
 _owner_tokens = itertools.count()
+
+
+class SimulatedDisk:
+    """The byte blocks behind a :class:`PageManager`, with an optional
+    fault injector on the read path.
+
+    A read attempt asks the injector first: it may raise a transient
+    fault (the manager retries), hand back a corrupted payload (the
+    manager's CRC check catches it) or report a simulated latency
+    spike alongside clean data.  Without an injector, reads return the
+    stored block and zero latency — the exact pre-fault behaviour.
+    """
+
+    def __init__(self, fault_injector: FaultInjector | None = None):
+        self.fault_injector = fault_injector
+        self._blocks: dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._blocks
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._blocks[page_id] = bytes(data)
+
+    def read(self, page_id: int) -> tuple[bytes, float]:
+        """One read attempt: (payload, simulated extra seconds).
+
+        Raises :class:`~repro.errors.StorageError` for a page that was
+        never written, or the injector's transient marker for an
+        attempt the schedule failed.
+        """
+        data = self._blocks.get(page_id)
+        if data is None:
+            raise StorageError(f"page {page_id} does not exist")
+        if self.fault_injector is None:
+            return data, 0.0
+        return self.fault_injector.on_read(page_id, data)
 
 
 class BufferPool:
@@ -116,6 +173,18 @@ class PageManager:
         :func:`shared_buffer_pool` to share one LRU across engines
         and threads; by default a private pool of ``buffer_pages``
         is created (the classic per-engine buffer).
+    fault_injector:
+        Optional :class:`~repro.storage.faults.FaultInjector` wired
+        into the simulated disk's read path.
+    retry_policy:
+        :class:`~repro.storage.faults.RetryPolicy` governing how
+        transient faults and detected corruption are retried before a
+        :class:`~repro.errors.PageReadError` /
+        :class:`~repro.errors.PageCorruptionError` surfaces.
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`; fault recovery
+        emits ``storage.retry`` spans through it (a clean read emits
+        nothing).
 
     Reads are guarded by a per-manager lock so the buffer probe and
     the hit/miss accounting are atomic with respect to other threads
@@ -128,6 +197,9 @@ class PageManager:
         buffer_pages: int = 256,
         stats: IOStatistics | None = None,
         buffer: BufferPool | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        tracer=None,
     ):
         if page_size < 64:
             raise StorageError("page_size must be at least 64 bytes")
@@ -139,7 +211,13 @@ class PageManager:
         self._buffer = buffer if buffer is not None else BufferPool(buffer_pages)
         self._owner = next(_owner_tokens)
         self._lock = threading.RLock()
-        self._disk: dict[int, bytes] = {}
+        self._disk = SimulatedDisk(fault_injector)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_stats = FaultStats()
+        self._crc: dict[int, int] = {}
         self._page_class: dict[int, str] = {}
         self._next_id = 0
 
@@ -152,12 +230,22 @@ class PageManager:
         """The pool this manager caches through (possibly shared)."""
         return self._buffer
 
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The injector on the simulated disk's read path, if any."""
+        return self._disk.fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector: FaultInjector | None) -> None:
+        self._disk.fault_injector = injector
+
     def allocate(self, data: bytes, page_class: str = PAGE_CLASS_OTHER) -> int:
         """Write a new page to disk; returns its page id.
 
         ``page_class`` labels the structure the page belongs to
         (dmtm / msdn / objects / index) so reads can be attributed
-        per structure in :class:`IOStatistics`.
+        per structure in :class:`IOStatistics`.  Every page gets a
+        CRC-32 of its payload, verified on each physical read.
         """
         if len(data) > self.page_size:
             raise StorageError(
@@ -167,7 +255,8 @@ class PageManager:
         with self._lock:
             page_id = self._next_id
             self._next_id += 1
-            self._disk[page_id] = bytes(data)
+            self._disk.write(page_id, data)
+            self._crc[page_id] = zlib.crc32(data)
             if page_class != PAGE_CLASS_OTHER:
                 self._page_class[page_id] = page_class
             self.stats.record_write()
@@ -191,12 +280,62 @@ class PageManager:
             if cached is not None:
                 self.stats.record_read(page_class, physical=False)
                 return cached
-            data = self._disk.get(page_id)
-            if data is None:
-                raise StorageError(f"page {page_id} does not exist")
+            data = self._fetch_verified(page_id)
             self.stats.record_read(page_class, physical=True)
             self._buffer.put(self._owner, page_id, data)
             return data
+
+    def _fetch_verified(self, page_id: int) -> bytes:
+        """Fetch a page from the simulated disk, verifying its CRC and
+        retrying transient faults / detected corruption under the
+        retry policy.  Raises the *last* failure once attempts are
+        exhausted (so a final corrupted attempt surfaces as
+        :class:`PageCorruptionError`, a final transient as
+        :class:`PageReadError`)."""
+        policy = self.retry_policy
+        expected_crc = self._crc.get(page_id)
+        last_error: StorageError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                backoff = policy.backoff_seconds(attempt - 1)
+                self.fault_stats.retries_total += 1
+                self.fault_stats.backoff_seconds_total += backoff
+                registry = get_registry()
+                registry.counter("storage.retries_total").add(1)
+                registry.counter("storage.retry_backoff_seconds").add(backoff)
+            span_cm = (
+                self.tracer.span(
+                    "storage.retry", page_id=page_id, attempt=attempt
+                )
+                if attempt > 1
+                else NOOP_SPAN
+            )
+            try:
+                with span_cm:
+                    data, latency = self._disk.read(page_id)
+            except _TransientFault as exc:
+                self.fault_stats.transient_faults_total += 1
+                get_registry().counter("storage.transient_faults_total").add(1)
+                last_error = PageReadError(f"page {page_id}: {exc}")
+                continue
+            if latency:
+                self.fault_stats.latency_events_total += 1
+                self.fault_stats.latency_seconds_total += latency
+                registry = get_registry()
+                registry.counter("storage.fault_latency_events_total").add(1)
+                registry.counter("storage.fault_latency_seconds").add(latency)
+            if expected_crc is not None and zlib.crc32(data) != expected_crc:
+                self.fault_stats.corruptions_total += 1
+                get_registry().counter("storage.corruptions_total").add(1)
+                last_error = PageCorruptionError(
+                    f"page {page_id} failed its CRC check"
+                )
+                continue
+            return data
+        self.fault_stats.reads_failed_total += 1
+        get_registry().counter("storage.read_failures_total").add(1)
+        assert last_error is not None
+        raise last_error
 
     def drop_buffer(self) -> None:
         """Evict this manager's pages (cold-cache experiment runs)."""

@@ -15,7 +15,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.errors import MeshError, TerrainError
+from repro.errors import GeometryError, MeshError, TerrainError
 from repro.geometry.primitives import BoundingBox
 from repro.geometry.triangle import barycentric_2d
 
@@ -265,7 +265,8 @@ class TriangleMesh:
             a, b, c = self.face_points(fi)
             try:
                 w = barycentric_2d((x, y), a, b, c)
-            except Exception:
+            except GeometryError:
+                # Degenerate (zero-area) face: cannot contain the point.
                 continue
             if min(w) >= -1e-9:
                 return fi
@@ -276,7 +277,7 @@ class TriangleMesh:
                     a, b, c = self.face_points(fi)
                     try:
                         w = barycentric_2d((x, y), a, b, c)
-                    except Exception:
+                    except GeometryError:
                         continue
                     if min(w) >= -1e-9:
                         return fi

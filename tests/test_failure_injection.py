@@ -35,21 +35,72 @@ class TestCorruptStorage:
         with pytest.raises(StorageError):
             pm.read(0)
 
-    def test_corrupt_ddm_file(self, tmp_path):
-        from repro.multires.persist import load_history, save_history
+    @pytest.fixture(scope="class")
+    def ddm_bytes(self, tmp_path_factory):
+        from repro.multires.persist import save_history
         from repro.simplification.collapse import build_collapse_history
         from repro.terrain.mesh import TriangleMesh
         from repro.terrain.synthetic import fractal_dem
 
         mesh = TriangleMesh.from_dem(fractal_dem(size=5, seed=1))
         history = build_collapse_history(mesh)
-        path = tmp_path / "ddm.bin"
+        path = tmp_path_factory.mktemp("ddm") / "ddm.bin"
         save_history(history, path)
-        # Truncate mid-node.
-        data = path.read_bytes()
+        return path, path.read_bytes()
+
+    def test_corrupt_ddm_file(self, ddm_bytes):
+        from repro.multires.persist import load_history
+
+        path, data = ddm_bytes
+        # Truncate mid-node: validate() must catch it, typed.
         path.write_bytes(data[: len(data) // 2])
-        with pytest.raises((MultiresError, struct.error)):
+        with pytest.raises(MultiresError):
             load_history(path)
+        path.write_bytes(data)
+
+    def test_ddm_structural_byte_corruption_detected(self, ddm_bytes):
+        from repro.multires.persist import load_history, validate
+
+        path, data = ddm_bytes
+        validate(data)  # pristine file passes
+        # Inflate the node count in the header: the framed walk must
+        # run off the end and raise the typed error, never a bare
+        # struct.error.
+        corrupt = bytearray(data)
+        corrupt[8] ^= 0xFF  # low byte of u64 num_leaves/num_nodes frame
+        corrupt[16] ^= 0xFF
+        path.write_bytes(bytes(corrupt))
+        with pytest.raises(MultiresError):
+            load_history(path)
+        path.write_bytes(data)
+
+    def test_ddm_bad_magic_and_trailing_garbage(self, ddm_bytes):
+        from repro.multires.persist import validate
+
+        _path, data = ddm_bytes
+        with pytest.raises(MultiresError, match="magic"):
+            validate(b"NOTADDM1" + data[8:])
+        with pytest.raises(MultiresError, match="trailing"):
+            validate(data + b"\x00garbage")
+
+    def test_ddm_root_out_of_range(self, ddm_bytes):
+        from repro.multires.persist import _HEAD, _MAGIC, validate
+
+        _path, data = ddm_bytes
+        corrupt = bytearray(data)
+        # First root id lives right after magic + header + root count.
+        offset = len(_MAGIC) + _HEAD.size + 8
+        corrupt[offset : offset + 8] = (2**63 - 1).to_bytes(8, "little")
+        with pytest.raises(MultiresError, match="root"):
+            validate(bytes(corrupt))
+
+    def test_ddm_roundtrip_still_loads(self, ddm_bytes):
+        from repro.multires.persist import load_history
+
+        path, data = ddm_bytes
+        path.write_bytes(data)
+        history = load_history(path)
+        assert history.num_leaves > 0
 
 
 class TestHostileMeshes:

@@ -1,0 +1,180 @@
+"""Budgeted (anytime) queries: graceful degradation with sound error
+bounds.
+
+Contract under test:
+
+* an exhausted budget never raises — the result is flagged
+  ``degraded=True`` and carries ``max_error``;
+* a generous (or absent) budget returns the exact MR3 answer with
+  ``degraded=False`` and bit-identical results/intervals/reads;
+* the soundness property: on the differential grid, the degraded
+  answer's reported k-th upper bound overshoots the *true* k-th
+  surface distance by at most ``max_error``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import exact_knn
+from repro.core.budget import BudgetTracker, QueryBudget
+from repro.core.engine import SurfaceKNNEngine
+from repro.errors import QueryError
+
+EPS = 1e-6
+
+
+class TestQueryBudget:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            QueryBudget(max_pages=-1)
+        with pytest.raises(QueryError):
+            QueryBudget(max_seconds=-0.5)
+
+    def test_unlimited(self):
+        assert QueryBudget().unlimited
+        assert not QueryBudget(max_pages=10).unlimited
+        assert not QueryBudget(max_seconds=1.0).unlimited
+
+    def test_tracker_without_stats_tracks_time_only(self):
+        tracker = BudgetTracker(QueryBudget(max_pages=1), stats=None)
+        assert not tracker.check()  # page limit untracked without stats
+        assert tracker.pages_used() == 0
+
+    def test_exhaustion_is_sticky(self):
+        tracker = BudgetTracker(QueryBudget(max_seconds=0.0))
+        assert tracker.check()
+        assert tracker.exhausted
+        assert "time budget" in tracker.exhausted_reason
+        assert tracker.check()  # stays exhausted
+
+
+class TestDegradedQueries:
+    def test_tiny_page_budget_degrades_never_raises(self, small_engine):
+        result = small_engine.query(40, 3, budget=QueryBudget(max_pages=1))
+        assert result.degraded
+        assert len(result.object_ids) == 3
+        assert result.max_error > 0.0
+        assert result.budget_reason and "page budget" in result.budget_reason
+        assert all(lb <= ub + EPS for lb, ub in result.intervals)
+
+    def test_zero_time_budget_degrades_never_raises(self, small_engine):
+        result = small_engine.query(40, 3, budget=QueryBudget(max_seconds=0.0))
+        assert result.degraded
+        assert len(result.object_ids) == 3
+        assert "time budget" in result.budget_reason
+
+    def test_generous_budget_is_exact_and_identical(self, small_engine):
+        want = small_engine.query(40, 3)
+        got = small_engine.query(
+            40, 3, budget=QueryBudget(max_pages=10_000_000, max_seconds=3600)
+        )
+        assert not got.degraded
+        assert got.max_error == 0.0
+        assert got.object_ids == want.object_ids
+        assert got.intervals == want.intervals
+        assert got.metrics.logical_reads == want.metrics.logical_reads
+
+    def test_no_budget_is_never_degraded(self, small_engine):
+        result = small_engine.query(40, 3)
+        assert not result.degraded
+        assert result.max_error == 0.0
+        assert result.budget_reason is None
+
+    def test_budget_caps_page_spend(self, small_engine):
+        free = small_engine.query(40, 3)
+        capped = small_engine.query(40, 3, budget=QueryBudget(max_pages=50))
+        assert capped.degraded
+        assert capped.metrics.logical_reads < free.metrics.logical_reads
+
+    def test_degraded_trace_record_carries_error_bound(self, small_engine):
+        record = small_engine.query(
+            40, 3, budget=QueryBudget(max_pages=1)
+        ).trace_record()
+        assert record["degraded"] is True
+        assert record["max_error"] > 0.0
+        assert "budget_reason" in record
+
+    def test_exact_record_has_no_degradation_keys(self, small_engine):
+        record = small_engine.query(40, 3).trace_record()
+        assert "degraded" not in record
+        assert "max_error" not in record
+
+    def test_degraded_explain_mentions_budget(self, small_engine):
+        text = small_engine.query(
+            40, 3, budget=QueryBudget(max_pages=1)
+        ).explain()
+        assert "DEGRADED" in text
+        assert "max_error" in text
+
+    def test_embedded_point_query_accepts_budget(self, small_engine):
+        bounds = small_engine.mesh.xy_bounds()
+        cx, cy = bounds.center
+        result = small_engine.query_point(
+            float(cx) + 1.7, float(cy) + 2.3, 3,
+            budget=QueryBudget(max_pages=1),
+        )
+        assert result.degraded
+        assert len(result.object_ids) == 3
+
+
+class TestMaxErrorSoundness:
+    """The property the anytime contract hangs on: on every
+    differential-grid case, the true k-th surface distance lies within
+    ``max_error`` of the reported k-th upper bound."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, flat_mesh, rough_mesh):
+        return [
+            SurfaceKNNEngine(flat_mesh, density=25.0, seed=11),
+            SurfaceKNNEngine(rough_mesh, density=12.0, seed=7),
+        ]
+
+    def _grid_vertices(self, mesh):
+        bounds = mesh.xy_bounds()
+        cx, cy = bounds.center
+        lox, loy = bounds.lo[0], bounds.lo[1]
+        hix, hiy = bounds.hi[0], bounds.hi[1]
+        picks = [
+            (cx, cy),
+            (lox + 0.15 * (hix - lox), loy + 0.2 * (hiy - loy)),
+            (hix - 0.1 * (hix - lox), cy),
+        ]
+        return sorted({mesh.nearest_vertex(p) for p in picks})
+
+    @pytest.mark.parametrize("max_pages", [1, 40, 120])
+    def test_max_error_bounds_true_error(self, engines, max_pages):
+        budget = QueryBudget(max_pages=max_pages)
+        checked = degraded_count = 0
+        for engine in engines:
+            for qv in self._grid_vertices(engine.mesh):
+                for k in (1, 3, 5):
+                    if k > len(engine.objects):
+                        continue
+                    result = engine.query(qv, k, budget=budget)
+                    checked += 1
+                    truth = exact_knn(
+                        engine.mesh, engine.objects, qv, k
+                    )
+                    true_kth = truth[k - 1][1]
+                    reported_kth_ub = result.intervals[-1][1]
+                    if not result.degraded:
+                        continue
+                    degraded_count += 1
+                    # The reported k-th ub is a genuine upper bound on
+                    # the true k-th distance, and max_error bounds the
+                    # overshoot.
+                    assert reported_kth_ub >= true_kth - EPS, (
+                        f"qv={qv} k={k}: reported ub {reported_kth_ub:.3f} "
+                        f"below true kth {true_kth:.3f}"
+                    )
+                    assert reported_kth_ub - true_kth <= result.max_error + EPS, (
+                        f"qv={qv} k={k} pages={max_pages}: true error "
+                        f"{reported_kth_ub - true_kth:.3f} exceeds "
+                        f"max_error {result.max_error:.3f}"
+                    )
+        assert checked > 0
+        if max_pages == 1:
+            assert degraded_count > 0, (
+                "1-page budget never degraded — property untested"
+            )

@@ -1,0 +1,219 @@
+"""Resilient storage: CRC-checked pages, seeded fault injection and
+bounded retries.
+
+Contract under test: with an injector attached, every transient fault
+and every corruption is either recovered by a retry (invisible in
+results) or surfaced as a typed ``StorageError`` subclass after the
+policy is exhausted — and the retry/corruption counters reconcile
+exactly with the injector's own event log.  Without an injector the
+read path is behaviourally identical to a fault-free build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SurfaceKNNEngine
+from repro.errors import (
+    PageCorruptionError,
+    PageReadError,
+    StorageError,
+)
+from repro.obs.tracing import Tracer
+from repro.storage.faults import (
+    FAULT_CORRUPT,
+    FAULT_TRANSIENT,
+    FaultInjector,
+    RetryPolicy,
+)
+from repro.storage.pages import PageManager
+
+
+def make_manager(injector=None, **kwargs) -> PageManager:
+    pm = PageManager(fault_injector=injector, **kwargs)
+    for i in range(8):
+        pm.allocate(f"page-{i}".encode() * 10)
+    return pm
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(seed=42, transient_rate=0.5, corrupt_rate=0.3)
+            outcomes = []
+            for attempt in range(50):
+                try:
+                    data, _lat = inj.on_read(attempt % 4, b"payload")
+                    outcomes.append(data)
+                except Exception:
+                    outcomes.append("transient")
+            runs.append((outcomes, [e.kind for e in inj.log]))
+        assert runs[0] == runs[1]
+
+    def test_rates_validated(self):
+        with pytest.raises(StorageError):
+            FaultInjector(transient_rate=1.5)
+        with pytest.raises(StorageError):
+            FaultInjector(corrupt_rate=-0.1)
+
+    def test_max_faults_caps_hard_faults(self):
+        inj = FaultInjector(seed=1, transient_rate=1.0, max_faults=3)
+        failures = 0
+        for i in range(10):
+            try:
+                inj.on_read(i, b"x")
+            except Exception:
+                failures += 1
+        assert failures == 3
+        assert inj.injected_total == 3
+
+    def test_corruption_changes_payload(self):
+        inj = FaultInjector(seed=2, corrupt_rate=1.0)
+        data, _lat = inj.on_read(0, b"hello world")
+        assert data != b"hello world"
+        assert len(data) == len(b"hello world")
+
+    def test_latency_reported_not_slept(self):
+        inj = FaultInjector(seed=3, latency_rate=1.0, latency_seconds=5.0)
+        _data, latency = inj.on_read(0, b"x")
+        assert latency == 5.0  # 5 simulated seconds returned instantly
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(StorageError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_is_deterministic_exponential(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_factor=2.0)
+        assert policy.backoff_seconds(1) == pytest.approx(0.01)
+        assert policy.backoff_seconds(2) == pytest.approx(0.02)
+        assert policy.backoff_seconds(3) == pytest.approx(0.04)
+
+
+class TestPageManagerRecovery:
+    def test_transient_faults_recovered_by_retry(self):
+        inj = FaultInjector(seed=1, transient_rate=1.0, max_faults=2)
+        pm = make_manager(inj, retry_policy=RetryPolicy(max_attempts=4))
+        data = pm.read(0)
+        assert data.startswith(b"page-0")
+        assert pm.fault_stats.retries_total == 2
+        assert pm.fault_stats.transient_faults_total == 2
+        assert pm.fault_stats.reads_failed_total == 0
+
+    def test_exhausted_retries_raise_page_read_error(self):
+        inj = FaultInjector(seed=1, transient_rate=1.0)
+        pm = make_manager(inj, retry_policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(PageReadError):
+            pm.read(0)
+        assert pm.fault_stats.reads_failed_total == 1
+        # 3 attempts = 2 retries, all of them failed.
+        assert pm.fault_stats.retries_total == 2
+
+    def test_corruption_detected_by_crc_and_retried(self):
+        inj = FaultInjector(seed=2, corrupt_rate=1.0, max_faults=1)
+        pm = make_manager(inj)
+        data = pm.read(3)
+        assert data.startswith(b"page-3")
+        assert pm.fault_stats.corruptions_total == 1
+
+    def test_persistent_corruption_raises_corruption_error(self):
+        inj = FaultInjector(seed=2, corrupt_rate=1.0)
+        pm = make_manager(inj, retry_policy=RetryPolicy(max_attempts=2))
+        with pytest.raises(PageCorruptionError):
+            pm.read(0)
+        assert pm.fault_stats.corruptions_total == 2
+        assert pm.fault_stats.reads_failed_total == 1
+
+    def test_typed_errors_are_storage_errors(self):
+        assert issubclass(PageReadError, StorageError)
+        assert issubclass(PageCorruptionError, StorageError)
+
+    def test_buffer_hit_skips_the_disk(self):
+        # First read recovers; the cached copy must not re-draw faults.
+        inj = FaultInjector(seed=1, transient_rate=1.0, max_faults=2)
+        pm = make_manager(inj)
+        pm.read(0)
+        injected_after_first = inj.injected_total
+        pm.read(0)
+        assert inj.injected_total == injected_after_first
+
+    def test_latency_spikes_accounted(self):
+        inj = FaultInjector(seed=4, latency_rate=1.0, latency_seconds=0.25)
+        pm = make_manager(inj)
+        pm.read(0)
+        assert pm.fault_stats.latency_events_total == 1
+        assert pm.fault_stats.latency_seconds_total == pytest.approx(0.25)
+
+    def test_retry_spans_emitted(self):
+        inj = FaultInjector(seed=1, transient_rate=1.0, max_faults=1)
+        tracer = Tracer()
+        pm = PageManager(fault_injector=inj, tracer=tracer)
+        pm.allocate(b"spanful")
+        with tracer.span("test.root"):
+            pm.read(0)
+        (root,) = tracer.finished()
+        retries = root.find("storage.retry")
+        assert len(retries) == 1
+        assert retries[0].attributes["attempt"] == 2
+
+    def test_no_injector_means_no_counters(self):
+        pm = make_manager(None)
+        for i in range(8):
+            pm.read(i)
+        stats = pm.fault_stats.as_dict()
+        assert all(v == 0 for v in stats.values())
+
+
+class TestEngineUnderFaults:
+    """Whole-stack: a faulted engine must answer every query
+    identically to a clean one, with the counters reconciling."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, bh_mesh):
+        clean = SurfaceKNNEngine(bh_mesh, density=10.0, seed=3)
+        injector = FaultInjector(
+            seed=7, transient_rate=0.04, corrupt_rate=0.02
+        )
+        faulted = SurfaceKNNEngine(
+            bh_mesh, density=10.0, seed=3,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=8),
+        )
+        return clean, faulted, injector
+
+    def test_results_identical_under_recovered_faults(self, engines):
+        clean, faulted, injector = engines
+        for qv in (10, 40, 100, 200):
+            want = clean.query(qv, 3)
+            got = faulted.query(qv, 3)
+            assert got.object_ids == want.object_ids
+            assert got.intervals == want.intervals
+            assert (
+                got.metrics.logical_reads == want.metrics.logical_reads
+            ), "fault recovery must not change logical read accounting"
+        assert injector.injected_total > 0, "schedule injected nothing"
+
+    def test_counters_reconcile_with_injector_log(self, engines):
+        _clean, faulted, injector = engines
+        stats = faulted.pages.fault_stats
+        assert stats.transient_faults_total == injector.counts[FAULT_TRANSIENT]
+        assert stats.corruptions_total == injector.counts[FAULT_CORRUPT]
+        assert stats.retries_total == (
+            injector.injected_total - stats.reads_failed_total
+        )
+
+    def test_injector_swappable_at_runtime(self, bh_mesh):
+        engine = SurfaceKNNEngine(bh_mesh, density=10.0, seed=3)
+        assert engine.pages.fault_injector is None
+        injector = FaultInjector(seed=5, transient_rate=0.05)
+        engine.pages.fault_injector = injector
+        engine.query(40, 3)
+        assert injector.injected_total >= 0  # schedule consulted
+        engine.pages.fault_injector = None
+        before = engine.pages.fault_stats.retries_total
+        engine.query(40, 3)
+        assert engine.pages.fault_stats.retries_total == before
