@@ -1,11 +1,15 @@
 """Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
 
-Figures: fig7, fig8, fig9, fig10, fig11, related, batch, faults, all.
-The ``batch`` mode takes ``--batch N --workers W`` and reports
-throughput / latency percentiles of the concurrent executor against
-the sequential baseline.  The ``faults`` mode sweeps injected storage
-fault rates and per-query page budgets, reporting retry/corruption
-counters and degraded-answer rates (``--workers`` applies here too).
+Figures: fig7, fig8, fig9, fig10, fig11, related, batch, faults,
+kernels, all.  The ``batch`` mode takes ``--batch N --workers W`` and
+reports throughput / latency percentiles of the concurrent executor
+against the sequential baseline.  The ``faults`` mode sweeps injected
+storage fault rates and per-query page budgets, reporting
+retry/corruption counters and degraded-answer rates (``--workers``
+applies here too).  The ``kernels`` mode compares the dict reference
+kernels against the flat CSR kernels (micro + end-to-end) and writes
+the ``repro.bench/v1`` document to ``--out`` (default
+``BENCH_GEODESIC.json``).
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ _FIGURES = {
     "related": experiments.related,
     "batch": experiments.batch,
     "faults": experiments.faults,
+    "kernels": experiments.kernels,
 }
 
 
@@ -54,6 +59,13 @@ def main(argv=None) -> int:
         help="batch mode: thread-pool size (default 4)",
     )
     parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_GEODESIC.json",
+        help="kernels mode: where to write the repro.bench/v1 JSON "
+        "document (default BENCH_GEODESIC.json)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -77,6 +89,8 @@ def main(argv=None) -> int:
                 kwargs["batch"] = args.batch
         elif name == "faults":
             kwargs["workers"] = args.workers
+        elif name == "kernels":
+            kwargs["out"] = args.out
         result = run_experiment(_FIGURES[name], **kwargs)
         if args.metrics_out:
             records.extend(experiment_records(name, result))

@@ -350,14 +350,36 @@ def related(quick: bool = False, size: int | None = None, k: int = 5) -> dict:
 _SERIES = (("s=1", "mr3", 1), ("s=2", "mr3", 2), ("s=3", "mr3", 3), ("EA", "ea", 1))
 
 
+_DIJKSTRA_COUNTERS = (
+    "geodesic.dijkstra.calls",
+    "geodesic.dijkstra.settled",
+    "geodesic.dijkstra.relaxations",
+)
+
+
 def _run_series(engine, queries, k) -> dict:
-    """Mean metrics of each algorithm configuration over the queries."""
+    """Mean metrics of each algorithm configuration over the queries.
+
+    Alongside the timing/page metrics, each label carries the mean
+    per-query Dijkstra kernel work (calls / settled nodes /
+    relaxations), measured as registry counter deltas around each
+    query — the ``--metrics-out`` view of how much search the kernels
+    actually did."""
+    from repro.obs.metrics import get_registry
+
+    counters = [get_registry().counter(name) for name in _DIJKSTRA_COUNTERS]
     out = {}
     for label, method, step in _SERIES:
         total, cpu, pages, logical = [], [], [], []
         pages_dmtm, pages_msdn = [], []
+        kernel_work: dict[str, list] = {name: [] for name in _DIJKSTRA_COUNTERS}
         for qv in queries:
+            before = [c.value for c in counters]
             result = engine.query(qv, k, method=method, step_length=step)
+            for name, counter, start in zip(
+                _DIJKSTRA_COUNTERS, counters, before
+            ):
+                kernel_work[name].append(counter.value - start)
             total.append(result.metrics.total_seconds)
             cpu.append(result.metrics.cpu_seconds)
             pages.append(result.metrics.pages_accessed)
@@ -372,6 +394,11 @@ def _run_series(engine, queries, k) -> dict:
             "logical": float(np.mean(logical)),
             "pages_dmtm": float(np.mean(pages_dmtm)),
             "pages_msdn": float(np.mean(pages_msdn)),
+            "dijkstra_calls": float(np.mean(kernel_work[_DIJKSTRA_COUNTERS[0]])),
+            "dijkstra_settled": float(np.mean(kernel_work[_DIJKSTRA_COUNTERS[1]])),
+            "dijkstra_relaxations": float(
+                np.mean(kernel_work[_DIJKSTRA_COUNTERS[2]])
+            ),
         }
     return out
 
@@ -606,3 +633,326 @@ def faults(
         "tables": tables,
         "rows": {"faults": fault_rows, "budgets": budget_rows},
     }
+
+
+# ----------------------------------------------------------------------
+# Kernel trajectory — dict reference kernels vs flat CSR kernels
+# ----------------------------------------------------------------------
+
+def kernels(
+    quick: bool = False,
+    size: int | None = None,
+    density: float = 6.0,
+    num_anchors: int | None = None,
+    num_targets: int | None = None,
+    num_queries: int | None = None,
+    repeats: int = 3,
+    out: str | None = None,
+) -> dict:
+    """Not a paper figure: the CSR kernel family measured against the
+    dict reference kernels it replaced.
+
+    Table 1 (micro) times the three search shapes on the pathnet-level
+    network: the multi-source kernel against one reference Dijkstra
+    per (anchor, target) pair and against the per-anchor multi-target
+    loop; a full single-source sweep; and single-target A* against
+    single-target Dijkstra.  Every comparison first asserts the values
+    are identical — a speedup over different answers would be
+    meaningless.
+
+    Table 2 (end-to-end) runs the same ``engine.query`` workload on
+    two fresh engines, one per kernel mode, and pins results,
+    intervals and logical page reads to be identical before reporting
+    wall clock.  When ``out`` is set, the full document is written
+    there as ``repro.bench/v1`` JSON (the checked-in
+    ``BENCH_GEODESIC.json``).
+    """
+    import json
+
+    from repro.core.engine import SurfaceKNNEngine
+    from repro.geodesic.csr import (
+        astar_csr,
+        dijkstra_csr,
+        multi_source_dijkstra_csr,
+        use_reference_kernels,
+    )
+    from repro.geodesic.dijkstra import (
+        dijkstra_reference,
+    )
+    from repro.geodesic.pathnet import vertex_key
+
+    if size is None:
+        size = 25 if quick else 33
+    if num_anchors is None:
+        num_anchors = 4 if quick else 8
+    if num_targets is None:
+        num_targets = 8 if quick else 16
+    if num_queries is None:
+        num_queries = 4 if quick else 8
+
+    engine = build_engine("BH", size=size, density=density, with_storage=False)
+    network = engine.dmtm.extract_network(RESOLUTION_PATHNET, charge_io=False)
+    graph = network.graph
+    csr = network.csr()
+    adjacency = graph.adjacency
+
+    # Anchors/targets: deterministic mesh vertices present in the
+    # pathnet, anchors carrying synthetic additive offsets like the
+    # ranking loop's partial path costs.
+    candidates = [
+        v for v in query_vertices(engine.mesh, (num_anchors + num_targets) * 2, seed=13)
+        if vertex_key(v) in graph
+    ]
+    anchor_vs = candidates[:num_anchors]
+    target_vs = candidates[num_anchors : num_anchors + num_targets]
+    anchor_ids = [graph.node_id(vertex_key(v)) for v in anchor_vs]
+    target_ids = [graph.node_id(vertex_key(v)) for v in target_vs]
+    sources = [(nid, 0.37 * (i + 1)) for i, nid in enumerate(anchor_ids)]
+
+    def best_of(fn):
+        best = float("inf")
+        value = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, value
+
+    def ref_per_pair():
+        best: dict[int, float] = {}
+        for aid, offset in sources:
+            for tid in target_ids:
+                d = dijkstra_reference(adjacency, aid, targets={tid}).get(tid)
+                if d is None:
+                    continue
+                value = offset + d
+                if tid not in best or value < best[tid]:
+                    best[tid] = value
+        return best
+
+    def ref_per_anchor():
+        best: dict[int, float] = {}
+        for aid, offset in sources:
+            dist = dijkstra_reference(adjacency, aid, targets=set(target_ids))
+            for tid in target_ids:
+                d = dist.get(tid)
+                if d is None:
+                    continue
+                value = offset + d
+                if tid not in best or value < best[tid]:
+                    best[tid] = value
+        return best
+
+    def csr_multi_source():
+        found = multi_source_dijkstra_csr(csr, sources, targets=set(target_ids))
+        return {tid: found.value[tid] for tid in target_ids if tid in found.value}
+
+    pair_seconds, pair_values = best_of(ref_per_pair)
+    anchor_seconds, anchor_values = best_of(ref_per_anchor)
+    multi_seconds, multi_values = best_of(csr_multi_source)
+    if not (pair_values == anchor_values == multi_values):
+        raise AssertionError(
+            "kernel divergence: multi-source values differ from reference"
+        )
+
+    src = anchor_ids[0]
+    sweep_ref_seconds, sweep_ref = best_of(lambda: dijkstra_reference(adjacency, src))
+    sweep_csr_seconds, sweep_csr = best_of(lambda: dijkstra_csr(csr, src))
+    if sweep_ref != sweep_csr:
+        raise AssertionError("kernel divergence: full single-source sweep differs")
+
+    tgt = target_ids[-1]
+    astar_ref_seconds, astar_ref = best_of(
+        lambda: dijkstra_reference(adjacency, src, targets={tgt}).get(tgt)
+    )
+    astar_csr_seconds, astar_value = best_of(lambda: astar_csr(csr, src, tgt))
+    if astar_ref != astar_value:
+        raise AssertionError("kernel divergence: A* value differs from Dijkstra")
+
+    searches = len(sources) * len(target_ids)
+    kernel_rows = [
+        {
+            "comparison": "multi-source",
+            "kernel": "reference per-pair",
+            "searches": searches,
+            "seconds": pair_seconds,
+            "speedup": 1.0,
+            "identical": True,
+        },
+        {
+            "comparison": "multi-source",
+            "kernel": "reference per-anchor",
+            "searches": len(sources),
+            "seconds": anchor_seconds,
+            "speedup": pair_seconds / anchor_seconds if anchor_seconds > 0 else None,
+            "identical": True,
+        },
+        {
+            "comparison": "multi-source",
+            "kernel": "csr multi-source",
+            "searches": 1,
+            "seconds": multi_seconds,
+            "speedup": pair_seconds / multi_seconds if multi_seconds > 0 else None,
+            "identical": True,
+        },
+        {
+            "comparison": "full sweep",
+            "kernel": "reference dijkstra",
+            "searches": 1,
+            "seconds": sweep_ref_seconds,
+            "speedup": 1.0,
+            "identical": True,
+        },
+        {
+            "comparison": "full sweep",
+            "kernel": "csr dijkstra",
+            "searches": 1,
+            "seconds": sweep_csr_seconds,
+            "speedup": (
+                sweep_ref_seconds / sweep_csr_seconds
+                if sweep_csr_seconds > 0
+                else None
+            ),
+            "identical": True,
+        },
+        {
+            "comparison": "single target",
+            "kernel": "reference dijkstra",
+            "searches": 1,
+            "seconds": astar_ref_seconds,
+            "speedup": 1.0,
+            "identical": True,
+        },
+        {
+            "comparison": "single target",
+            "kernel": "csr astar",
+            "searches": 1,
+            "seconds": astar_csr_seconds,
+            "speedup": (
+                astar_ref_seconds / astar_csr_seconds
+                if astar_csr_seconds > 0
+                else None
+            ),
+            "identical": True,
+        },
+    ]
+
+    # End-to-end: identical query sequence under both modes, answers
+    # pinned identical.  Vertex queries run single-anchor; embedded
+    # point queries add the multi-anchor ranking path the multi-source
+    # kernel exists for.  CPU time, best of two passes on fresh
+    # engines (no warm bound caches leak across modes or passes).
+    e2e_size = 17 if quick else 25
+    e2e_mesh = mesh_for("BH", e2e_size)
+    qvs = query_vertices(e2e_mesh, num_queries, seed=9)
+    rng = np.random.default_rng(17)
+    bounds = e2e_mesh.xy_bounds()
+    lo, hi = np.asarray(bounds.lo), np.asarray(bounds.hi)
+    points = [
+        tuple(lo + (hi - lo) * rng.uniform(0.25, 0.75, size=2))
+        for _ in range(max(2, num_queries // 2))
+    ]
+
+    def run_mode() -> tuple[list, float]:
+        best = float("inf")
+        answers: list = []
+        for _ in range(2):
+            eng = SurfaceKNNEngine(e2e_mesh, density=density, seed=3)
+            t0 = time.process_time()
+            out = []
+            for qv in qvs:
+                result = eng.query(qv, 4, step_length=2)
+                out.append(
+                    (
+                        tuple(result.object_ids),
+                        tuple(result.intervals),
+                        result.metrics.logical_reads,
+                    )
+                )
+            for x, y in points:
+                result = eng.query_point(float(x), float(y), 4)
+                out.append(
+                    (
+                        tuple(result.object_ids),
+                        tuple(result.intervals),
+                        result.metrics.logical_reads,
+                    )
+                )
+            best = min(best, time.process_time() - t0)
+            answers = out
+        return answers, best
+
+    csr_answers, csr_wall = run_mode()
+    with use_reference_kernels():
+        ref_answers, ref_wall = run_mode()
+    same_results = [a[0] == b[0] for a, b in zip(csr_answers, ref_answers)]
+    same_intervals = [a[1] == b[1] for a, b in zip(csr_answers, ref_answers)]
+    same_reads = [a[2] == b[2] for a, b in zip(csr_answers, ref_answers)]
+    if not (all(same_results) and all(same_intervals) and all(same_reads)):
+        raise AssertionError(
+            "kernel divergence: end-to-end answers differ between modes"
+        )
+    num_e2e = len(qvs) + len(points)
+    e2e_rows = [
+        {
+            "mode": "reference",
+            "queries": num_e2e,
+            "cpu_seconds": ref_wall,
+            "speedup_vs_reference": 1.0,
+            "identical_results": True,
+            "identical_intervals": True,
+            "identical_logical_reads": True,
+        },
+        {
+            "mode": "csr",
+            "queries": num_e2e,
+            "cpu_seconds": csr_wall,
+            "speedup_vs_reference": ref_wall / csr_wall if csr_wall > 0 else None,
+            "identical_results": True,
+            "identical_intervals": True,
+            "identical_logical_reads": True,
+        },
+    ]
+
+    tables = [
+        format_table(
+            f"Kernels (micro) — pathnet network, BH {size}x{size}, "
+            f"{len(sources)} anchors x {len(target_ids)} targets",
+            ["comparison", "kernel", "searches", "seconds", "speedup", "identical"],
+            kernel_rows,
+        ),
+        format_table(
+            f"Kernels (end-to-end) — engine.query, BH {e2e_size}x{e2e_size}, "
+            f"{len(qvs)} vertex + {len(points)} embedded queries (k=4, s=2)",
+            [
+                "mode", "queries", "cpu_seconds", "speedup_vs_reference",
+                "identical_results", "identical_intervals",
+                "identical_logical_reads",
+            ],
+            e2e_rows,
+        ),
+    ]
+    rows = {"kernels": kernel_rows, "end_to_end": e2e_rows}
+    if out:
+        document = {
+            "schema": "repro.bench/v1",
+            "figure": "kernels",
+            "generated_by": "python -m repro.bench kernels",
+            "params": {
+                "dataset": "BH",
+                "micro_size": size,
+                "e2e_size": e2e_size,
+                "density": density,
+                "num_anchors": len(sources),
+                "num_targets": len(target_ids),
+                "num_vertex_queries": len(qvs),
+                "num_point_queries": len(points),
+                "repeats": repeats,
+                "quick": quick,
+            },
+            "rows": rows,
+        }
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return {"tables": tables, "rows": rows}

@@ -135,16 +135,23 @@ def classify_candidates(candidates: list, k: int) -> Classification:
     kth_ub = by_ub[k - 1].ub
     rest_min_lb = min(c.lb for c in by_ub[k:])
     done = kth_ub <= rest_min_lb
+    if done:
+        # Exactly the first k by ub win; the sorted-lb/bisect pass
+        # below is only needed to split an undecided set.
+        return Classification(
+            done=True,
+            winners=by_ub[:k],
+            active=[],
+            rejected=by_ub[k:],
+            kth_ub=kth_ub,
+            kth_lb=by_ub[k - 1].lb,
+        )
 
     lbs = sorted(c.lb for c in candidates)
     winners: list = []
     active: list = []
     rejected: list = []
     for i, cand in enumerate(by_ub):
-        if done:
-            # Exactly the first k by ub win.
-            (winners if i < k else rejected).append(cand)
-            continue
         if i >= k and cand.lb >= kth_ub:
             rejected.append(cand)
             continue

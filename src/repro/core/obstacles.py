@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import QueryError
-from repro.geodesic.dijkstra import dijkstra
+from repro.geodesic.csr import graph_dijkstra
 from repro.geodesic.pathnet import build_pathnet, vertex_key
 
 
@@ -68,7 +68,7 @@ def obstacle_knn(
         key = vertex_key(objects.vertex_of(obj))
         if key in graph:
             targets.setdefault(graph.node_id(key), []).append(obj)
-    dist = dijkstra(graph.adjacency, graph.node_id(src_key), targets=set(targets))
+    dist = graph_dijkstra(graph, graph.node_id(src_key), targets=set(targets))
     reached = [
         (obj, d)
         for node, d in dist.items()

@@ -482,20 +482,10 @@ class DistanceRanker:
 
     def _combined_ubs(self, anchors, target_vertices, network):
         """Best upper bound per target over all source anchors:
-        min over anchors v of (offset_v + ub(v, target))."""
-        best: dict[int, tuple[float, list]] = {}
-        for anchor_vertex, offset in anchors:
-            results = self.dmtm.upper_bounds_from(
-                anchor_vertex, target_vertices, network
-            )
-            for vertex, result in results.items():
-                if result is None:
-                    continue
-                value = offset + result.value
-                current = best.get(vertex)
-                if current is None or value < current[0]:
-                    best[vertex] = (value, result.path_keys)
-        return best
+        min over anchors v of (offset_v + ub(v, target)).  On the CSR
+        kernels the pathnet level settles every anchor and candidate
+        in one multi-source search (see DMTM.upper_bounds_multi)."""
+        return self.dmtm.upper_bounds_multi(anchors, target_vertices, network)
 
     def _estimate_ub_refined(self, anchors, cand, boxes, res_u):
         """Try the refined corridor, widening it (the paper doubles
@@ -559,6 +549,12 @@ class DistanceRanker:
                 )
             )
             self.msdn.touch_region(res_l, group_box, axes=axes)
+            # Dummy-corridor screening first, then one batched MSDN
+            # pass for the survivors.  Each bound is a pure function
+            # of (source, target, resolution, region) with
+            # charge_io=False, so hoisting them out of the loop
+            # changes nothing observable.
+            pending: list[tuple] = []  # (candidate, roi_box)
             for idx in members:
                 cand = active[idx]
                 roi = plan.io_regions[idx]
@@ -584,10 +580,60 @@ class DistanceRanker:
                     # smaller) cannot either, so skip the full pass.
                     if dummy.value < kth_ub_estimate:
                         continue
-                result = self._lower_bound(q_pos, cand.position, res_l, roi)
+                pending.append((cand, roi))
+            results = self._lower_bounds_batch(q_pos, pending, res_l)
+            for (cand, _roi), result in zip(pending, results):
                 cand.interval.refine_lb(result.value)
                 cand.lb_path_keys = result.path_keys
                 cand.lb_path_resolution = result.resolution
+
+    def _lb_cache_key(self, q_pos, position, res_l: float, roi):
+        return (
+            "lb",
+            tuple(float(c) for c in q_pos),
+            tuple(float(c) for c in position),
+            res_l,
+            roi,
+        )
+
+    def _lower_bounds_batch(self, q_pos, pending, res_l: float) -> list:
+        """Full MSDN lower bounds for ``[(candidate, roi_box), ...]``,
+        cache-aware, computing all misses through one batched MSDN
+        call (per-call setup hoisted, same values)."""
+        cache = self.bound_cache
+        rois = [[roi] if roi is not None else None for _cand, roi in pending]
+        if cache is None:
+            return self.msdn.lower_bound_batch(
+                q_pos,
+                [cand.position for cand, _roi in pending],
+                res_l,
+                rois=rois,
+                charge_io=False,
+            )
+        results: list = [None] * len(pending)
+        missing: list[int] = []
+        for i, (cand, roi) in enumerate(pending):
+            key = self._lb_cache_key(q_pos, cand.position, res_l, roi)
+            found, result = cache.lookup(key)
+            if found:
+                results[i] = result
+            else:
+                missing.append(i)
+        if missing:
+            computed = self.msdn.lower_bound_batch(
+                q_pos,
+                [pending[i][0].position for i in missing],
+                res_l,
+                rois=[rois[i] for i in missing],
+                charge_io=False,
+            )
+            for i, result in zip(missing, computed):
+                cand, roi = pending[i]
+                cache.store(
+                    self._lb_cache_key(q_pos, cand.position, res_l, roi), result
+                )
+                results[i] = result
+        return results
 
     def _lower_bound(self, q_pos, position, res_l: float, roi):
         """Full MSDN lower bound, memoized per
@@ -598,13 +644,7 @@ class DistanceRanker:
             return self.msdn.lower_bound(
                 q_pos, position, res_l, roi=roi_arg, charge_io=False
             )
-        key = (
-            "lb",
-            tuple(float(c) for c in q_pos),
-            tuple(float(c) for c in position),
-            res_l,
-            roi,
-        )
+        key = self._lb_cache_key(q_pos, position, res_l, roi)
         found, result = cache.lookup(key)
         if not found:
             result = self.msdn.lower_bound(

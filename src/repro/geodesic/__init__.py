@@ -16,8 +16,20 @@ Terminology (matching the paper):
 from repro.geodesic.graph import KeyedGraph
 from repro.geodesic.dijkstra import (
     dijkstra,
+    dijkstra_reference,
     dijkstra_with_parents,
     shortest_path,
+)
+from repro.geodesic.csr import (
+    CSRGraph,
+    astar_csr,
+    csr_from_adjacency,
+    dijkstra_csr,
+    dijkstra_csr_with_parents,
+    kernel_mode,
+    multi_source_dijkstra_csr,
+    set_kernel_mode,
+    use_reference_kernels,
 )
 from repro.geodesic.pathnet import (
     build_pathnet,
@@ -31,8 +43,18 @@ from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
 
 __all__ = [
     "KeyedGraph",
+    "CSRGraph",
     "dijkstra",
+    "dijkstra_reference",
     "dijkstra_with_parents",
+    "dijkstra_csr",
+    "dijkstra_csr_with_parents",
+    "multi_source_dijkstra_csr",
+    "astar_csr",
+    "csr_from_adjacency",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_reference_kernels",
     "shortest_path",
     "build_pathnet",
     "pathnet_distance",

@@ -1,0 +1,489 @@
+"""Flat CSR graph kernels — the array-based fast path for every
+shortest-path search in the system.
+
+:class:`CSRGraph` stores adjacency in compressed-sparse-row form
+(``indptr``/``indices``/``weights`` numpy arrays) compiled once from a
+:class:`repro.geodesic.graph.KeyedGraph` or a plain list-of-lists.
+The kernels run on preallocated flat arrays (``dist`` list indexed by
+dense node id, ``visited`` bytearray) instead of per-search dicts, and
+batch their settled/relaxation counters exactly like the reference
+kernels in :mod:`repro.geodesic.dijkstra`.
+
+Three search shapes cover every caller:
+
+* :func:`dijkstra_csr` / :func:`dijkstra_csr_with_parents` —
+  single-source (optionally multi-target) searches, drop-in
+  replacements for the dict reference with bit-identical distances,
+  parents and early-exit behaviour (same heap tuple ordering);
+* :func:`multi_source_dijkstra_csr` — all anchors of a ranking level
+  settle in ONE search.  Each source carries an additive offset; the
+  priority is recomposed as ``offset + raw`` at every relaxation so
+  reported values match the reference's per-anchor composition
+  ``fl(offset ⊕ raw_distance)`` bit for bit, and the heap tuple
+  ``(value, node, rank, parent, raw)`` breaks cross-anchor value ties
+  toward the lowest-ranked source — the reference's strict-<
+  first-anchor-wins rule;
+* :func:`astar_csr` — single-target A* with the admissible (and
+  consistent) straight-line-distance heuristic, for value-only bound
+  refinement; it may realise a different same-length path than
+  Dijkstra on tie-heavy meshes, so it is only wired where the path is
+  not consumed.
+
+Kernel selection is a process-wide mode switch: ``"csr"`` (default)
+or ``"reference"`` (the dict kernels, kept as
+``dijkstra_reference``).  :func:`use_reference_kernels` flips it for a
+``with`` block — the differential tests and ``bench kernels`` run the
+same queries under both modes and assert identical answers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeodesicError
+from repro.obs.metrics import get_registry
+
+# ----------------------------------------------------------------------
+# kernel mode
+# ----------------------------------------------------------------------
+
+_MODES = ("csr", "reference")
+_kernel_mode = "csr"
+
+
+def kernel_mode() -> str:
+    """The process-wide kernel selection: ``"csr"`` or ``"reference"``."""
+    return _kernel_mode
+
+
+def set_kernel_mode(mode: str) -> None:
+    """Select the search kernels used by graph-backed call sites.
+
+    Process-wide (not thread-scoped): flip it around single-threaded
+    sections only, e.g. via :func:`use_reference_kernels`.
+    """
+    global _kernel_mode
+    if mode not in _MODES:
+        raise GeodesicError(f"unknown kernel mode {mode!r}; use one of {_MODES}")
+    _kernel_mode = mode
+
+
+@contextmanager
+def use_reference_kernels():
+    """Run a block on the dict reference kernels (differential tests,
+    reference timings in ``bench kernels``)."""
+    previous = _kernel_mode
+    set_kernel_mode("reference")
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# CSR representation
+# ----------------------------------------------------------------------
+
+
+class CSRGraph:
+    """Compressed-sparse-row adjacency with optional node positions.
+
+    ``indices[indptr[u]:indptr[u + 1]]`` are u's neighbours in the
+    same order the source adjacency list iterated them (ties in the
+    kernels therefore resolve identically), with parallel ``weights``.
+    ``positions`` is an optional ``(n, 3)`` float array enabling the
+    A* straight-line heuristic.
+
+    The hot loops run in CPython, where plain lists beat numpy scalar
+    indexing by a wide margin, so lists are the primary storage; the
+    ``indptr``/``indices``/``weights`` numpy views are materialised
+    lazily on first access.  Compile cost matters — pathnet refinement
+    builds throwaway graphs searched once — so nothing numpy happens
+    up front.
+    """
+
+    __slots__ = (
+        "_indptr_list",
+        "_indices_list",
+        "_weights_list",
+        "_arrays",
+        "positions",
+    )
+
+    def __init__(self, indptr, indices, weights, positions=None):
+        self._indptr_list = (
+            indptr.tolist() if isinstance(indptr, np.ndarray) else list(indptr)
+        )
+        self._indices_list = (
+            indices.tolist() if isinstance(indices, np.ndarray) else list(indices)
+        )
+        self._weights_list = (
+            weights.tolist() if isinstance(weights, np.ndarray) else list(weights)
+        )
+        self._arrays = None
+        self.positions = (
+            np.asarray(positions, dtype=np.float64) if positions is not None else None
+        )
+
+    def _materialise(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self._indptr_list, dtype=np.int64),
+                np.asarray(self._indices_list, dtype=np.int64),
+                np.asarray(self._weights_list, dtype=np.float64),
+            )
+        return self._arrays
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._materialise()[0]
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._materialise()[1]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._materialise()[2]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._indptr_list) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._indices_list)
+
+    def lists(self) -> tuple[list, list, list]:
+        """``(indptr, indices, weights)`` as plain Python lists — the
+        form the CPython hot loops consume."""
+        return self._indptr_list, self._indices_list, self._weights_list
+
+    def heuristic_to(self, target: int) -> list[float]:
+        """Straight-line distances from every node to ``target`` (one
+        vectorised pass) — the admissible A* heuristic."""
+        if self.positions is None:
+            raise GeodesicError("CSRGraph has no positions; A* unavailable")
+        deltas = self.positions - self.positions[target]
+        return np.sqrt((deltas * deltas).sum(axis=1)).tolist()
+
+
+def csr_from_adjacency(adj, positions=None) -> CSRGraph:
+    """Compile a list-of-lists adjacency (``adj[u]`` iterating
+    ``(v, weight)`` pairs) into a :class:`CSRGraph`."""
+    indptr = [0] * (len(adj) + 1)
+    indices: list[int] = []
+    weights: list[float] = []
+    extend_i = indices.extend
+    extend_w = weights.extend
+    total = 0
+    for u, nbrs in enumerate(adj):
+        total += len(nbrs)
+        indptr[u + 1] = total
+        if nbrs:
+            vs, ws = zip(*nbrs)
+            extend_i(vs)
+            extend_w(ws)
+    return CSRGraph(indptr=indptr, indices=indices, weights=weights, positions=positions)
+
+
+# ----------------------------------------------------------------------
+# counters (same registry names as the reference kernels)
+# ----------------------------------------------------------------------
+
+
+def _report(settled: int, relaxations: int) -> None:
+    reg = get_registry()
+    reg.counter("geodesic.dijkstra.calls").add(1)
+    reg.counter("geodesic.dijkstra.settled").add(settled)
+    reg.counter("geodesic.dijkstra.relaxations").add(relaxations)
+
+
+# ----------------------------------------------------------------------
+# flat-array kernels
+# ----------------------------------------------------------------------
+
+
+def dijkstra_csr(
+    csr: CSRGraph,
+    source: int,
+    targets: set[int] | None = None,
+    max_dist: float | None = None,
+) -> dict[int, float]:
+    """Flat-array single-source Dijkstra, bit-identical to
+    :func:`repro.geodesic.dijkstra.dijkstra` (same heap tuples, same
+    neighbour order, same early-exit rules)."""
+    n = csr.num_nodes
+    if not 0 <= source < n:
+        raise GeodesicError(f"source {source} out of range")
+    indptr = csr._indptr_list
+    indices = csr._indices_list
+    weights = csr._weights_list
+    visited = bytearray(n)
+    out: dict[int, float] = {}
+    remaining = set(targets) if targets is not None else None
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    relaxations = 0
+    while heap:
+        d, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        if max_dist is not None and d > max_dist:
+            break
+        visited[u] = 1
+        out[u] = d
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if not visited[v]:
+                nd = d + weights[e]
+                if max_dist is None or nd <= max_dist:
+                    heapq.heappush(heap, (nd, v))
+                    relaxations += 1
+    _report(len(out), relaxations)
+    return out
+
+
+def dijkstra_csr_with_parents(
+    csr: CSRGraph,
+    source: int,
+    targets: set[int] | None = None,
+    max_dist: float | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Flat-array variant of
+    :func:`repro.geodesic.dijkstra.dijkstra_with_parents` — identical
+    distances AND identical shortest-path trees (the ``(d, u, p)``
+    heap tuple ordering is preserved, so tie-broken parents match)."""
+    n = csr.num_nodes
+    if not 0 <= source < n:
+        raise GeodesicError(f"source {source} out of range")
+    indptr = csr._indptr_list
+    indices = csr._indices_list
+    weights = csr._weights_list
+    visited = bytearray(n)
+    out: dict[int, float] = {}
+    parent: dict[int, int] = {}
+    remaining = set(targets) if targets is not None else None
+    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
+    relaxations = 0
+    while heap:
+        d, u, p = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        if max_dist is not None and d > max_dist:
+            break
+        visited[u] = 1
+        out[u] = d
+        if p >= 0:
+            parent[u] = p
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if not visited[v]:
+                nd = d + weights[e]
+                if max_dist is None or nd <= max_dist:
+                    heapq.heappush(heap, (nd, v, u))
+                    relaxations += 1
+    _report(len(out), relaxations)
+    return out, parent
+
+
+@dataclass
+class MultiSourceResult:
+    """Settled labels of one multi-source search.
+
+    All maps are keyed by settled node id: ``value`` is the offset
+    -composed priority ``fl(offset_rank ⊕ raw)``, ``raw`` the plain
+    path length from the winning source, ``origin`` the rank (index
+    into the ``sources`` argument) of that source, ``parent`` the
+    predecessor (absent for source nodes settled from themselves).
+    """
+
+    value: dict[int, float]
+    raw: dict[int, float]
+    origin: dict[int, int]
+    parent: dict[int, int]
+
+    def path_to(self, node: int) -> list[int]:
+        """Node sequence from the winning source to ``node``."""
+        path = [node]
+        while path[-1] in self.parent:
+            path.append(self.parent[path[-1]])
+        path.reverse()
+        return path
+
+
+def multi_source_dijkstra_csr(
+    csr: CSRGraph,
+    sources: list[tuple[int, float]],
+    targets: set[int] | None = None,
+    max_dist: float | None = None,
+) -> MultiSourceResult:
+    """One search settling the best ``offset + distance`` label over
+    many ``(node, offset)`` sources.
+
+    Replaces one-reference-Dijkstra-per-anchor: with M anchors and N
+    targets, one wavefront serves all M·N pairs.  The priority is
+    recomposed as ``offsets[rank] + raw`` at every relaxation (not
+    accumulated), so each settled value equals the reference
+    expression ``fl(offset ⊕ raw_distance)`` bitwise; ties between
+    equal values from different sources settle the lowest rank first,
+    matching the strict-< first-anchor-wins minimum the ranking loop
+    applies over per-anchor results.
+    """
+    n = csr.num_nodes
+    if not sources:
+        _report(0, 0)
+        return MultiSourceResult({}, {}, {}, {})
+    indptr = csr._indptr_list
+    indices = csr._indices_list
+    weights = csr._weights_list
+    offsets = []
+    heap: list[tuple[float, int, int, int, float]] = []
+    for rank, (node, offset) in enumerate(sources):
+        if not 0 <= node < n:
+            raise GeodesicError(f"source {node} out of range")
+        offset = float(offset)
+        offsets.append(offset)
+        # value = fl(offset ⊕ 0.0) == offset; raw starts at 0.0.
+        heap.append((offset, node, rank, -1, 0.0))
+    heapq.heapify(heap)
+    visited = bytearray(n)
+    value: dict[int, float] = {}
+    raw: dict[int, float] = {}
+    origin: dict[int, int] = {}
+    parent: dict[int, int] = {}
+    remaining = set(targets) if targets is not None else None
+    relaxations = 0
+    while heap:
+        val, u, rank, p, rw = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        if max_dist is not None and val > max_dist:
+            break
+        visited[u] = 1
+        value[u] = val
+        raw[u] = rw
+        origin[u] = rank
+        if p >= 0:
+            parent[u] = p
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        off = offsets[rank]
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if not visited[v]:
+                nraw = rw + weights[e]
+                nval = off + nraw
+                if max_dist is None or nval <= max_dist:
+                    heapq.heappush(heap, (nval, v, rank, u, nraw))
+                    relaxations += 1
+    _report(len(value), relaxations)
+    return MultiSourceResult(value=value, raw=raw, origin=origin, parent=parent)
+
+
+def astar_csr(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    max_dist: float | None = None,
+) -> float | None:
+    """Single-target A* with the straight-line-distance heuristic.
+
+    The heuristic is admissible and consistent (edge weights are 3D
+    segment lengths, never shorter than the straight line), so the
+    returned distance equals Dijkstra's.  Returns None when the
+    target is unreachable (within ``max_dist`` if given).  Value-only:
+    on meshes with many equal-length paths A* may walk a different
+    one, so callers that consume path keys use
+    :func:`dijkstra_csr_with_parents` instead.
+    """
+    n = csr.num_nodes
+    if not 0 <= source < n:
+        raise GeodesicError(f"source {source} out of range")
+    if not 0 <= target < n:
+        raise GeodesicError(f"target {target} out of range")
+    if source == target:
+        _report(1, 0)
+        return 0.0
+    h = csr.heuristic_to(target)
+    indptr = csr._indptr_list
+    indices = csr._indices_list
+    weights = csr._weights_list
+    visited = bytearray(n)
+    settled = 0
+    relaxations = 0
+    # (priority, g, node): priority = g + h(node), h(target) == 0.
+    heap: list[tuple[float, float, int]] = [(h[source], 0.0, source)]
+    result = None
+    while heap:
+        pri, g, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        if max_dist is not None and pri > max_dist:
+            break
+        visited[u] = 1
+        settled += 1
+        if u == target:
+            result = g
+            break
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if not visited[v]:
+                ng = g + weights[e]
+                npri = ng + h[v]
+                if max_dist is None or npri <= max_dist:
+                    heapq.heappush(heap, (npri, ng, v))
+                    relaxations += 1
+    _report(settled, relaxations)
+    return result
+
+
+# ----------------------------------------------------------------------
+# mode-dispatching helpers for KeyedGraph call sites
+# ----------------------------------------------------------------------
+
+
+def graph_dijkstra(graph, source, targets=None, max_dist=None) -> dict[int, float]:
+    """Mode dispatcher with the compile-on-reuse rule.
+
+    In CSR mode the flat kernel runs only when the graph already
+    carries a compiled CSR form (a cached network view, or a graph an
+    explicit ``csr()`` caller compiled): both kernels return identical
+    answers, but compile-then-search loses to the dict kernel on a
+    graph searched once, and pathnet refinement builds lots of
+    throwaway graphs.  Reference mode always takes the dict kernel.
+    """
+    if _kernel_mode != "reference":
+        csr = graph.csr_if_compiled()
+        if csr is not None:
+            return dijkstra_csr(csr, source, targets, max_dist)
+    from repro.geodesic.dijkstra import dijkstra_reference
+
+    return dijkstra_reference(graph.adjacency, source, targets, max_dist)
+
+
+def graph_dijkstra_with_parents(
+    graph, source, targets=None, max_dist=None
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Mode dispatcher for the with-parents variant (same
+    compile-on-reuse rule as :func:`graph_dijkstra`)."""
+    if _kernel_mode != "reference":
+        csr = graph.csr_if_compiled()
+        if csr is not None:
+            return dijkstra_csr_with_parents(csr, source, targets, max_dist)
+    from repro.geodesic.dijkstra import dijkstra_with_parents
+
+    return dijkstra_with_parents(graph.adjacency, source, targets, max_dist)

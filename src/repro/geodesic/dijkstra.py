@@ -144,3 +144,10 @@ def shortest_path(
         path.append(parent[path[-1]])
     path.reverse()
     return dist[target], path
+
+
+# The dict kernels stay available under explicit names as the ground
+# truth for the flat CSR kernels (repro.geodesic.csr): differential
+# tests and `bench kernels` run both and assert identical results.
+dijkstra_reference = dijkstra
+dijkstra_with_parents_reference = dijkstra_with_parents

@@ -4,7 +4,8 @@ Pathnets, SDN networks and embedded query points all need to mix node
 kinds (mesh vertices, Steiner points, segment chunks, the query point
 itself).  :class:`KeyedGraph` maps hashable keys to dense integer ids
 and compiles an adjacency list suitable for
-:func:`repro.geodesic.dijkstra.dijkstra`.
+:func:`repro.geodesic.dijkstra.dijkstra`, plus a memoized CSR form
+for the flat-array kernels in :mod:`repro.geodesic.csr`.
 """
 
 from __future__ import annotations
@@ -19,6 +20,11 @@ class KeyedGraph:
         self._ids: dict = {}
         self._keys: list = []
         self._adj: list[list[tuple[int, float]]] = []
+        self._positions: list = []  # per-node 3D position or None
+        # Compiled CSR form, memoized until the next mutation — many
+        # searches run over each extracted network, so the compile
+        # cost is paid once per graph, not once per call.
+        self._csr = None
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -26,14 +32,23 @@ class KeyedGraph:
     def __contains__(self, key) -> bool:
         return key in self._ids
 
-    def add_node(self, key) -> int:
-        """Add (or fetch) a node, returning its dense id."""
+    def add_node(self, key, position=None) -> int:
+        """Add (or fetch) a node, returning its dense id.
+
+        ``position`` (an optional 3D point) enables the A* heuristic
+        on the compiled CSR graph; passing it for an existing node
+        fills a previously missing position.
+        """
         node_id = self._ids.get(key)
         if node_id is None:
             node_id = len(self._keys)
             self._ids[key] = node_id
             self._keys.append(key)
             self._adj.append([])
+            self._positions.append(position)
+            self._csr = None
+        elif position is not None and self._positions[node_id] is None:
+            self._positions[node_id] = position
         return node_id
 
     def add_edge(self, key_a, key_b, weight: float) -> None:
@@ -46,6 +61,7 @@ class KeyedGraph:
             return
         self._adj[a].append((b, float(weight)))
         self._adj[b].append((a, float(weight)))
+        self._csr = None
 
     def node_id(self, key) -> int:
         node_id = self._ids.get(key)
@@ -56,10 +72,42 @@ class KeyedGraph:
     def key_of(self, node_id: int):
         return self._keys[node_id]
 
+    def position_of(self, node_id: int):
+        return self._positions[node_id]
+
     @property
     def adjacency(self) -> list[list[tuple[int, float]]]:
         """The compiled adjacency list (shared, do not mutate)."""
         return self._adj
+
+    def csr(self):
+        """The compiled :class:`repro.geodesic.csr.CSRGraph`.
+
+        Memoized; any :meth:`add_node`/:meth:`add_edge` invalidates
+        the cached compilation.  Positions are attached only when
+        every node has one (A* needs the full heuristic table).  The
+        build is assigned atomically, so concurrent readers of a
+        finished graph (batch workers sharing a cached NetworkView)
+        at worst duplicate the compile.
+        """
+        csr = self._csr
+        if csr is None:
+            from repro.geodesic.csr import csr_from_adjacency
+
+            positions = self._positions
+            if positions and all(p is not None for p in positions):
+                csr = csr_from_adjacency(self._adj, positions=positions)
+            else:
+                csr = csr_from_adjacency(self._adj)
+            self._csr = csr
+        return csr
+
+    def csr_if_compiled(self):
+        """The memoized CSR form, or None when it was never compiled
+        (or was invalidated).  The mode dispatchers use this to apply
+        the compile-on-reuse rule: a graph searched once is cheaper on
+        the dict kernel than on compile-then-search."""
+        return self._csr
 
     def degree(self, key) -> int:
         return len(self._adj[self.node_id(key)])

@@ -18,7 +18,7 @@ from repro.geodesic.pathnet import (
     build_pathnet,
     vertex_key,
 )
-from repro.geodesic.dijkstra import dijkstra_with_parents
+from repro.geodesic.csr import graph_dijkstra_with_parents
 
 
 def _corridor_faces(mesh, node_keys, rings: int = 1) -> np.ndarray:
@@ -42,9 +42,12 @@ def _corridor_faces(mesh, node_keys, rings: int = 1) -> np.ndarray:
 
 
 def _route(graph, source_key, target_key) -> tuple[float, list[tuple]]:
+    # The route's keys seed the next round's refined corridor, so this
+    # stays on (CSR) Dijkstra rather than A*: both kernels realise the
+    # same tie-broken shortest-path tree as the dict reference.
     s = graph.node_id(source_key)
     t = graph.node_id(target_key)
-    dist, parent = dijkstra_with_parents(graph.adjacency, s, targets={t})
+    dist, parent = graph_dijkstra_with_parents(graph, s, targets={t})
     if t not in dist:
         raise GeodesicError("pathnet route not found")
     node = t

@@ -19,7 +19,12 @@ from itertools import combinations
 import numpy as np
 
 from repro.errors import GeodesicError
-from repro.geodesic.dijkstra import dijkstra, shortest_path
+from repro.geodesic.csr import (
+    astar_csr,
+    graph_dijkstra,
+    graph_dijkstra_with_parents,
+    kernel_mode,
+)
 from repro.geodesic.graph import KeyedGraph
 
 # Node keys: ("v", vertex_id) for original vertices,
@@ -80,6 +85,9 @@ def build_pathnet(
                 if key not in seen:
                     seen.add(key)
                     points.append((key, pos))
+                    # Position enables the A* heuristic on the
+                    # compiled CSR graph.
+                    graph.add_node(key, position=pos)
         for (ka, pa), (kb, pb) in combinations(points, 2):
             graph.add_edge(ka, kb, float(np.linalg.norm(pa - pb)))
     return graph
@@ -92,7 +100,10 @@ def pathnet_distance(
     steiner_per_edge: int = 1,
     faces: np.ndarray | None = None,
 ) -> float:
-    """Approximate ``dS`` between two vertices via pathnet Dijkstra."""
+    """Approximate ``dS`` between two vertices via pathnet search —
+    A* with the straight-line heuristic on the CSR kernels (the
+    distance is all that is returned, so the goal-directed search is
+    safe), plain Dijkstra in reference mode."""
     graph = build_pathnet(mesh, steiner_per_edge, faces)
     src_key = vertex_key(source)
     dst_key = vertex_key(target)
@@ -100,10 +111,13 @@ def pathnet_distance(
         raise GeodesicError("source or target vertex missing from pathnet region")
     s = graph.node_id(src_key)
     t = graph.node_id(dst_key)
-    dist = dijkstra(graph.adjacency, s, targets={t})
-    if t not in dist:
+    if kernel_mode() == "reference":
+        d = graph_dijkstra(graph, s, targets={t}).get(t)
+    else:
+        d = astar_csr(graph.csr(), s, t)
+    if d is None:
         raise GeodesicError(f"no pathnet route from {source} to {target}")
-    return dist[t]
+    return d
 
 
 def pathnet_shortest_path(
@@ -119,7 +133,13 @@ def pathnet_shortest_path(
     dst_key = vertex_key(target)
     if src_key not in graph or dst_key not in graph:
         raise GeodesicError("source or target vertex missing from pathnet region")
-    d, node_path = shortest_path(
-        graph.adjacency, graph.node_id(src_key), graph.node_id(dst_key)
-    )
-    return d, [graph.key_of(n) for n in node_path]
+    s = graph.node_id(src_key)
+    t = graph.node_id(dst_key)
+    dist, parent = graph_dijkstra_with_parents(graph, s, targets={t})
+    if t not in dist:
+        raise GeodesicError(f"no path from {s} to {t}")
+    node_path = [t]
+    while node_path[-1] != s:
+        node_path.append(parent[node_path[-1]])
+    node_path.reverse()
+    return dist[t], [graph.key_of(n) for n in node_path]

@@ -206,11 +206,13 @@ class MSDN:
         self, axis: int, resolution: float, lo: float, hi: float, stride: int
     ) -> list[tuple[list[SdnChunk], np.ndarray]]:
         planes = self._planes[axis]
-        idxs = [i for i, v in enumerate(planes) if lo < v < hi]
-        idxs = idxs[:: max(1, stride)]
+        # Vectorized strict-interval selection (same planes, same
+        # order, same post-filter stride as the scalar loop it
+        # replaces).
+        idxs = np.nonzero((planes > lo) & (planes < hi))[0][:: max(1, stride)]
         per_plane = self._chunks[(axis, resolution)]
         bounds = self._chunk_xy[(axis, resolution)]
-        return [(per_plane[i], bounds[i]) for i in idxs]
+        return [(per_plane[int(i)], bounds[int(i)]) for i in idxs]
 
     def touch_region(self, resolution: float, roi=None, axes=(0, 1)) -> None:
         """Charge page I/O for the chunks a lower-bound estimation
@@ -262,9 +264,53 @@ class MSDN:
         The result is always >= the Euclidean distance and always a
         valid lower bound of ``dS`` when ``corridor`` is None.
         """
+        return self._lower_bound_at(
+            np.asarray(point_a, dtype=float),
+            np.asarray(point_b, dtype=float),
+            self.nearest_resolution(resolution),
+            _roi_list(roi),
+            _roi_list(corridor),
+            charge_io,
+        )
+
+    def lower_bound_batch(
+        self,
+        point_a,
+        targets,
+        resolution: float,
+        rois=None,
+        charge_io: bool = False,
+    ) -> list[LowerBoundResult]:
+        """Lower bounds from one source toward many targets in one
+        call — the ranking loop's per-level batch.
+
+        ``targets`` is a sequence of 3D points; ``rois`` (optional) a
+        parallel sequence of per-target region arguments.  Each bound
+        runs the exact computation of :meth:`lower_bound` (values are
+        bit-identical); the batch only hoists the per-call setup —
+        resolution snapping, source-point conversion, ROI
+        normalization — out of the inner loop.
+        """
         resolution = self.nearest_resolution(resolution)
         pa = np.asarray(point_a, dtype=float)
-        pb = np.asarray(point_b, dtype=float)
+        if rois is None:
+            rois = [None] * len(targets)
+        return [
+            self._lower_bound_at(
+                pa,
+                np.asarray(point_b, dtype=float),
+                resolution,
+                _roi_list(roi),
+                None,
+                charge_io,
+            )
+            for point_b, roi in zip(targets, rois)
+        ]
+
+    def _lower_bound_at(
+        self, pa, pb, resolution: float, roi, corridor_boxes, charge_io: bool
+    ) -> LowerBoundResult:
+        """Shared implementation: arguments already normalized."""
         axis = self.choose_axis(pa, pb)
         lo = min(pa[axis], pb[axis])
         hi = max(pa[axis], pb[axis])
@@ -272,8 +318,6 @@ class MSDN:
             pa, pb = pb, pa
         stride = self.plane_stride(resolution)
         layers = self._layers_between(axis, resolution, lo, hi, stride)
-        roi = _roi_list(roi)
-        corridor_boxes = _roi_list(corridor)
 
         filtered: list[list[SdnChunk]] = []
         used = 0

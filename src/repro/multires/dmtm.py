@@ -24,7 +24,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MultiresError
-from repro.geodesic.dijkstra import dijkstra_with_parents
+from repro.geodesic.csr import (
+    graph_dijkstra_with_parents,
+    kernel_mode,
+    multi_source_dijkstra_csr,
+)
 from repro.geodesic.graph import KeyedGraph
 from repro.geodesic.pathnet import build_pathnet, vertex_key
 from repro.geometry.primitives import BoundingBox
@@ -60,6 +64,12 @@ class NetworkView:
     resolution: float
     records_used: int
     step: int | None = None
+
+    def csr(self):
+        """The network's compiled CSR form (memoized on the graph, so
+        batch workers sharing a BoundCache-held view share the
+        arrays too)."""
+        return self.graph.csr()
 
 
 @dataclass
@@ -230,7 +240,9 @@ class DMTM:
             self._touch_nodes(cut)
         graph = KeyedGraph()
         for node_id in cut:
-            graph.add_node(("n", node_id))
+            graph.add_node(
+                ("n", node_id), position=self.ddm.node_position(node_id)
+            )
         for u, w, d in self.ddm.cut_edges(cut):
             graph.add_edge(("n", u), ("n", w), d)
         return NetworkView(
@@ -313,7 +325,7 @@ class DMTM:
             )
         sid = graph.node_id(key_a)
         tid = graph.node_id(key_b)
-        dist, parent = dijkstra_with_parents(graph.adjacency, sid, targets={tid})
+        dist, parent = graph_dijkstra_with_parents(graph, sid, targets={tid})
         if tid not in dist:
             return None
         path = [tid]
@@ -336,7 +348,7 @@ class DMTM:
             return None
         sid = graph.node_id(key_a)
         tid = graph.node_id(key_b)
-        dist, parent = dijkstra_with_parents(graph.adjacency, sid, targets={tid})
+        dist, parent = graph_dijkstra_with_parents(graph, sid, targets={tid})
         if tid not in dist:
             return None
         path = [tid]
@@ -382,8 +394,8 @@ class DMTM:
             for v in target_vertices
             if key_of(v) in graph
         }
-        dist, parent = dijkstra_with_parents(
-            graph.adjacency, sid, targets=set(target_ids)
+        dist, parent = graph_dijkstra_with_parents(
+            graph, sid, targets=set(target_ids)
         )
         for v in target_vertices:
             key_v = key_of(v)
@@ -411,6 +423,77 @@ class DMTM:
                 resolution=network.resolution,
             )
         return results
+
+    def upper_bounds_multi(
+        self, anchors, target_vertices, network: NetworkView
+    ) -> dict[int, tuple[float, list]]:
+        """Best combined upper bound per target over all ``(vertex,
+        offset)`` source anchors: ``min over anchors a of
+        (offset_a + ub(a, target))``, strict minimum so the
+        first-listed anchor wins ties.
+
+        Returns ``{target_vertex: (value, path_keys)}``, omitting
+        unreachable targets — the contract of
+        ``DistanceRanker._combined_ubs``.
+
+        At the pathnet level with the CSR kernels this settles every
+        anchor and every candidate in ONE multi-source search instead
+        of one Dijkstra per anchor; the multi-source priority is
+        recomposed as ``offset + raw`` per relaxation, which is the
+        same float expression the per-anchor path evaluates, so the
+        values (and tie-broken paths) are unchanged.  Cut levels keep
+        the per-anchor composition ``offset_a + (off_s + off_t + d)``
+        whose float rounding a folded search could not reproduce, so
+        they run one (CSR) multi-target search per anchor.
+        """
+        if kernel_mode() != "reference" and network.resolution > 1.0:
+            return self._upper_bounds_multi_pathnet(
+                anchors, target_vertices, network
+            )
+        best: dict[int, tuple[float, list]] = {}
+        for anchor_vertex, offset in anchors:
+            results = self.upper_bounds_from(
+                anchor_vertex, target_vertices, network
+            )
+            for vertex, result in results.items():
+                if result is None:
+                    continue
+                value = offset + result.value
+                current = best.get(vertex)
+                if current is None or value < current[0]:
+                    best[vertex] = (value, result.path_keys)
+        return best
+
+    def _upper_bounds_multi_pathnet(
+        self, anchors, target_vertices, network: NetworkView
+    ) -> dict[int, tuple[float, list]]:
+        graph = network.graph
+        sources = []
+        for anchor_vertex, offset in anchors:
+            key = vertex_key(anchor_vertex)
+            if key in graph:
+                sources.append((graph.node_id(key), float(offset)))
+        if not sources:
+            return {}
+        target_ids = {
+            graph.node_id(vertex_key(v))
+            for v in target_vertices
+            if vertex_key(v) in graph
+        }
+        found = multi_source_dijkstra_csr(
+            network.csr(), sources, targets=set(target_ids)
+        )
+        best: dict[int, tuple[float, list]] = {}
+        for v in target_vertices:
+            key_v = vertex_key(v)
+            if key_v not in graph:
+                continue
+            tid = graph.node_id(key_v)
+            if tid not in found.value:
+                continue
+            path_keys = [graph.key_of(n) for n in found.path_to(tid)]
+            best[v] = (found.value[tid], path_keys)
+        return best
 
     # ------------------------------------------------------------------
     # refined search regions

@@ -1,0 +1,394 @@
+"""Differential tests for the flat CSR kernels.
+
+The CSR kernels are a pure performance change: every search shape
+must return exactly (``==``, not approx) what the dict reference
+kernels return — distances, parents, tie-broken winners — and the
+end-to-end query surface (results, intervals, logical page counts,
+golden trace records) must be bit-identical between kernel modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import GeodesicError
+from repro.geodesic.csr import (
+    CSRGraph,
+    astar_csr,
+    csr_from_adjacency,
+    dijkstra_csr,
+    dijkstra_csr_with_parents,
+    graph_dijkstra,
+    graph_dijkstra_with_parents,
+    kernel_mode,
+    multi_source_dijkstra_csr,
+    set_kernel_mode,
+    use_reference_kernels,
+)
+from repro.geodesic.dijkstra import (
+    dijkstra_reference,
+    dijkstra_with_parents_reference,
+)
+from repro.geodesic.graph import KeyedGraph
+
+
+def random_geometric_graph(rng, n=None):
+    """A connected-ish random graph with 3D positions and
+    triangle-inequality-respecting weights (A* needs admissibility)."""
+    import math
+
+    if n is None:
+        n = rng.randint(2, 40)
+    adj = [[] for _ in range(n)]
+    pos = [
+        (rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 3))
+        for _ in range(n)
+    ]
+    for u in range(n):
+        for _ in range(rng.randint(1, 4)):
+            v = rng.randrange(n)
+            if v == u:
+                continue
+            w = math.dist(pos[u], pos[v]) + rng.uniform(0.0, 2.0)
+            adj[u].append((v, w))
+            adj[v].append((u, w))
+    return adj, pos
+
+
+class TestCSRStructure:
+    def test_neighbor_order_preserved(self):
+        adj = [[(1, 2.0), (2, 1.0)], [(0, 2.0)], [(0, 1.0)]]
+        csr = csr_from_adjacency(adj)
+        indptr, indices, weights = csr.lists()
+        assert indptr == [0, 2, 3, 4]
+        assert indices == [1, 2, 0, 0]
+        assert weights == [2.0, 1.0, 2.0, 1.0]
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 4
+
+    def test_numpy_views_match_lists(self):
+        rng = random.Random(3)
+        adj, _pos = random_geometric_graph(rng)
+        csr = csr_from_adjacency(adj)
+        assert csr.indptr.tolist() == csr.lists()[0]
+        assert csr.indices.tolist() == csr.lists()[1]
+        assert csr.weights.tolist() == csr.lists()[2]
+        assert csr.indptr.dtype == np.int64
+        assert csr.weights.dtype == np.float64
+
+    def test_empty_and_isolated_nodes(self):
+        csr = csr_from_adjacency([[], [], []])
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 0
+        assert dijkstra_csr(csr, 1) == {1: 0.0}
+
+    def test_heuristic_requires_positions(self):
+        csr = csr_from_adjacency([[(1, 1.0)], [(0, 1.0)]])
+        with pytest.raises(GeodesicError, match="positions"):
+            csr.heuristic_to(0)
+
+    def test_source_out_of_range(self):
+        csr = csr_from_adjacency([[(1, 1.0)], [(0, 1.0)]])
+        with pytest.raises(GeodesicError, match="out of range"):
+            dijkstra_csr(csr, 7)
+        with pytest.raises(GeodesicError, match="out of range"):
+            multi_source_dijkstra_csr(csr, [(7, 0.0)])
+
+    def test_csr_graph_accepts_arrays_and_lists(self):
+        by_list = CSRGraph([0, 1, 2], [1, 0], [2.0, 2.0])
+        by_array = CSRGraph(
+            np.array([0, 1, 2]), np.array([1, 0]), np.array([2.0, 2.0])
+        )
+        assert by_list.lists() == by_array.lists()
+
+
+class TestDifferentialSingleSource:
+    """Exact equality against the dict reference, random graphs."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_sweep(self, seed):
+        rng = random.Random(seed)
+        adj, _pos = random_geometric_graph(rng)
+        csr = csr_from_adjacency(adj)
+        src = rng.randrange(len(adj))
+        assert dijkstra_csr(csr, src) == dijkstra_reference(adj, src)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_targets_and_max_dist(self, seed):
+        rng = random.Random(100 + seed)
+        adj, _pos = random_geometric_graph(rng)
+        csr = csr_from_adjacency(adj)
+        n = len(adj)
+        src = rng.randrange(n)
+        targets = {rng.randrange(n) for _ in range(rng.randint(1, 3))}
+        max_dist = rng.choice([None, rng.uniform(1.0, 12.0)])
+        assert dijkstra_csr(
+            csr, src, targets=set(targets), max_dist=max_dist
+        ) == dijkstra_reference(adj, src, targets=set(targets), max_dist=max_dist)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_with_parents_identical_trees(self, seed):
+        """Not just distances: the tie-broken shortest-path tree must
+        match, because upper-bound path keys feed the refined-region
+        corridors."""
+        rng = random.Random(200 + seed)
+        adj, _pos = random_geometric_graph(rng)
+        csr = csr_from_adjacency(adj)
+        src = rng.randrange(len(adj))
+        d1, p1 = dijkstra_csr_with_parents(csr, src)
+        d2, p2 = dijkstra_with_parents_reference(adj, src)
+        assert d1 == d2
+        assert p1 == p2
+
+
+class TestDifferentialMultiSource:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_per_source_composition(self, seed):
+        """The single multi-source search must equal the reference
+        composition: per-source Dijkstra, then a strict-< minimum of
+        ``offset + distance`` (first source wins ties)."""
+        rng = random.Random(300 + seed)
+        adj, _pos = random_geometric_graph(rng)
+        csr = csr_from_adjacency(adj)
+        n = len(adj)
+        sources = [
+            (rng.randrange(n), rng.uniform(0.0, 3.0))
+            for _ in range(rng.randint(1, 4))
+        ]
+        found = multi_source_dijkstra_csr(csr, sources)
+        per = [dijkstra_reference(adj, s) for s, _off in sources]
+        for node in range(n):
+            best = None
+            best_rank = None
+            for rank, (_s, off) in enumerate(sources):
+                d = per[rank].get(node)
+                if d is None:
+                    continue
+                value = off + d
+                if best is None or value < best:
+                    best = value
+                    best_rank = rank
+            assert found.value.get(node) == best
+            if best is not None:
+                assert found.origin[node] == best_rank
+
+    def test_raw_and_path(self):
+        adj = [[(1, 1.0)], [(0, 1.0), (2, 1.0)], [(1, 1.0)]]
+        found = multi_source_dijkstra_csr(adj_csr := csr_from_adjacency(adj), [(0, 5.0), (2, 0.0)])
+        assert adj_csr.num_nodes == 3
+        # Node 1 is 1.0 from both sources; source 2's offset is lower.
+        assert found.value[1] == 1.0
+        assert found.raw[1] == 1.0
+        assert found.origin[1] == 1
+        assert found.path_to(1) == [2, 1]
+        # Even source 0 settles cheaper from source 2 (0.0 + 2.0 beats
+        # its own 5.0 offset) — the cross-anchor minimum applies to
+        # source nodes too.
+        assert found.value[0] == 2.0
+        assert found.raw[0] == 2.0
+        assert found.origin[0] == 1
+        assert found.path_to(0) == [2, 1, 0]
+        # Source 2 settles from itself with raw 0.
+        assert found.value[2] == 0.0
+        assert found.raw[2] == 0.0
+        assert found.path_to(2) == [2]
+
+    def test_empty_sources(self):
+        csr = csr_from_adjacency([[], []])
+        found = multi_source_dijkstra_csr(csr, [])
+        assert found.value == {}
+
+    def test_targets_early_exit_covers_all_targets(self):
+        rng = random.Random(77)
+        adj, _pos = random_geometric_graph(rng, n=30)
+        csr = csr_from_adjacency(adj)
+        sources = [(0, 0.5), (5, 0.0)]
+        full = multi_source_dijkstra_csr(csr, sources)
+        targets = {3, 9, 21}
+        partial = multi_source_dijkstra_csr(csr, sources, targets=set(targets))
+        for t in targets & set(full.value):
+            assert partial.value[t] == full.value[t]
+
+
+class TestDifferentialAStar:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_value_equals_dijkstra(self, seed):
+        rng = random.Random(400 + seed)
+        adj, pos = random_geometric_graph(rng)
+        csr = csr_from_adjacency(adj, positions=pos)
+        n = len(adj)
+        src = rng.randrange(n)
+        tgt = rng.randrange(n)
+        want = dijkstra_reference(adj, src, targets={tgt}).get(tgt)
+        assert astar_csr(csr, src, tgt) == want
+
+    def test_source_equals_target(self):
+        csr = csr_from_adjacency([[(1, 1.0)], [(0, 1.0)]], positions=[(0, 0, 0), (1, 0, 0)])
+        assert astar_csr(csr, 1, 1) == 0.0
+
+    def test_unreachable_returns_none(self):
+        csr = csr_from_adjacency([[], []], positions=[(0, 0, 0), (5, 0, 0)])
+        assert astar_csr(csr, 0, 1) is None
+
+
+class TestKernelMode:
+    def test_default_is_csr(self):
+        assert kernel_mode() == "csr"
+
+    def test_context_manager_restores(self):
+        with use_reference_kernels():
+            assert kernel_mode() == "reference"
+        assert kernel_mode() == "csr"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(GeodesicError, match="unknown kernel mode"):
+            set_kernel_mode("simd")
+
+
+class TestKeyedGraphMemoization:
+    def _graph(self):
+        g = KeyedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        return g
+
+    def test_csr_is_memoized(self):
+        g = self._graph()
+        assert g.csr_if_compiled() is None
+        first = g.csr()
+        assert g.csr() is first
+        assert g.csr_if_compiled() is first
+
+    def test_mutation_invalidates(self):
+        g = self._graph()
+        first = g.csr()
+        g.add_edge("c", "d", 3.0)
+        assert g.csr_if_compiled() is None
+        second = g.csr()
+        assert second is not first
+        assert second.num_nodes == 4
+
+    def test_new_node_invalidates(self):
+        g = self._graph()
+        g.csr()
+        g.add_node("z")
+        assert g.csr_if_compiled() is None
+
+    def test_existing_node_keeps_memo(self):
+        g = self._graph()
+        first = g.csr()
+        g.add_node("a")  # already present: no structural change
+        assert g.csr_if_compiled() is first
+
+    def test_positions_attached_only_when_complete(self):
+        g = KeyedGraph()
+        g.add_node("a", position=(0.0, 0.0, 0.0))
+        g.add_edge("a", "b", 1.0)  # b has no position
+        assert g.csr().positions is None
+        g2 = KeyedGraph()
+        g2.add_node("a", position=(0.0, 0.0, 0.0))
+        g2.add_node("b", position=(1.0, 0.0, 0.0))
+        g2.add_edge("a", "b", 1.0)
+        assert g2.csr().positions is not None
+
+
+class TestDispatchers:
+    def test_compile_on_reuse_rule(self):
+        """A graph never compiled stays on the dict kernel; once some
+        caller compiled it, the dispatcher rides the arrays.  Both
+        give identical answers."""
+        g = KeyedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        fresh = graph_dijkstra(g, g.node_id("a"))
+        assert g.csr_if_compiled() is None  # dispatcher did not compile
+        g.csr()
+        compiled = graph_dijkstra(g, g.node_id("a"))
+        assert fresh == compiled
+        d1, p1 = graph_dijkstra_with_parents(g, g.node_id("a"))
+        with use_reference_kernels():
+            d2, p2 = graph_dijkstra_with_parents(g, g.node_id("a"))
+        assert (d1, p1) == (d2, p2)
+
+
+class TestCounters:
+    def test_kernels_report_shared_counters(self):
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        calls = reg.counter("geodesic.dijkstra.calls")
+        settled = reg.counter("geodesic.dijkstra.settled")
+        before = (calls.value, settled.value)
+        csr = csr_from_adjacency([[(1, 1.0)], [(0, 1.0)]])
+        dijkstra_csr(csr, 0)
+        assert calls.value == before[0] + 1
+        assert settled.value == before[1] + 2
+
+
+class TestEndToEndIdentity:
+    """The whole query surface must not notice the kernel swap."""
+
+    @pytest.fixture(scope="class")
+    def both_modes(self):
+        from repro.core.engine import SurfaceKNNEngine
+        from repro.terrain.mesh import TriangleMesh
+        from repro.terrain.synthetic import bearhead_like
+
+        mesh = TriangleMesh.from_dem(bearhead_like(size=13))
+
+        def run():
+            engine = SurfaceKNNEngine(mesh, density=8.0, seed=3)
+            out = []
+            for qv in (10, 40, 88):
+                result = engine.query(qv, 3, step_length=2)
+                out.append(
+                    (
+                        tuple(result.object_ids),
+                        tuple(result.intervals),
+                        result.metrics.logical_reads,
+                        result.metrics.pages_accessed,
+                    )
+                )
+            center = mesh.xy_bounds().center
+            result = engine.query_point(float(center[0]), float(center[1]), 3)
+            out.append(
+                (
+                    tuple(result.object_ids),
+                    tuple(result.intervals),
+                    result.metrics.logical_reads,
+                    result.metrics.pages_accessed,
+                )
+            )
+            return out
+
+        csr_answers = run()
+        with use_reference_kernels():
+            ref_answers = run()
+        return csr_answers, ref_answers
+
+    def test_results_identical(self, both_modes):
+        csr_answers, ref_answers = both_modes
+        assert [a[0] for a in csr_answers] == [a[0] for a in ref_answers]
+
+    def test_intervals_bit_identical(self, both_modes):
+        csr_answers, ref_answers = both_modes
+        assert [a[1] for a in csr_answers] == [a[1] for a in ref_answers]
+
+    def test_page_counts_identical(self, both_modes):
+        csr_answers, ref_answers = both_modes
+        assert [a[2:] for a in csr_answers] == [a[2:] for a in ref_answers]
+
+    def test_golden_trace_identical_across_modes(self):
+        """The pinned golden query produces the same normalized trace
+        record under both kernel modes — the goldens in tests/golden
+        hold whichever kernels run."""
+        from repro.obs.export import normalize_record, query_record
+        from test_trace_golden import _golden_result
+
+        csr_record = normalize_record(query_record(_golden_result()))
+        with use_reference_kernels():
+            ref_record = normalize_record(query_record(_golden_result()))
+        assert csr_record == ref_record
