@@ -10,17 +10,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.workload import build_engine, mesh_for, query_vertices
+from repro.bench.workload import query_vertices
+from repro.testkit.generators import standard_engine, standard_mesh
 
 
 @pytest.fixture(scope="session")
 def bh_engine():
-    return build_engine("BH", size=25, density=6.0)
+    return standard_engine("BH", 25, density=6.0, seed=1)
 
 
 @pytest.fixture(scope="session")
 def ep_engine():
-    return build_engine("EP", size=25, density=6.0)
+    return standard_engine("EP", 25, density=6.0, seed=1)
 
 
 @pytest.fixture(scope="session")
@@ -30,4 +31,4 @@ def bench_query(bh_engine):
 
 @pytest.fixture(scope="session")
 def small_mesh():
-    return mesh_for("BH", 17)
+    return standard_mesh("BH", 17)

@@ -17,14 +17,12 @@ from repro.errors import QueryError
 from repro.terrain.dem import DemGrid
 from repro.terrain.mesh import TriangleMesh
 from repro.terrain.synthetic import bearhead_like, eagle_peak_like
+from repro.testkit.generators import standard_engine, standard_mesh
 
 _DATASETS = {
     "BH": bearhead_like,
     "EP": eagle_peak_like,
 }
-
-_engine_cache: dict[tuple, SurfaceKNNEngine] = {}
-_mesh_cache: dict[tuple, TriangleMesh] = {}
 
 
 def dataset(name: str, size: int = 33) -> DemGrid:
@@ -37,11 +35,12 @@ def dataset(name: str, size: int = 33) -> DemGrid:
 
 
 def mesh_for(name: str, size: int = 33) -> TriangleMesh:
-    """Cached triangulated mesh for a dataset."""
-    key = (name, size)
-    if key not in _mesh_cache:
-        _mesh_cache[key] = TriangleMesh.from_dem(dataset(name, size))
-    return _mesh_cache[key]
+    """Cached triangulated mesh for a dataset (shared with the
+    testkit's standard-mesh cache, so tests and benchmarks reuse one
+    structure per (dataset, size))."""
+    if name not in _DATASETS:
+        raise QueryError(f"unknown dataset {name!r}; use 'BH' or 'EP'")
+    return standard_mesh(name, size)
 
 
 def build_engine(
@@ -51,13 +50,11 @@ def build_engine(
     seed: int = 1,
     **kwargs,
 ) -> SurfaceKNNEngine:
-    """Cached engine for (dataset, size, density)."""
-    key = (name, size, density, seed, tuple(sorted(kwargs.items())))
-    if key not in _engine_cache:
-        _engine_cache[key] = SurfaceKNNEngine(
-            mesh_for(name, size), density=density, seed=seed, **kwargs
-        )
-    return _engine_cache[key]
+    """Cached engine for (dataset, size, density) — backed by the
+    testkit's shared engine cache."""
+    if name not in _DATASETS:
+        raise QueryError(f"unknown dataset {name!r}; use 'BH' or 'EP'")
+    return standard_engine(name, size, density=density, seed=seed, **kwargs)
 
 
 def query_vertices(mesh, count: int, seed: int = 7) -> list[int]:

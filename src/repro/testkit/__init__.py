@@ -1,0 +1,81 @@
+"""repro.testkit — deterministic fuzzing with invariant oracles.
+
+The correctness substrate for the MR3 stack: seeded scenario
+generation (:mod:`~repro.testkit.generators`), a catalog of named
+invariant oracles checked against exact ground truth
+(:mod:`~repro.testkit.oracles`), a differential engine-matrix runner
+asserting the documented identity/bound for every execution-mode pair
+(:mod:`~repro.testkit.differential`), and a greedy case shrinker with
+replayable JSON repro files (:mod:`~repro.testkit.shrink`).
+
+Run it: ``python -m repro.testkit --seed-range 0:50``.
+See ``docs/testing.md`` for the invariant catalog and replay guide.
+"""
+
+from repro.testkit.differential import (
+    MUTATORS,
+    Finding,
+    ScenarioReport,
+    run_scenario,
+    scenario_fails,
+)
+from repro.testkit.generators import (
+    FaultSpec,
+    ObjectSpec,
+    QuerySpec,
+    ResolvedQuery,
+    Scenario,
+    TerrainSpec,
+    build_engine,
+    build_mesh,
+    build_objects,
+    generate_scenario,
+    resolve_queries,
+    standard_engine,
+    standard_mesh,
+)
+from repro.testkit.oracles import (
+    ORACLES,
+    Oracle,
+    OracleContext,
+    Violation,
+    run_oracles,
+)
+from repro.testkit.shrink import (
+    ShrinkOutcome,
+    load_case,
+    replay_case,
+    shrink_scenario,
+    write_case,
+)
+
+__all__ = [
+    "MUTATORS",
+    "Finding",
+    "ScenarioReport",
+    "run_scenario",
+    "scenario_fails",
+    "FaultSpec",
+    "ObjectSpec",
+    "QuerySpec",
+    "ResolvedQuery",
+    "Scenario",
+    "TerrainSpec",
+    "build_engine",
+    "build_mesh",
+    "build_objects",
+    "generate_scenario",
+    "resolve_queries",
+    "standard_engine",
+    "standard_mesh",
+    "ORACLES",
+    "Oracle",
+    "OracleContext",
+    "Violation",
+    "run_oracles",
+    "ShrinkOutcome",
+    "load_case",
+    "replay_case",
+    "shrink_scenario",
+    "write_case",
+]

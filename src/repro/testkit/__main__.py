@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.testkit``."""
+
+import sys
+
+from repro.testkit.cli import main
+
+sys.exit(main())

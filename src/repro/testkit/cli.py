@@ -1,0 +1,192 @@
+"""``python -m repro.testkit`` — the deterministic fuzzing driver.
+
+Usage patterns:
+
+* PR-time smoke (fixed seeds, fails fast)::
+
+      python -m repro.testkit --seed-range 0:10
+
+* nightly sweep (rotated seed window under a wall-clock budget;
+  failures are shrunk and written to ``tests/cases/``)::
+
+      python -m repro.testkit --seed-range 500:1000 --budget-seconds 300
+
+* replay a shrunk repro case::
+
+      python -m repro.testkit --replay tests/cases/case_seed42.json
+
+* self-check that the oracles can actually fail (injects a known bug
+  and requires it to be caught)::
+
+      python -m repro.testkit --seed-range 0:3 --inject shrink_ub --expect-fail
+
+Exit status: 0 when every scenario passed (or, with ``--expect-fail``,
+when every scenario was caught), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.testkit.differential import MUTATORS, run_scenario
+from repro.testkit.generators import generate_scenario
+from repro.testkit.oracles import ORACLES
+from repro.testkit.shrink import replay_case, shrink_scenario, write_case
+
+
+def _parse_seed_range(text: str) -> tuple[int, int]:
+    try:
+        lo, hi = text.split(":")
+        lo, hi = int(lo), int(hi)
+    except ValueError:
+        raise SystemExit(f"--seed-range wants A:B, got {text!r}")
+    if hi <= lo:
+        raise SystemExit(f"--seed-range {text!r} is empty")
+    return lo, hi
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit",
+        description="seeded differential fuzzing of the MR3 stack",
+    )
+    parser.add_argument(
+        "--seed-range", default="0:10", metavar="A:B",
+        help="half-open scenario seed range (default 0:10)",
+    )
+    parser.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="stop drawing new seeds once S wall seconds have passed",
+    )
+    parser.add_argument(
+        "--cases-dir", default="tests/cases",
+        help="where shrunk repro cases are written (default tests/cases)",
+    )
+    parser.add_argument(
+        "--inject", default=None, choices=sorted(MUTATORS),
+        help="apply a named result mutator (oracle self-check)",
+    )
+    parser.add_argument(
+        "--expect-fail", action="store_true",
+        help="invert the verdict: every scenario must be caught "
+             "(used with --inject to prove the oracles can fail)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing them",
+    )
+    parser.add_argument(
+        "--max-shrink-attempts", type=int, default=60,
+        help="cap on failure-predicate evaluations per shrink",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="CASE.json",
+        help="re-run one repro case instead of fuzzing",
+    )
+    parser.add_argument(
+        "--list-oracles", action="store_true",
+        help="print the invariant catalog and exit",
+    )
+    return parser
+
+
+def _print_catalog() -> None:
+    width = max(len(name) for name in ORACLES)
+    for name, oracle in ORACLES.items():
+        print(f"{name:<{width}}  {oracle.paper_section:<22} "
+              f"{oracle.module:<34} {oracle.description}")
+
+
+def _run_replay(path: str) -> int:
+    report = replay_case(path)
+    print(report.summary())
+    for finding in report.findings:
+        print(f"  {finding}")
+    return 0 if report.ok else 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_oracles:
+        _print_catalog()
+        return 0
+    if args.replay:
+        return _run_replay(args.replay)
+
+    lo, hi = _parse_seed_range(args.seed_range)
+    start = time.monotonic()
+    ran = caught = passed = 0
+    failures = []
+    for seed in range(lo, hi):
+        if (
+            args.budget_seconds is not None
+            and time.monotonic() - start >= args.budget_seconds
+        ):
+            print(
+                f"budget of {args.budget_seconds:.0f}s reached after "
+                f"{ran} scenarios (seeds {lo}:{seed})"
+            )
+            break
+        scenario = generate_scenario(seed)
+        report = run_scenario(scenario, mutator=args.inject)
+        ran += 1
+        print(report.summary())
+        if report.ok:
+            passed += 1
+            continue
+        caught += 1
+        for finding in report.findings[:8]:
+            print(f"  {finding}")
+        if len(report.findings) > 8:
+            print(f"  ... and {len(report.findings) - 8} more")
+        if args.expect_fail:
+            continue
+        case_scenario = scenario
+        if not args.no_shrink:
+            failing_modes = {"baseline"} | {
+                f.mode for f in report.findings
+            }
+            outcome = shrink_scenario(
+                scenario,
+                lambda s: not run_scenario(
+                    s, mutator=args.inject, modes=failing_modes
+                ).ok,
+                max_attempts=args.max_shrink_attempts,
+            )
+            case_scenario = outcome.scenario
+            print(
+                f"  shrunk in {outcome.steps} steps "
+                f"({outcome.attempts} evaluations): "
+                f"{case_scenario.describe()}"
+            )
+        path = write_case(
+            case_scenario,
+            args.cases_dir,
+            findings=report.findings,
+            mutator=args.inject,
+        )
+        failures.append(path)
+        print(f"  repro case written: {path}")
+
+    elapsed = time.monotonic() - start
+    if args.expect_fail:
+        missed = ran - caught
+        print(
+            f"self-check: {caught}/{ran} scenarios caught the injected "
+            f"bug in {elapsed:.1f}s"
+        )
+        return 0 if ran and missed == 0 else 1
+    print(
+        f"{passed}/{ran} scenarios passed all oracles in {elapsed:.1f}s"
+    )
+    if failures:
+        print("repro cases:")
+        for path in failures:
+            print(f"  {path}")
+    return 0 if ran and caught == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,356 @@
+"""Differential engine-matrix runner.
+
+One :class:`~repro.testkit.generators.Scenario` is executed under
+every execution-mode pair the repo documents a contract for, and each
+pair's identity (or bound) is asserted:
+
+==================  =================================================
+pair                contract
+==================  =================================================
+CSR vs reference    bit-identical results, intervals and logical
+kernels             page reads (PR 4's kernel transparency)
+batch w=N vs        bit-identical per-query results, intervals and
+sequential          logical reads (PR 2's bound-cache transparency)
+faulted + retry     identical answers to the clean engine; fault
+vs clean            counters reconcile (``retries_total ==
+                    injected_total - reads_failed_total``, PR 3)
+budgeted vs         a budget that never tripped is bit-identical;
+exhaustive          a tripped budget still satisfies every oracle
+                    and carries a sound ``max_error`` (PR 3)
+==================  =================================================
+
+Every mode's results additionally run the full invariant-oracle
+catalog (:mod:`repro.testkit.oracles`) against brute-force exact
+ground truth.
+
+``mutator`` is the injected-bug seam: a named transform applied to
+every produced :class:`~repro.core.mr3.QueryResult` before checking,
+simulating a deterministic implementation bug (e.g. an unsound upper
+bound).  The self-check in the CLI and the demonstration test use it
+to prove the oracles actually catch mutations — a harness that can't
+fail is not a harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.baseline import exact_knn
+from repro.core.batch import BatchQueryExecutor
+from repro.core.budget import QueryBudget
+from repro.errors import QueryError
+from repro.geodesic.csr import use_reference_kernels
+from repro.testkit.generators import (
+    Scenario,
+    build_engine,
+    build_mesh,
+    resolve_queries,
+)
+from repro.testkit.oracles import OracleContext, Violation, run_oracles
+
+EPS = 1e-6
+
+
+# ----------------------------------------------------------------------
+# injected-bug mutators
+# ----------------------------------------------------------------------
+
+
+def _mutate_shrink_ub(result):
+    """Simulate an unsound upper bound: every reported ub is cut by
+    10 % — a converged interval then sits below the true distance."""
+    return replace(
+        result,
+        intervals=[(lb, 0.9 * ub) for lb, ub in result.intervals],
+    )
+
+
+def _mutate_inflate_lb(result):
+    """Simulate an unsound lower bound (lb above the true dS)."""
+    return replace(
+        result,
+        intervals=[(1.1 * lb + 1.0, ub) for lb, ub in result.intervals],
+    )
+
+
+def _mutate_drop_worst(result):
+    """Simulate a truncated answer: the k-th neighbour is lost."""
+    if len(result.object_ids) < 2:
+        return result
+    return replace(
+        result,
+        object_ids=result.object_ids[:-1],
+        intervals=result.intervals[:-1],
+    )
+
+
+#: Named result mutators usable from the CLI (``--inject``), the
+#: shrinker's repro cases and the demonstration tests.
+MUTATORS = {
+    "shrink_ub": _mutate_shrink_ub,
+    "inflate_lb": _mutate_inflate_lb,
+    "drop_worst": _mutate_drop_worst,
+}
+
+
+def get_mutator(name: str | None):
+    if name is None:
+        return None
+    try:
+        return MUTATORS[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown mutator {name!r}; use one of {sorted(MUTATORS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation with its execution-mode and query context."""
+
+    mode: str
+    query_index: int
+    violation: Violation
+
+    def __str__(self) -> str:
+        return f"{self.mode} query#{self.query_index} {self.violation}"
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario's full differential matrix."""
+
+    scenario: Scenario
+    findings: list[Finding] = field(default_factory=list)
+    modes_run: list[str] = field(default_factory=list)
+    queries_run: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"FAIL ({len(self.findings)})"
+        return (
+            f"{state:<9} {self.scenario.describe()} "
+            f"modes={','.join(self.modes_run)} {self.seconds:.1f}s"
+        )
+
+
+def _fingerprint(result):
+    return (
+        tuple(result.object_ids),
+        tuple(tuple(iv) for iv in result.intervals),
+        result.metrics.logical_reads,
+    )
+
+
+def _compare(mode, index, base, other, findings, *, logical=True) -> None:
+    b, o = _fingerprint(base), _fingerprint(other)
+    labels = ("object ids", "intervals", "logical reads")
+    for which, (lhs, rhs) in enumerate(zip(b, o)):
+        if which == 2 and not logical:
+            continue
+        if lhs != rhs:
+            findings.append(
+                Finding(
+                    mode=mode,
+                    query_index=index,
+                    violation=Violation(
+                        oracle="mode_identity",
+                        message=(
+                            f"{labels[which]} diverged from the "
+                            f"sequential baseline: {rhs!r} != {lhs!r}"
+                        ),
+                    ),
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+def run_scenario(
+    scenario: Scenario,
+    oracle_names=None,
+    mutator=None,
+    modes=None,
+) -> ScenarioReport:
+    """Execute one scenario under the full mode matrix.
+
+    ``modes`` restricts the matrix (default: every applicable mode);
+    ``mutator`` is a named key into :data:`MUTATORS` or a callable
+    applied to every produced result before checking.
+    """
+    if isinstance(mutator, str):
+        mutator = get_mutator(mutator)
+    mutate = mutator if mutator is not None else (lambda r: r)
+    wanted = set(modes) if modes is not None else None
+
+    def active(mode: str) -> bool:
+        return wanted is None or mode in wanted
+
+    start = time.perf_counter()
+    report = ScenarioReport(scenario=scenario)
+    mesh = build_mesh(scenario.terrain)
+    engine = build_engine(scenario, mesh)
+    queries = resolve_queries(scenario, mesh, engine.objects)
+    report.queries_run = len(queries)
+
+    # Exact ground truth: the full ranking per query (ascending dS).
+    truths = [
+        exact_knn(mesh, engine.objects, q.vertex, len(engine.objects))
+        for q in queries
+    ]
+
+    def check(mode: str, index: int, result) -> None:
+        ctx = OracleContext(
+            result=result,
+            truth=truths[index],
+            k=queries[index].k,
+            exact_sets=scenario.terrain.flat,
+        )
+        for violation in run_oracles(ctx, oracle_names):
+            report.findings.append(
+                Finding(mode=mode, query_index=index, violation=violation)
+            )
+
+    # ------------------------------------------------------------------
+    # baseline: sequential, CSR kernels, clean storage, unbudgeted
+    # ------------------------------------------------------------------
+    baseline = []
+    report.modes_run.append("baseline")
+    for index, q in enumerate(queries):
+        result = mutate(
+            engine.query(q.vertex, q.k, step_length=q.step_length)
+        )
+        baseline.append(result)
+        check("baseline", index, result)
+
+    # ------------------------------------------------------------------
+    # CSR vs reference kernels: bit-identity on the same engine
+    # ------------------------------------------------------------------
+    if active("kernel"):
+        report.modes_run.append("kernel")
+        with use_reference_kernels():
+            for index, q in enumerate(queries):
+                result = mutate(
+                    engine.query(q.vertex, q.k, step_length=q.step_length)
+                )
+                check("kernel", index, result)
+                _compare("kernel", index, baseline[index], result,
+                         report.findings)
+
+    # ------------------------------------------------------------------
+    # batch w=N vs sequential: bit-identity through the executor
+    # ------------------------------------------------------------------
+    if active("batch") and len(queries) > 0:
+        report.modes_run.append("batch")
+        executor = BatchQueryExecutor(
+            engine, workers=max(1, scenario.batch_workers)
+        )
+        batch_report = executor.run(
+            [
+                {"vertex": q.vertex, "k": q.k, "step_length": q.step_length}
+                for q in queries
+            ]
+        )
+        for error in batch_report.errors:
+            report.findings.append(
+                Finding(
+                    mode="batch",
+                    query_index=error.index,
+                    violation=Violation(
+                        oracle="mode_identity",
+                        message=f"batch query failed: {error.kind}: "
+                                f"{error.message}",
+                    ),
+                )
+            )
+        for index, result in enumerate(batch_report.results):
+            if result is None:
+                continue
+            result = mutate(result)
+            check("batch", index, result)
+            _compare("batch", index, baseline[index], result,
+                     report.findings)
+
+    # ------------------------------------------------------------------
+    # budgeted vs exhaustive: identity when untripped, bound otherwise
+    # ------------------------------------------------------------------
+    if active("budget") and scenario.budget_pages is not None:
+        report.modes_run.append("budget")
+        budget = QueryBudget(max_pages=scenario.budget_pages)
+        for index, q in enumerate(queries):
+            result = mutate(
+                engine.query(
+                    q.vertex, q.k, step_length=q.step_length, budget=budget
+                )
+            )
+            check("budget", index, result)
+            if result.budget_reason is None:
+                # The budget never tripped: the documented identity.
+                _compare("budget", index, baseline[index], result,
+                         report.findings)
+
+    # ------------------------------------------------------------------
+    # faulted + retry vs clean: identical answers, counters reconcile
+    # ------------------------------------------------------------------
+    if active("faults") and scenario.fault is not None:
+        report.modes_run.append("faults")
+        faulted = build_engine(scenario, mesh, with_faults=True)
+        for index, q in enumerate(queries):
+            result = mutate(
+                faulted.query(q.vertex, q.k, step_length=q.step_length)
+            )
+            check("faults", index, result)
+            _compare("faults", index, baseline[index], result,
+                     report.findings)
+        stats = faulted.pages.fault_stats
+        injector = faulted.pages.fault_injector
+        if stats.reads_failed_total:
+            report.findings.append(
+                Finding(
+                    mode="faults", query_index=-1,
+                    violation=Violation(
+                        oracle="fault_recovery",
+                        message=(
+                            f"{stats.reads_failed_total} reads exhausted "
+                            f"the {scenario.fault.retry_attempts}-attempt "
+                            "retry policy"
+                        ),
+                    ),
+                )
+            )
+        expected = injector.injected_total - stats.reads_failed_total
+        if stats.retries_total != expected:
+            report.findings.append(
+                Finding(
+                    mode="faults", query_index=-1,
+                    violation=Violation(
+                        oracle="fault_recovery",
+                        message=(
+                            f"retries_total={stats.retries_total} != "
+                            f"injected_total-"
+                            f"reads_failed_total={expected}"
+                        ),
+                    ),
+                )
+            )
+
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def scenario_fails(scenario: Scenario, **kwargs) -> bool:
+    """Failure predicate used by the shrinker."""
+    return not run_scenario(scenario, **kwargs).ok

@@ -1,0 +1,486 @@
+"""Seeded scenario generation — the single source of truth for test
+terrain, object and query construction.
+
+Two layers live here:
+
+* **standard builders** — the named deterministic meshes and engines
+  the test suite and benchmarks share (``standard_mesh`` /
+  ``standard_engine``).  These used to be re-implemented ad hoc in
+  ``tests/conftest.py``, ``tests/test_differential_mr3.py``,
+  ``tests/test_geodesic_csr.py`` and ``benchmarks/conftest.py``;
+  promoting them keeps every suite querying byte-identical structures.
+* **fuzzing scenarios** — :class:`Scenario`, a fully-seeded
+  description of one end-to-end test case (terrain parameters, object
+  placement pattern, query specs, fault schedule, budget) with a
+  stable ``to_json``/``from_json`` round trip so a failing case can be
+  written to disk and replayed bit-for-bit.
+
+Everything is a pure function of the seeds inside the spec: the same
+``Scenario`` always builds the same mesh, objects and queries.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.core.engine import SurfaceKNNEngine
+from repro.core.objects import ObjectSet
+from repro.errors import QueryError
+from repro.terrain.dem import DemGrid
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import (
+    bearhead_like,
+    eagle_peak_like,
+    fractal_dem,
+    gaussian_hills_dem,
+)
+
+SCENARIO_SCHEMA = "repro.testkit.scenario/v1"
+
+# ----------------------------------------------------------------------
+# standard builders (promoted from tests/ and benchmarks/)
+# ----------------------------------------------------------------------
+
+_mesh_cache: dict[tuple, TriangleMesh] = {}
+_engine_cache: dict[tuple, SurfaceKNNEngine] = {}
+
+
+def _dem_for(kind: str, size: int, **overrides) -> DemGrid:
+    if kind == "bearhead":
+        return bearhead_like(size=size, **overrides)
+    if kind == "eagle_peak":
+        return eagle_peak_like(size=size, **overrides)
+    if kind == "fractal":
+        return fractal_dem(size=size, **overrides)
+    if kind == "gaussian":
+        return gaussian_hills_dem(size=size, **overrides)
+    raise QueryError(
+        f"unknown terrain kind {kind!r}; use 'bearhead', 'eagle_peak', "
+        "'fractal' or 'gaussian'"
+    )
+
+
+def standard_mesh(name: str, size: int = 17) -> TriangleMesh:
+    """Cached named mesh shared across test modules.
+
+    Names:
+
+    * ``"flat"`` — zero-relief grid (geodesics equal Euclidean);
+    * ``"rough"`` — the rugged 17x17 fractal the differential suite
+      uses (``relief=700, roughness=0.75, seed=5``);
+    * ``"tilted"`` — planar but tilted (developable: dS == dE);
+    * ``"BH"`` / ``"EP"`` — Bearhead-like / Eagle-Peak-like stand-ins.
+    """
+    key = (name, size)
+    mesh = _mesh_cache.get(key)
+    if mesh is not None:
+        return mesh
+    if name == "flat":
+        dem = fractal_dem(size=size, relief=0.0, seed=1)
+    elif name == "rough":
+        dem = fractal_dem(size=size, relief=700.0, roughness=0.75, seed=5)
+    elif name == "tilted":
+        heights = np.add.outer(np.arange(size), np.arange(size)) * 30.0
+        dem = DemGrid(heights, cell_size=90.0)
+    elif name == "BH":
+        dem = bearhead_like(size=size)
+    elif name == "EP":
+        dem = eagle_peak_like(size=size)
+    else:
+        raise QueryError(
+            f"unknown standard mesh {name!r}; use 'flat', 'rough', "
+            "'tilted', 'BH' or 'EP'"
+        )
+    mesh = TriangleMesh.from_dem(dem)
+    _mesh_cache[key] = mesh
+    return mesh
+
+
+def standard_engine(
+    name: str,
+    size: int = 17,
+    density: float = 10.0,
+    seed: int = 3,
+    fresh: bool = False,
+    **kwargs,
+) -> SurfaceKNNEngine:
+    """Cached engine over a :func:`standard_mesh` terrain.
+
+    ``fresh=True`` bypasses the engine cache (the mesh stays shared) —
+    use it for suites that mutate engine state (``set_objects``
+    sweeps), so the mutation cannot leak into other modules.
+    """
+    key = (name, size, density, seed, tuple(sorted(kwargs.items())))
+    if not fresh:
+        engine = _engine_cache.get(key)
+        if engine is not None:
+            return engine
+    engine = SurfaceKNNEngine(
+        standard_mesh(name, size), density=density, seed=seed, **kwargs
+    )
+    if not fresh:
+        _engine_cache[key] = engine
+    return engine
+
+
+# ----------------------------------------------------------------------
+# fuzzing scenarios
+# ----------------------------------------------------------------------
+
+TERRAIN_KINDS = ("fractal", "bearhead", "eagle_peak", "gaussian")
+OBJECT_PATTERNS = ("uniform", "clustered", "colocated", "collinear")
+
+
+@dataclass(frozen=True)
+class TerrainSpec:
+    """Seeded DEM parameters for one scenario."""
+
+    kind: str = "fractal"
+    size: int = 13
+    cell_size: float = 90.0
+    relief: float = 500.0
+    roughness: float = 0.6
+    ridged: bool = False
+    seed: int = 0
+
+    @property
+    def flat(self) -> bool:
+        """Zero-relief terrain: surface distances equal Euclidean, so
+        oracle set comparisons may demand exact answers."""
+        return self.relief == 0.0
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """Seeded object placement.
+
+    Patterns stress different parts of the 2D filter and the ranking
+    loop: ``uniform`` is the paper's workload; ``clustered`` packs
+    objects around a few centres (dense tie regions); ``colocated``
+    packs *all* objects around one centre (maximal ties, degenerate
+    2D filter circles); ``collinear`` places them on a straight line
+    (degenerate R-tree boxes).
+    """
+
+    pattern: str = "uniform"
+    count: int = 12
+    seed: int = 0
+    clusters: int = 3
+    spread: float = 0.08  # cluster sigma, fraction of terrain extent
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query: a relative position in the unit square (snapped to
+    the nearest mesh vertex at build time) plus k and the schedule."""
+
+    fx: float
+    fy: float
+    k: int = 3
+    step_length: int = 1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded fault schedule for the faulted differential leg."""
+
+    seed: int = 0
+    transient_rate: float = 0.05
+    corrupt_rate: float = 0.05
+    latency_rate: float = 0.0
+    max_faults: int = 64
+    retry_attempts: int = 8
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, replayable fuzzing case.
+
+    Every field is either a literal or a seed, so the scenario is a
+    pure recipe: building it twice gives byte-identical meshes,
+    object sets, fault schedules and query answers.
+    """
+
+    seed: int
+    terrain: TerrainSpec = field(default_factory=TerrainSpec)
+    objects: ObjectSpec = field(default_factory=ObjectSpec)
+    queries: tuple[QuerySpec, ...] = ()
+    fault: FaultSpec | None = None
+    budget_pages: int | None = None
+    batch_workers: int = 4
+
+    # ------------------------------------------------------------------
+    # stable JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["queries"] = [asdict(q) for q in self.queries]
+        out["schema"] = SCENARIO_SCHEMA
+        return out
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace drift)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise QueryError(f"unknown scenario schema {schema!r}")
+        return cls(
+            seed=int(data["seed"]),
+            terrain=TerrainSpec(**data["terrain"]),
+            objects=ObjectSpec(**data["objects"]),
+            queries=tuple(QuerySpec(**q) for q in data["queries"]),
+            fault=FaultSpec(**data["fault"]) if data.get("fault") else None,
+            budget_pages=data.get("budget_pages"),
+            batch_workers=int(data.get("batch_workers", 1)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+
+    def max_k(self) -> int:
+        return max((q.k for q in self.queries), default=1)
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        fault = "faults" if self.fault else "clean"
+        budget = (
+            f"budget={self.budget_pages}p"
+            if self.budget_pages is not None
+            else "unbudgeted"
+        )
+        return (
+            f"seed={self.seed} {self.terrain.kind}[{self.terrain.size}] "
+            f"{self.objects.pattern} x{self.objects.count} "
+            f"queries={len(self.queries)} kmax={self.max_k()} "
+            f"{fault} {budget} w={self.batch_workers}"
+        )
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """Draw one scenario from the seeded distribution.
+
+    Sizes are deliberately small (9–17 samples per side) so a
+    scenario's full differential matrix — including brute-force exact
+    ground truth — runs in a couple of seconds.
+    """
+    rng = random.Random(seed)
+    kind = rng.choice(TERRAIN_KINDS)
+    size = rng.choice((9, 9, 11, 13, 13, 17))
+    flat = kind == "fractal" and rng.random() < 0.2
+    terrain = TerrainSpec(
+        kind=kind,
+        size=size,
+        relief=0.0 if flat else round(rng.uniform(150.0, 900.0), 1),
+        roughness=round(rng.uniform(0.45, 0.8), 2),
+        ridged=rng.random() < 0.3,
+        seed=rng.randrange(10_000),
+    )
+    pattern = rng.choice(OBJECT_PATTERNS)
+    # Enough objects that k-NN plus the degraded-kth oracle are
+    # meaningful, few enough that exact_knn stays instant.
+    count = rng.randint(6, min(28, size * size // 5))
+    objects = ObjectSpec(
+        pattern=pattern,
+        count=count,
+        seed=rng.randrange(10_000),
+        clusters=rng.randint(2, 4),
+        spread=round(rng.uniform(0.04, 0.15), 3),
+    )
+    queries = []
+    for _ in range(rng.randint(1, 3)):
+        queries.append(
+            QuerySpec(
+                fx=round(rng.uniform(0.1, 0.9), 3),
+                fy=round(rng.uniform(0.1, 0.9), 3),
+                k=rng.randint(1, max(1, min(6, count - 1))),
+                step_length=rng.choice((1, 2, 3)),
+            )
+        )
+    fault = None
+    if rng.random() < 0.6:
+        fault = FaultSpec(
+            seed=rng.randrange(10_000),
+            transient_rate=round(rng.uniform(0.0, 0.12), 3),
+            corrupt_rate=round(rng.uniform(0.0, 0.12), 3),
+            latency_rate=round(rng.choice((0.0, 0.05)), 3),
+            max_faults=rng.choice((16, 64, 256)),
+        )
+    budget_pages = rng.choice((None, None, 4, 12, 40))
+    return Scenario(
+        seed=seed,
+        terrain=terrain,
+        objects=objects,
+        queries=tuple(queries),
+        fault=fault,
+        budget_pages=budget_pages,
+        batch_workers=rng.choice((2, 4)),
+    )
+
+
+# ----------------------------------------------------------------------
+# building a scenario
+# ----------------------------------------------------------------------
+
+
+def build_mesh(terrain: TerrainSpec) -> TriangleMesh:
+    """Mesh for a terrain spec (uncached — scenarios are throwaway)."""
+    if terrain.kind == "fractal":
+        dem = fractal_dem(
+            size=terrain.size,
+            cell_size=terrain.cell_size,
+            relief=terrain.relief,
+            roughness=terrain.roughness,
+            seed=terrain.seed,
+            ridged=terrain.ridged,
+        )
+    elif terrain.kind == "gaussian":
+        dem = gaussian_hills_dem(
+            size=terrain.size,
+            cell_size=terrain.cell_size,
+            relief=max(terrain.relief, 1.0),
+            seed=terrain.seed,
+        )
+    else:
+        dem = _dem_for(terrain.kind, terrain.size, seed=terrain.seed)
+    return TriangleMesh.from_dem(dem)
+
+
+def build_objects(mesh: TriangleMesh, spec: ObjectSpec) -> ObjectSet:
+    """Place objects on the mesh following the spec's pattern.
+
+    All patterns snap to distinct mesh vertices (the ObjectSet
+    contract); ``colocated`` therefore degenerates to the tight ring
+    of vertices around one centre — maximal surface-distance ties.
+    """
+    if spec.pattern not in OBJECT_PATTERNS:
+        raise QueryError(
+            f"unknown object pattern {spec.pattern!r}; "
+            f"use one of {OBJECT_PATTERNS}"
+        )
+    count = min(spec.count, mesh.num_vertices)
+    rng = np.random.default_rng(spec.seed)
+    bounds = mesh.xy_bounds()
+    lo = np.asarray(bounds.lo, dtype=float)
+    hi = np.asarray(bounds.hi, dtype=float)
+    extent = float(np.linalg.norm(hi - lo))
+
+    def sample_xy() -> np.ndarray:
+        if spec.pattern == "uniform":
+            return rng.uniform(lo, hi)
+        if spec.pattern == "clustered":
+            centers = _pattern_centers(rng, lo, hi, spec.clusters)
+            center = centers[int(rng.integers(len(centers)))]
+            return center + rng.normal(0.0, spec.spread * extent, size=2)
+        if spec.pattern == "colocated":
+            center = _pattern_centers(rng, lo, hi, 1)[0]
+            return center + rng.normal(0.0, 0.02 * extent, size=2)
+        # collinear: points along a fixed diagonal line with jitter.
+        t = rng.uniform(0.05, 0.95)
+        point = lo + t * (hi - lo)
+        return point + rng.normal(0.0, 0.01 * extent, size=2)
+
+    taken: set[int] = set()
+    chosen: list[int] = []
+    attempts = 0
+    while len(chosen) < count and attempts < count * 60:
+        attempts += 1
+        xy = np.clip(sample_xy(), lo, hi)
+        vid = mesh.nearest_vertex(tuple(xy))
+        if vid not in taken:
+            taken.add(vid)
+            chosen.append(vid)
+    # Snapping a tight cluster saturates the nearby vertices quickly;
+    # fill deterministically so the set always reaches ``count``.
+    for vid in range(mesh.num_vertices):
+        if len(chosen) >= count:
+            break
+        if vid not in taken:
+            taken.add(vid)
+            chosen.append(vid)
+    return ObjectSet(mesh, chosen)
+
+
+def _pattern_centers(rng, lo, hi, n: int) -> list[np.ndarray]:
+    """Deterministic cluster centres (drawn first, so the per-object
+    draws that follow see a fixed stream position)."""
+    span = hi - lo
+    return [lo + rng.uniform(0.15, 0.85, size=2) * span for _ in range(n)]
+
+
+@dataclass(frozen=True)
+class ResolvedQuery:
+    """A QuerySpec snapped onto a concrete mesh."""
+
+    vertex: int
+    k: int
+    step_length: int
+
+
+def resolve_queries(
+    scenario: Scenario, mesh: TriangleMesh, objects: ObjectSet
+) -> list[ResolvedQuery]:
+    """Snap each query spec to a vertex and clamp k to the object
+    count (generation keeps k < count, but shrinking may not)."""
+    bounds = mesh.xy_bounds()
+    lo = np.asarray(bounds.lo, dtype=float)
+    hi = np.asarray(bounds.hi, dtype=float)
+    out = []
+    for spec in scenario.queries:
+        xy = lo + np.array([spec.fx, spec.fy]) * (hi - lo)
+        out.append(
+            ResolvedQuery(
+                vertex=mesh.nearest_vertex(tuple(xy)),
+                k=max(1, min(spec.k, len(objects))),
+                step_length=spec.step_length,
+            )
+        )
+    return out
+
+
+def build_engine(
+    scenario: Scenario,
+    mesh: TriangleMesh | None = None,
+    with_faults: bool = False,
+):
+    """Fresh engine for a scenario.
+
+    ``with_faults=True`` attaches the scenario's seeded
+    :class:`~repro.storage.faults.FaultInjector` and a retry policy
+    generous enough that the schedule's fault storms always recover
+    (``retry_attempts`` attempts per read).
+    """
+    from repro.storage.faults import FaultInjector, RetryPolicy
+
+    mesh = mesh if mesh is not None else build_mesh(scenario.terrain)
+    objects = build_objects(mesh, scenario.objects)
+    kwargs = {}
+    if with_faults:
+        if scenario.fault is None:
+            raise QueryError("scenario has no fault spec")
+        fault = scenario.fault
+        kwargs["fault_injector"] = FaultInjector(
+            seed=fault.seed,
+            transient_rate=fault.transient_rate,
+            corrupt_rate=fault.corrupt_rate,
+            latency_rate=fault.latency_rate,
+            max_faults=fault.max_faults,
+        )
+        kwargs["retry_policy"] = RetryPolicy(max_attempts=fault.retry_attempts)
+    return SurfaceKNNEngine(mesh, objects=objects, **kwargs)
+
+
+def with_fewer_objects(scenario: Scenario, count: int) -> Scenario:
+    """Scenario copy with the object count lowered (shrinker helper;
+    k values are clamped at resolve time)."""
+    return replace(scenario, objects=replace(scenario.objects, count=count))

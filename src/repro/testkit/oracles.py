@@ -1,0 +1,359 @@
+"""Invariant oracles — named checks run against a finished query.
+
+Each oracle inspects one :class:`OracleContext` (the scenario, the
+query, the :class:`~repro.core.mr3.QueryResult` and brute-force exact
+ground truth) and returns a list of human-readable violation messages
+— empty when the invariant holds.  The catalog doubles as the
+documentation table in ``docs/testing.md``: every entry names the
+paper section that states the invariant and the module under test.
+
+The checks mirror (and centralize) the repo's spot checks:
+
+* the interval sandwich and top-k agreement of
+  ``tests/test_differential_mr3.py``;
+* the per-phase k-th-upper-bound monotonicity and interval-shrink
+  properties of ``tests/test_properties_refinement.py``;
+* the trace-sum == pages_accessed reconciliation of
+  ``tests/test_obs.py``;
+* the degraded ``max_error`` soundness property of
+  ``tests/test_resilience_budget.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+EPS = 1e-6
+TIE_TOLERANCE = 1.03  # the paper's 3 % surface-distance allowance
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure on one query."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+@dataclass
+class OracleContext:
+    """Everything an oracle may inspect for one query.
+
+    ``truth`` is the full exact ranking ``[(object_id, dS), ...]``
+    over every object (ascending), so oracles can check both the
+    reported top-k and the k-th distance the result should bracket.
+    ``exact_sets`` demands exact set agreement (flat terrain, where
+    MR3 has no approximation allowance).
+    """
+
+    result: object
+    truth: list
+    k: int
+    exact_sets: bool = False
+    schedule_levels: list = field(default_factory=list)
+
+    @property
+    def truth_dist(self) -> dict:
+        return dict(self.truth)
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named invariant with its provenance metadata."""
+
+    name: str
+    check: object  # Callable[[OracleContext], list[str]]
+    paper_section: str
+    module: str
+    description: str
+
+
+def _traces(result):
+    return [
+        t
+        for t in (result.filter_trace, result.ranking_trace)
+        if t
+    ]
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+
+
+def check_result_shape(ctx: OracleContext) -> list[str]:
+    result = ctx.result
+    out = []
+    if len(result.object_ids) != ctx.k:
+        out.append(
+            f"expected {ctx.k} results, got {len(result.object_ids)}"
+        )
+    if len(set(result.object_ids)) != len(result.object_ids):
+        out.append(f"duplicate neighbours: {result.object_ids}")
+    prev_ub = -math.inf
+    for obj, (lb, ub) in zip(result.object_ids, result.intervals):
+        if lb > ub + EPS:
+            out.append(f"object {obj}: inverted interval [{lb}, {ub}]")
+        if lb < -EPS:
+            out.append(f"object {obj}: negative lower bound {lb}")
+        if ub < prev_ub - EPS:
+            out.append("winners not ascending by upper bound")
+        prev_ub = ub
+    return out
+
+
+def check_interval_sandwich(ctx: OracleContext) -> list[str]:
+    dist = ctx.truth_dist
+    out = []
+    for obj, (lb, ub) in zip(ctx.result.object_ids, ctx.result.intervals):
+        ds = dist.get(obj)
+        if ds is None:
+            out.append(f"reported object {obj} does not exist")
+            continue
+        if lb > ds + EPS + 1e-9 * ds:
+            out.append(
+                f"object {obj}: lb {lb:.6f} exceeds true dS {ds:.6f}"
+            )
+        if ub < ds - EPS - 1e-9 * ds:
+            out.append(
+                f"object {obj}: ub {ub:.6f} below true dS {ds:.6f}"
+            )
+    return out
+
+
+def check_topk_agreement(ctx: OracleContext) -> list[str]:
+    """Reported set == exact top-k, modulo genuine ties.
+
+    On flat terrain the allowance is numerical only; on rough terrain
+    extras must be 3 %-ties of the true k-th (Kanai–Suzuki polishing
+    is allowed that error by the paper).  The guarantee only exists
+    for *converged* answers: a query that exhausted its schedule
+    (``converged=False``) or its budget (``degraded=True``) reports
+    the best-known top-k by upper bound, whose soundness is covered by
+    the sandwich and degraded-soundness oracles instead.
+    """
+    if ctx.result.degraded or not ctx.result.converged:
+        return []
+    dist = ctx.truth_dist
+    got = set(ctx.result.object_ids)
+    want = {obj for obj, _d in ctx.truth[: ctx.k]}
+    if got == want or not ctx.truth:
+        return []
+    kth = ctx.truth[min(ctx.k, len(ctx.truth)) - 1][1]
+    allowance = (
+        kth + EPS + 1e-9 * kth
+        if ctx.exact_sets
+        else kth * TIE_TOLERANCE + EPS
+    )
+    out = []
+    for obj in got - want:
+        ds = dist.get(obj)
+        if ds is None or ds > allowance:
+            out.append(
+                f"object {obj} at dS={ds if ds is not None else '?'} "
+                f"is no tie of the true kth={kth:.6f}"
+            )
+    return out
+
+
+def check_kth_ub_monotone(ctx: OracleContext) -> list[str]:
+    out = []
+    for trace in _traces(ctx.result):
+        ubs = [e.kth_ub for e in trace]
+        for coarse, fine in zip(ubs, ubs[1:]):
+            if fine > coarse + EPS + 1e-9 * min(coarse, 1e12):
+                out.append(
+                    f"{trace[0].phase}: kth ub rose {coarse:.6f} -> "
+                    f"{fine:.6f}"
+                )
+    return out
+
+
+def check_kth_interval_valid(ctx: OracleContext) -> list[str]:
+    """The tracked k-th interval is well-formed at every level.
+
+    ``kth_lb`` is the lower bound of the candidate that is k-th *by
+    upper bound* — its identity changes as other candidates are
+    rejected, so the interval's width is deliberately NOT required to
+    shrink monotonically (fuzzing finds genuine identity-shift
+    widenings).  What must always hold: ``0 <= kth_lb <= kth_ub`` per
+    level, and a converged phase ends with a finite k-th upper bound.
+    """
+    out = []
+    for trace in _traces(ctx.result):
+        for event in trace:
+            if event.kth_lb < -EPS:
+                out.append(
+                    f"{event.phase} level {event.level}: negative kth lb "
+                    f"{event.kth_lb:.6f}"
+                )
+            if math.isfinite(event.kth_ub) and (
+                event.kth_lb > event.kth_ub + EPS + 1e-9 * event.kth_ub
+            ):
+                out.append(
+                    f"{event.phase} level {event.level}: inverted kth "
+                    f"interval [{event.kth_lb:.6f}, {event.kth_ub:.6f}]"
+                )
+        if trace[-1].done and not math.isfinite(trace[-1].kth_ub):
+            out.append(
+                f"{trace[0].phase}: converged with an infinite kth ub"
+            )
+    return out
+
+
+def check_levels_ascend(ctx: OracleContext) -> list[str]:
+    """Refinement levels are visited in ascending order and the
+    resolutions they report are monotone (DMTM up, MSDN up)."""
+    out = []
+    for trace in _traces(ctx.result):
+        levels = [e.level for e in trace]
+        if levels != sorted(levels):
+            out.append(f"{trace[0].phase}: levels out of order {levels}")
+        for prev, event in zip(trace, trace[1:]):
+            if event.dmtm_resolution < prev.dmtm_resolution - EPS:
+                out.append(
+                    f"{trace[0].phase}: DMTM resolution fell "
+                    f"{prev.dmtm_resolution} -> {event.dmtm_resolution}"
+                )
+            if event.msdn_resolution < prev.msdn_resolution - EPS:
+                out.append(
+                    f"{trace[0].phase}: MSDN resolution fell "
+                    f"{prev.msdn_resolution} -> {event.msdn_resolution}"
+                )
+    return out
+
+
+def check_trace_io_reconciles(ctx: OracleContext) -> list[str]:
+    result = ctx.result
+    events = list(result.filter_trace) + list(result.ranking_trace)
+    if not events:
+        return []
+    total_physical = sum(e.physical_reads for e in events)
+    out = []
+    if total_physical != result.metrics.pages_accessed:
+        out.append(
+            f"per-level physical reads sum to {total_physical} but "
+            f"metrics report pages_accessed={result.metrics.pages_accessed}"
+        )
+    total_logical = sum(e.logical_reads for e in events)
+    if total_logical > result.metrics.logical_reads:
+        out.append(
+            f"per-level logical reads sum to {total_logical} > "
+            f"metrics logical_reads={result.metrics.logical_reads}"
+        )
+    if result.metrics.logical_reads < result.metrics.pages_accessed:
+        out.append(
+            f"logical_reads {result.metrics.logical_reads} < physical "
+            f"pages_accessed {result.metrics.pages_accessed}"
+        )
+    return out
+
+
+def check_degraded_soundness(ctx: OracleContext) -> list[str]:
+    """Anytime contract: a degraded answer's reported k-th upper bound
+    overshoots the true k-th distance by at most ``max_error``; exact
+    answers carry ``max_error == 0``."""
+    result = ctx.result
+    out = []
+    if not result.degraded:
+        if result.max_error != 0.0:
+            out.append(
+                f"non-degraded result carries max_error={result.max_error}"
+            )
+        return out
+    if result.max_error < 0.0:
+        out.append(f"negative max_error {result.max_error}")
+    if not result.intervals or len(ctx.truth) < ctx.k:
+        return out
+    reported_kth_ub = result.intervals[-1][1]
+    true_kth = ctx.truth[ctx.k - 1][1]
+    if reported_kth_ub - true_kth > result.max_error + EPS:
+        out.append(
+            f"reported kth ub {reported_kth_ub:.6f} exceeds true kth "
+            f"{true_kth:.6f} by more than max_error {result.max_error:.6f}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "result_shape",
+            check_result_shape,
+            "§4.1",
+            "repro.core.mr3",
+            "k distinct results, valid ordered intervals",
+        ),
+        Oracle(
+            "interval_sandwich",
+            check_interval_sandwich,
+            "§3.3",
+            "repro.multires.dmtm / repro.msdn",
+            "lb_r(q,p) <= dS(q,p) <= ub_r(q,p) vs exact geodesics",
+        ),
+        Oracle(
+            "topk_agreement",
+            check_topk_agreement,
+            "§5",
+            "repro.core.mr3",
+            "reported set matches exact_knn modulo 3% ties",
+        ),
+        Oracle(
+            "kth_ub_monotone",
+            check_kth_ub_monotone,
+            "§3.3/§4.2",
+            "repro.core.ranking",
+            "tracked k-th upper bound never rises within a phase",
+        ),
+        Oracle(
+            "kth_interval_valid",
+            check_kth_interval_valid,
+            "§4.2",
+            "repro.core.ranking",
+            "tracked k-th interval well-formed; converged => finite",
+        ),
+        Oracle(
+            "levels_ascend",
+            check_levels_ascend,
+            "§3.3",
+            "repro.core.schedule",
+            "refinement visits resolutions in ascending order",
+        ),
+        Oracle(
+            "trace_io_reconciles",
+            check_trace_io_reconciles,
+            "§5 (I/O accounting)",
+            "repro.obs / repro.storage.pages",
+            "per-level page deltas sum to the query totals",
+        ),
+        Oracle(
+            "degraded_soundness",
+            check_degraded_soundness,
+            "anytime extension",
+            "repro.core.budget",
+            "degraded kth ub overshoots true kth by <= max_error",
+        ),
+    )
+}
+
+
+def run_oracles(
+    ctx: OracleContext, names=None
+) -> list[Violation]:
+    """Run the named oracles (default: all) against one context."""
+    chosen = names if names is not None else list(ORACLES)
+    violations: list[Violation] = []
+    for name in chosen:
+        oracle = ORACLES[name]
+        for message in oracle.check(ctx):
+            violations.append(Violation(oracle=name, message=message))
+    return violations

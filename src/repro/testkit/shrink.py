@@ -1,0 +1,190 @@
+"""Greedy scenario minimizer and replayable repro cases.
+
+When the differential runner finds a violation, the triggering
+:class:`~repro.testkit.generators.Scenario` is often far bigger than
+the bug needs.  :func:`shrink_scenario` walks a fixed ladder of
+reductions — fewer queries, no faults/budget, fewer objects, smaller
+DEM, lower k, shorter fault schedule — accepting every reduction that
+*still fails* the caller's predicate, until a full pass accepts
+nothing.  The result is written as a ``repro.testkit.case/v1`` JSON
+file under ``tests/cases/`` that replays bit-for-bit:
+
+    python -m repro.testkit --replay tests/cases/<case>.json
+
+Reduction candidates are pure functions of the scenario (no RNG), so
+shrinking is deterministic: the same failure always minimizes to the
+same case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.errors import QueryError
+from repro.testkit.generators import Scenario, with_fewer_objects
+
+CASE_SCHEMA = "repro.testkit.case/v1"
+
+_SIZES = (17, 13, 11, 9, 7, 5)
+
+
+def _reductions(scenario: Scenario):
+    """Candidate smaller scenarios, most aggressive first."""
+    # 1. keep a single query (bugs rarely need more than one).
+    if len(scenario.queries) > 1:
+        for index in range(len(scenario.queries)):
+            yield replace(scenario, queries=(scenario.queries[index],))
+    # 2. drop whole dimensions of the matrix.
+    if scenario.fault is not None:
+        yield replace(scenario, fault=None)
+    if scenario.budget_pages is not None:
+        yield replace(scenario, budget_pages=None)
+    if scenario.batch_workers > 1:
+        yield replace(scenario, batch_workers=1)
+    # 3. fewer objects (never below what the largest k needs).
+    floor = max(2, scenario.max_k())
+    count = scenario.objects.count
+    if count // 2 >= floor and count // 2 < count:
+        yield with_fewer_objects(scenario, count // 2)
+    if count - 1 >= floor:
+        yield with_fewer_objects(scenario, count - 1)
+    # 4. smaller terrain.
+    for size in _SIZES:
+        if size < scenario.terrain.size:
+            yield replace(
+                scenario, terrain=replace(scenario.terrain, size=size)
+            )
+            break
+    # 5. lower k / simpler schedule per query.
+    for index, q in enumerate(scenario.queries):
+        smaller = []
+        if q.k > 1:
+            smaller.append(replace(q, k=q.k - 1))
+        if q.step_length != 1:
+            smaller.append(replace(q, step_length=1))
+        for candidate in smaller:
+            queries = list(scenario.queries)
+            queries[index] = candidate
+            yield replace(scenario, queries=tuple(queries))
+    # 6. shorter/milder fault schedule.
+    fault = scenario.fault
+    if fault is not None and fault.max_faults > 4:
+        yield replace(
+            scenario, fault=replace(fault, max_faults=fault.max_faults // 2)
+        )
+
+
+@dataclass
+class ShrinkOutcome:
+    """Result of one shrink run."""
+
+    scenario: Scenario  # the minimized, still-failing scenario
+    steps: int  # accepted reductions
+    attempts: int  # failure-predicate evaluations
+
+
+def shrink_scenario(
+    scenario: Scenario, fails, max_attempts: int = 120
+) -> ShrinkOutcome:
+    """Greedily minimize ``scenario`` while ``fails(candidate)`` holds.
+
+    ``fails`` must be deterministic (run the differential matrix, a
+    single oracle, anything) and must hold for the input scenario.
+    ``max_attempts`` caps predicate evaluations, bounding shrink cost
+    on slow failures.
+    """
+    if not fails(scenario):
+        raise QueryError("shrink_scenario needs an initially failing scenario")
+    current = scenario
+    steps = 0
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _reductions(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if fails(candidate):
+                current = candidate
+                steps += 1
+                progress = True
+                break  # restart the ladder from the smaller scenario
+    return ShrinkOutcome(scenario=current, steps=steps, attempts=attempts)
+
+
+# ----------------------------------------------------------------------
+# repro cases
+# ----------------------------------------------------------------------
+
+
+def case_dict(
+    scenario: Scenario,
+    findings=(),
+    mutator: str | None = None,
+    oracles=None,
+) -> dict:
+    """JSON-ready repro case (no timestamps: replays must be stable)."""
+    return {
+        "schema": CASE_SCHEMA,
+        "scenario": scenario.to_dict(),
+        "mutator": mutator,
+        "oracles": list(oracles) if oracles is not None else None,
+        "findings": [str(f) for f in findings],
+    }
+
+
+def write_case(
+    scenario: Scenario,
+    cases_dir,
+    findings=(),
+    mutator: str | None = None,
+    oracles=None,
+    name: str | None = None,
+) -> Path:
+    """Write a replayable case file; returns its path."""
+    cases_dir = Path(cases_dir)
+    cases_dir.mkdir(parents=True, exist_ok=True)
+    if name is None:
+        suffix = f"_{mutator}" if mutator else ""
+        name = f"case_seed{scenario.seed}{suffix}"
+    path = cases_dir / f"{name}.json"
+    payload = case_dict(
+        scenario, findings=findings, mutator=mutator, oracles=oracles
+    )
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_case(path) -> dict:
+    """Parse a case file into ``{scenario, mutator, oracles, ...}``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != CASE_SCHEMA:
+        raise QueryError(
+            f"{path}: not a testkit case (schema {data.get('schema')!r})"
+        )
+    return {
+        "scenario": Scenario.from_dict(data["scenario"]),
+        "mutator": data.get("mutator"),
+        "oracles": data.get("oracles"),
+        "findings": data.get("findings", []),
+    }
+
+
+def replay_case(path):
+    """Re-run a case file's scenario under its recorded mutator and
+    oracle set; returns the fresh
+    :class:`~repro.testkit.differential.ScenarioReport`."""
+    from repro.testkit.differential import run_scenario
+
+    case = load_case(path)
+    return run_scenario(
+        case["scenario"],
+        oracle_names=case["oracles"],
+        mutator=case["mutator"],
+    )

@@ -1,7 +1,8 @@
 """Shared fixtures: small deterministic terrains and engines.
 
-Session-scoped so the expensive structures (DMTM collapse trees,
-MSDN plane sweeps, exact geodesics) are built once per run.
+The meshes and engines come from :mod:`repro.testkit.generators` —
+the single source of truth for named test terrain — so every module
+(and the benchmark suite) queries byte-identical cached structures.
 """
 
 from __future__ import annotations
@@ -9,45 +10,63 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.batch import shared_bound_cache
 from repro.core.engine import SurfaceKNNEngine
-from repro.terrain.dem import DemGrid
+from repro.geodesic.csr import set_kernel_mode
+from repro.obs.metrics import get_registry
 from repro.terrain.mesh import TriangleMesh
-from repro.terrain.synthetic import bearhead_like, eagle_peak_like, fractal_dem
+from repro.testkit.generators import standard_engine, standard_mesh
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _reset_shared_state():
+    """Process-wide state must not leak between test modules.
+
+    Guards the three pieces of genuinely global state: the shared
+    batch bound cache, the geodesic kernel mode, and the metrics
+    registry.  Reset runs before AND after each module, so a module
+    that crashes mid-test cannot poison its successors either way.
+    """
+
+    def reset():
+        shared_bound_cache().clear()
+        set_kernel_mode("csr")
+        get_registry().reset()
+
+    reset()
+    yield
+    reset()
 
 
 @pytest.fixture(scope="session")
 def flat_mesh() -> TriangleMesh:
     """A flat 9x9 grid: geodesics equal Euclidean distances."""
-    return TriangleMesh.from_dem(fractal_dem(size=9, relief=0.0, seed=1))
+    return standard_mesh("flat", 9)
 
 
 @pytest.fixture(scope="session")
 def rough_mesh() -> TriangleMesh:
     """A small rugged terrain (17x17)."""
-    return TriangleMesh.from_dem(
-        fractal_dem(size=17, relief=700.0, roughness=0.75, seed=5)
-    )
+    return standard_mesh("rough", 17)
 
 
 @pytest.fixture(scope="session")
 def bh_mesh() -> TriangleMesh:
     """Bearhead-like dataset at test scale."""
-    return TriangleMesh.from_dem(bearhead_like(size=17))
+    return standard_mesh("BH", 17)
 
 
 @pytest.fixture(scope="session")
 def ep_mesh() -> TriangleMesh:
     """Eagle-Peak-like dataset at test scale."""
-    return TriangleMesh.from_dem(eagle_peak_like(size=17))
+    return standard_mesh("EP", 17)
 
 
 @pytest.fixture(scope="session")
 def tilted_mesh() -> TriangleMesh:
     """A planar but tilted surface: geodesics still equal 3D
     Euclidean distances (the plane is developable)."""
-    size = 9
-    heights = np.add.outer(np.arange(size), np.arange(size)) * 30.0
-    return TriangleMesh.from_dem(DemGrid(heights, cell_size=90.0))
+    return standard_mesh("tilted", 9)
 
 
 @pytest.fixture(scope="session")
@@ -74,11 +93,11 @@ def cube_mesh() -> TriangleMesh:
 
 
 @pytest.fixture(scope="session")
-def small_engine(bh_mesh) -> SurfaceKNNEngine:
+def small_engine() -> SurfaceKNNEngine:
     """An engine over the BH test terrain with ~20 objects."""
-    return SurfaceKNNEngine(bh_mesh, density=10.0, seed=3)
+    return standard_engine("BH", 17, density=10.0, seed=3)
 
 
 @pytest.fixture(scope="session")
-def ep_engine(ep_mesh) -> SurfaceKNNEngine:
-    return SurfaceKNNEngine(ep_mesh, density=10.0, seed=3)
+def ep_engine() -> SurfaceKNNEngine:
+    return standard_engine("EP", 17, density=10.0, seed=3)

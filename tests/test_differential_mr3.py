@@ -19,21 +19,23 @@ import pytest
 
 from repro.core.baseline import exact_knn
 from repro.core.engine import SurfaceKNNEngine
+from repro.testkit.generators import standard_engine
 
 EPS = 1e-6
 TIE_TOLERANCE = 1.03  # the paper's 3 % approximation allowance
 
 
 @pytest.fixture(scope="module")
-def rough_engine(rough_mesh) -> SurfaceKNNEngine:
-    """A dedicated engine (module-owned: the density sweep calls
-    ``set_objects``, which must not leak into session fixtures)."""
-    return SurfaceKNNEngine(rough_mesh, density=12.0, seed=7)
+def rough_engine() -> SurfaceKNNEngine:
+    """A dedicated engine (``fresh=True`` keeps it module-owned: the
+    density sweep calls ``set_objects``, which must not leak into the
+    shared engine cache)."""
+    return standard_engine("rough", 17, density=12.0, seed=7, fresh=True)
 
 
 @pytest.fixture(scope="module")
-def flat_engine(flat_mesh) -> SurfaceKNNEngine:
-    return SurfaceKNNEngine(flat_mesh, density=25.0, seed=11)
+def flat_engine() -> SurfaceKNNEngine:
+    return standard_engine("flat", 9, density=25.0, seed=11)
 
 
 def _query_vertices(mesh) -> list[int]:

@@ -333,14 +333,13 @@ class TestEndToEndIdentity:
 
     @pytest.fixture(scope="class")
     def both_modes(self):
-        from repro.core.engine import SurfaceKNNEngine
-        from repro.terrain.mesh import TriangleMesh
-        from repro.terrain.synthetic import bearhead_like
+        from repro.testkit.generators import standard_engine, standard_mesh
 
-        mesh = TriangleMesh.from_dem(bearhead_like(size=13))
+        mesh = standard_mesh("BH", 13)
 
         def run():
-            engine = SurfaceKNNEngine(mesh, density=8.0, seed=3)
+            # fresh=True: each mode must rebuild its own structures.
+            engine = standard_engine("BH", 13, density=8.0, seed=3, fresh=True)
             out = []
             for qv in (10, 40, 88):
                 result = engine.query(qv, 3, step_length=2)

@@ -1,11 +1,20 @@
 """Tests for DMTM persistence (save/load of the collapse history)."""
 
+import struct
+
 import numpy as np
 import pytest
 
 from repro.errors import MultiresError
 from repro.multires.dmtm import DMTM
-from repro.multires.persist import load_history, save_history
+from repro.multires.persist import (
+    _HEAD,
+    _MAGIC,
+    _NODE,
+    load_history,
+    save_history,
+    validate,
+)
 from repro.simplification.collapse import build_collapse_history
 
 
@@ -67,4 +76,113 @@ class TestRoundtrip:
         path = tmp_path / "junk.bin"
         path.write_bytes(b"not a ddm file at all")
         with pytest.raises(MultiresError):
+            load_history(path)
+
+
+class TestValidateNegativePaths:
+    """Every frame of the container must fail loudly, typed, and with
+    the offending frame named — never a bare ``struct.error`` or a
+    silent mis-parse."""
+
+    @pytest.fixture(scope="class")
+    def blob(self, history, tmp_path_factory):
+        path = tmp_path_factory.mktemp("persist") / "ddm.bin"
+        save_history(history, path)
+        data = path.read_bytes()
+        validate(data)  # the pristine serialization passes
+        return data
+
+    # --- header ----------------------------------------------------
+
+    def test_empty_file(self):
+        with pytest.raises(MultiresError, match="magic"):
+            validate(b"")
+
+    def test_magic_prefix_only(self):
+        with pytest.raises(MultiresError, match="header"):
+            validate(_MAGIC)
+
+    def test_truncated_header(self, blob):
+        cut = len(_MAGIC) + _HEAD.size - 3
+        with pytest.raises(MultiresError, match="header"):
+            validate(blob[:cut])
+
+    def test_leaves_exceed_nodes(self, blob):
+        _leaves, nodes = _HEAD.unpack_from(blob, len(_MAGIC))
+        corrupt = bytearray(blob)
+        _HEAD.pack_into(corrupt, len(_MAGIC), nodes + 1, nodes)
+        with pytest.raises(MultiresError, match="leaves"):
+            validate(bytes(corrupt))
+
+    # --- root table ------------------------------------------------
+
+    def test_truncated_root_count(self, blob):
+        cut = len(_MAGIC) + _HEAD.size + 4
+        with pytest.raises(MultiresError, match="root count"):
+            validate(blob[:cut])
+
+    def test_root_count_exceeds_nodes(self, blob):
+        _leaves, nodes = _HEAD.unpack_from(blob, len(_MAGIC))
+        corrupt = bytearray(blob)
+        struct.pack_into(
+            "<Q", corrupt, len(_MAGIC) + _HEAD.size, nodes + 1
+        )
+        with pytest.raises(MultiresError, match="roots exceed"):
+            validate(bytes(corrupt))
+
+    def test_truncated_root_table(self, blob):
+        offset = len(_MAGIC) + _HEAD.size
+        (num_roots,) = struct.unpack_from("<Q", blob, offset)
+        assert num_roots >= 1
+        cut = offset + 8 + 8 * num_roots - 2
+        with pytest.raises(MultiresError, match="root table"):
+            validate(blob[:cut])
+
+    # --- node frames -----------------------------------------------
+
+    def _nodes_offset(self, blob) -> int:
+        offset = len(_MAGIC) + _HEAD.size
+        (num_roots,) = struct.unpack_from("<Q", blob, offset)
+        return offset + 8 + 8 * num_roots
+
+    def test_truncated_first_node_frame(self, blob):
+        cut = self._nodes_offset(blob) + _NODE.size // 2
+        with pytest.raises(MultiresError, match="node 0"):
+            validate(blob[:cut])
+
+    def test_truncated_mid_file_names_the_node(self, blob):
+        cut = (len(blob) + self._nodes_offset(blob)) // 2
+        with pytest.raises(MultiresError, match=r"node \d+"):
+            validate(blob[:cut])
+
+    def test_inflated_record_count_overruns(self, blob):
+        """A corrupt record_count makes node 0 claim more neighbour
+        records than the file holds."""
+        corrupt = bytearray(blob)
+        count_at = self._nodes_offset(blob) + _NODE.size - 4
+        struct.pack_into("<I", corrupt, count_at, 1_000_000)
+        with pytest.raises(MultiresError, match="node 0 records"):
+            validate(bytes(corrupt))
+
+    def test_truncated_trailing_records(self, blob):
+        """Cut inside the final node's frame or record block."""
+        with pytest.raises(MultiresError, match=r"node \d+"):
+            validate(blob[:-4])
+
+    def test_trailing_bytes_rejected(self, blob):
+        with pytest.raises(MultiresError, match="trailing"):
+            validate(blob + b"\x00\x00")
+
+    # --- error ergonomics ------------------------------------------
+
+    def test_source_named_in_error(self, blob):
+        with pytest.raises(MultiresError, match="ddm-from-s3"):
+            validate(blob[:-4], source="ddm-from-s3")
+
+    def test_load_history_validates_first(self, blob, tmp_path):
+        """load_history goes through validate(): a truncated file
+        raises the typed error, not struct.error."""
+        path = tmp_path / "cut.bin"
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(MultiresError, match=str(path)):
             load_history(path)

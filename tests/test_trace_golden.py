@@ -22,8 +22,10 @@ from pathlib import Path
 import pytest
 
 from repro.core.engine import SurfaceKNNEngine
+from repro.geodesic.csr import set_kernel_mode
 from repro.obs.export import normalize_record, query_record
 from repro.obs.tracing import Tracer
+from repro.testkit.generators import standard_mesh
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 UPDATE = os.environ.get("UPDATE_GOLDENS") == "1"
@@ -35,11 +37,8 @@ def _golden_result():
     A fresh engine (not a session fixture) keeps physical page counts
     deterministic: nothing else has touched the buffer pool.
     """
-    from repro.terrain.mesh import TriangleMesh
-    from repro.terrain.synthetic import bearhead_like
-
     engine = SurfaceKNNEngine(
-        TriangleMesh.from_dem(bearhead_like(size=17)),
+        standard_mesh("BH", 17),
         density=10.0,
         seed=3,
         tracer=Tracer(),
@@ -48,8 +47,18 @@ def _golden_result():
     return engine.query(qv, 3, step_length=2)
 
 
+@pytest.fixture(scope="module", params=["csr", "reference"])
+def kernel(request):
+    """Every golden must reproduce under BOTH geodesic kernel modes —
+    the flat CSR kernels are a pure performance change (PR 4), so the
+    goldens hold whichever kernels run."""
+    set_kernel_mode(request.param)
+    yield request.param
+    set_kernel_mode("csr")
+
+
 @pytest.fixture(scope="module")
-def golden_result():
+def golden_result(kernel):
     return _golden_result()
 
 
