@@ -9,7 +9,10 @@ retry/corruption counters and degraded-answer rates (``--workers``
 applies here too).  The ``kernels`` mode compares the dict reference
 kernels against the flat CSR kernels (micro + end-to-end) and writes
 the ``repro.bench/v1`` document to ``--out`` (default
-``BENCH_GEODESIC.json``).
+``BENCH_GEODESIC.json``).  ``--profile-out PATH`` additionally runs
+every query under a profiling context and writes one
+``repro.profile/v1`` record per query — two such files diff with
+``python -m repro.obs.diff``.
 """
 
 from __future__ import annotations
@@ -71,15 +74,34 @@ def main(argv=None) -> int:
         default=None,
         help="write one JSONL record per experiment point to PATH",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="run every query under a profiling ObsContext and write "
+        "one repro.profile/v1 JSON record per query to PATH "
+        "(feed two such files to python -m repro.obs.diff)",
+    )
     args = parser.parse_args(argv)
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
-    if args.metrics_out:
+    if args.metrics_out or args.profile_out:
         from repro.obs.export import write_jsonl
 
-        try:  # fail on a bad path now, not after the sweep
-            write_jsonl(args.metrics_out, [])
-        except OSError as exc:
-            parser.error(f"cannot write --metrics-out {args.metrics_out!r}: {exc}")
+        for path in (args.metrics_out, args.profile_out):
+            if not path:
+                continue
+            try:  # fail on a bad path now, not after the sweep
+                write_jsonl(path, [])
+            except OSError as exc:
+                parser.error(f"cannot write to {path!r}: {exc}")
+    obs = None
+    if args.profile_out:
+        from repro.obs.context import ObsContext
+
+        # One context for the whole run: the drivers reuse it (they
+        # prefer an ambient profiling context over a local one), so
+        # every finished query profile lands in obs.profiler.
+        obs = ObsContext("bench", profiling=True)
     records = []
     for name in names:
         kwargs = {"quick": args.quick}
@@ -91,12 +113,25 @@ def main(argv=None) -> int:
             kwargs["workers"] = args.workers
         elif name == "kernels":
             kwargs["out"] = args.out
-        result = run_experiment(_FIGURES[name], **kwargs)
+        if obs is not None:
+            with obs.activate():
+                result = run_experiment(_FIGURES[name], **kwargs)
+        else:
+            result = run_experiment(_FIGURES[name], **kwargs)
         if args.metrics_out:
             records.extend(experiment_records(name, result))
     if args.metrics_out:
         count = write_jsonl(args.metrics_out, records)
         print(f"[wrote {count} records to {args.metrics_out}]")
+    if obs is not None:
+        from repro.obs.export import write_jsonl
+        from repro.obs.profile import profile_record
+
+        profiles = obs.profiler.take()
+        count = write_jsonl(
+            args.profile_out, [profile_record(p) for p in profiles]
+        )
+        print(f"[wrote {count} profile records to {args.profile_out}]")
     return 0
 
 

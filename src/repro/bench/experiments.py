@@ -357,29 +357,66 @@ _DIJKSTRA_COUNTERS = (
 )
 
 
+# Phases reported as per-query mean self-seconds columns in the
+# fig10/fig11 rows ("query" is the root; its self time is plumbing).
+_PROFILE_PHASES = (
+    "spatial-filter",
+    "interval-ranking",
+    "bound-composition",
+    "graph-kernel",
+    "refinement",
+    "page-io",
+)
+
+
+def _phase_column(phase: str) -> str:
+    return "phase_" + phase.replace("-", "_")
+
+
 def _run_series(engine, queries, k) -> dict:
     """Mean metrics of each algorithm configuration over the queries.
 
     Alongside the timing/page metrics, each label carries the mean
     per-query Dijkstra kernel work (calls / settled nodes /
     relaxations), measured as registry counter deltas around each
-    query — the ``--metrics-out`` view of how much search the kernels
-    actually did."""
-    from repro.obs.metrics import get_registry
+    query, plus the mean self-seconds of every profiler phase
+    (``phase_*`` columns) — the ``--metrics-out`` view of how much
+    search the kernels actually did and where the wall time went.
 
-    counters = [get_registry().counter(name) for name in _DIJKSTRA_COUNTERS]
+    Queries run under a profiling :class:`~repro.obs.ObsContext`: the
+    ambient one when the caller already activated a profiling context
+    (``--profile-out`` does), otherwise a local context so bench
+    counters never leak into the process default registry."""
+    from repro.obs.context import ObsContext, current
+
+    ambient = current()
+    ctx = (
+        ambient
+        if ambient.profiler.enabled
+        else ObsContext("bench", profiling=True)
+    )
+    counters = [ctx.registry.counter(name) for name in _DIJKSTRA_COUNTERS]
     out = {}
     for label, method, step in _SERIES:
         total, cpu, pages, logical = [], [], [], []
         pages_dmtm, pages_msdn = [], []
         kernel_work: dict[str, list] = {name: [] for name in _DIJKSTRA_COUNTERS}
+        phase_work: dict[str, list] = {name: [] for name in _PROFILE_PHASES}
         for qv in queries:
             before = [c.value for c in counters]
-            result = engine.query(qv, k, method=method, step_length=step)
+            result = engine.query(
+                qv, k, method=method, step_length=step, obs=ctx
+            )
             for name, counter, start in zip(
                 _DIJKSTRA_COUNTERS, counters, before
             ):
                 kernel_work[name].append(counter.value - start)
+            profile = result.profile()
+            by_phase = (
+                profile.self_seconds_by_phase() if profile is not None else {}
+            )
+            for name in _PROFILE_PHASES:
+                phase_work[name].append(by_phase.get(name, 0.0))
             total.append(result.metrics.total_seconds)
             cpu.append(result.metrics.cpu_seconds)
             pages.append(result.metrics.pages_accessed)
@@ -399,6 +436,10 @@ def _run_series(engine, queries, k) -> dict:
             "dijkstra_relaxations": float(
                 np.mean(kernel_work[_DIJKSTRA_COUNTERS[2]])
             ),
+            **{
+                _phase_column(name): float(np.mean(phase_work[name]))
+                for name in _PROFILE_PHASES
+            },
         }
     return out
 
@@ -417,6 +458,22 @@ def _metric_tables(title_prefix: str, xlabel: str, per_x: dict) -> list[str]:
         ]
         tables.append(
             format_table(f"{title_prefix} — {name}", [xlabel] + labels, rows)
+        )
+    # Where the wall time goes for the paper's canonical s=2 config;
+    # the other series carry the same phase_* columns in the raw rows.
+    phase_cols = [_phase_column(p) for p in _PROFILE_PHASES]
+    rows = [
+        {xlabel: x, **{c: series["s=2"][c] for c in phase_cols}}
+        for x, series in per_x.items()
+        if "s=2" in series
+    ]
+    if rows:
+        tables.append(
+            format_table(
+                f"{title_prefix} — phase self-seconds (s=2)",
+                [xlabel] + phase_cols,
+                rows,
+            )
         )
     return tables
 

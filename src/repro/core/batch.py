@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 
 from repro.core.budget import QueryBudget
 from repro.errors import QueryError, StorageError, SurfKnnError
+from repro.obs.context import ObsContext, active_profiler, current
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer
 from repro.storage.stats import ThreadLocalIOStatistics
@@ -89,13 +90,16 @@ class BoundCache:
 
     def lookup(self, key) -> tuple[bool, object]:
         """(found, value); value may legitimately be None."""
+        profiler = active_profiler()
         with self._lock:
             value = self._values.get(key, _MISSING)
             if value is _MISSING:
                 self.misses += 1
+                profiler.count("bound_cache_misses", 1)
                 return False, None
             self._values.move_to_end(key)
             self.hits += 1
+            profiler.count("bound_cache_hits", 1)
             return True, value
 
     def store(self, key, value) -> None:
@@ -106,13 +110,16 @@ class BoundCache:
                 self._values.popitem(last=False)
 
     def lookup_network(self, key) -> tuple[bool, object]:
+        profiler = active_profiler()
         with self._lock:
             value = self._networks.get(key, _MISSING)
             if value is _MISSING:
                 self.network_misses += 1
+                profiler.count("network_cache_misses", 1)
                 return False, None
             self._networks.move_to_end(key)
             self.network_hits += 1
+            profiler.count("network_cache_hits", 1)
             return True, value
 
     def store_network(self, key, network) -> None:
@@ -225,10 +232,13 @@ class CircuitBreaker:
     consistent state.
     """
 
-    def __init__(self, threshold: int = 8):
+    def __init__(self, threshold: int = 8, registry=None):
         if threshold < 1:
             raise QueryError(f"breaker threshold must be >= 1, got {threshold}")
         self.threshold = threshold
+        # Trip counters land in this registry (the executor passes its
+        # ObsContext's); None falls back to the active context's.
+        self.registry = registry
         self._lock = threading.Lock()
         self._consecutive_failures = 0
         self.trips = 0  # times the circuit went from closed to open
@@ -251,7 +261,11 @@ class CircuitBreaker:
             self._consecutive_failures += 1
             if self._consecutive_failures == self.threshold:
                 self.trips += 1
-                get_registry().counter("batch.circuit_trips_total").add(1)
+                registry = (
+                    self.registry if self.registry is not None
+                    else get_registry()
+                )
+                registry.counter("batch.circuit_trips_total").add(1)
 
 
 @dataclass
@@ -351,6 +365,17 @@ class BatchQueryExecutor:
         not run).  The breaker only reacts to
         :class:`~repro.errors.StorageError` — query-shaped failures
         (bad k etc.) are isolated but don't open the circuit.
+    obs:
+        Batch-level :class:`~repro.obs.ObsContext`.  Every query runs
+        under a fresh per-query **child** context (so concurrent
+        queries never share mutable telemetry), which is merged back
+        into this context when the query finishes — counters add,
+        profiles aggregate.  Defaults to the context active at
+        construction time (the process default context when none is
+        active, preserving the old into-the-global-registry
+        behaviour).
+        Pass a profiling context (``ObsContext(profiling=True)``) to
+        collect per-query phase profiles for the whole batch.
     """
 
     def __init__(
@@ -363,6 +388,7 @@ class BatchQueryExecutor:
         cold_cache: bool = True,
         budget: QueryBudget | None = None,
         circuit_threshold: int = 8,
+        obs: ObsContext | None = None,
     ):
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -371,7 +397,10 @@ class BatchQueryExecutor:
         self.tracing = tracing
         self.cold_cache = cold_cache
         self.budget = budget
-        self.circuit_breaker = CircuitBreaker(circuit_threshold)
+        self.obs = obs if obs is not None else current()
+        self.circuit_breaker = CircuitBreaker(
+            circuit_threshold, registry=self.obs.registry
+        )
         if not share_bounds:
             self.bound_cache = None
         else:
@@ -414,6 +443,11 @@ class BatchQueryExecutor:
                 skipped=True,
             )
         tracer = Tracer() if self.tracing else None
+        # Each query gets its own child context: concurrent queries
+        # never share mutable telemetry, and the finished child is
+        # merged back into the batch context below (counters add,
+        # profiles aggregate) — so batch totals still reconcile.
+        ctx = self.obs.child(f"q{index}")
         start = time.perf_counter()
         try:
             result = self.engine.query(
@@ -423,20 +457,24 @@ class BatchQueryExecutor:
                 step_length=spec.step_length,
                 cold_cache=self.cold_cache,
                 tracer=tracer,
+                obs=ctx,
                 bound_cache=self.bound_cache,
                 budget=spec.budget if spec.budget is not None else self.budget,
             )
         except SurfKnnError as exc:
             latency = time.perf_counter() - start
+            self.obs.absorb(ctx)
             if isinstance(exc, StorageError):
                 breaker.record_failure()
-            get_registry().counter("batch.query_failures_total").add(1)
+            self.obs.registry.counter("batch.query_failures_total").add(1)
             return None, latency, BatchError(
                 index=index, vertex=spec.vertex, k=spec.k,
                 kind=type(exc).__name__, message=str(exc),
             )
+        latency = time.perf_counter() - start
+        self.obs.absorb(ctx)
         breaker.record_success()
-        return result, time.perf_counter() - start, None
+        return result, latency, None
 
     def run(self, queries) -> BatchReport:
         """Execute the batch; results come back in submission order."""

@@ -23,6 +23,7 @@ Example
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from repro.core.baseline import exact_knn
 from repro.core.budget import QueryBudget
@@ -33,11 +34,16 @@ from repro.core.schedule import ResolutionSchedule
 from repro.errors import QueryError
 from repro.msdn.msdn import MSDN
 from repro.multires.dmtm import DMTM
-from repro.obs.metrics import get_registry
+from repro.obs.context import ObsContext, current
+from repro.obs.profile import Profile
 from repro.obs.tracing import NULL_TRACER, Span
 from repro.storage.pages import PageManager
 from repro.storage.stats import DiskModel, IOStatistics
 from repro.terrain.mesh import TriangleMesh
+
+#: Stateless, reusable stand-in for ``ctx.activate()`` when the
+#: engine carries no ObsContext (the ambient context then applies).
+_NULL_SCOPE = nullcontext()
 
 
 class SurfaceKNNEngine:
@@ -71,6 +77,15 @@ class SurfaceKNNEngine:
         enabled), every query produces a span tree reachable from
         ``QueryResult.root_span`` and from ``tracer.finished()``.
         Defaults to the shared no-op tracer — zero overhead.
+    obs:
+        Optional :class:`repro.obs.ObsContext` carried by the engine.
+        Every query then runs with that context *active*: its metrics
+        land in ``obs.registry`` (not the process-wide default), its
+        tracer is used unless ``tracer`` overrides it, and — when the
+        context's profiler is enabled — every result carries a phase
+        profile reachable via ``QueryResult.profile()``.  Without
+        ``obs`` the engine reports into whatever context is active at
+        call time (the deprecated process-wide default when none is).
     buffer_pool:
         Optional :class:`repro.storage.pages.BufferPool` to cache
         pages through — pass
@@ -104,12 +119,19 @@ class SurfaceKNNEngine:
         disk: DiskModel | None = None,
         with_storage: bool = True,
         tracer=None,
+        obs: ObsContext | None = None,
         buffer_pool=None,
         fault_injector=None,
         retry_policy=None,
     ):
         self.mesh = mesh
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.obs = obs
+        if tracer is not None:
+            self.tracer = tracer
+        elif obs is not None:
+            self.tracer = obs.tracer
+        else:
+            self.tracer = NULL_TRACER
         self.objects = (
             objects
             if objects is not None
@@ -189,6 +211,7 @@ class SurfaceKNNEngine:
         use_dummy_lb: bool = True,
         cold_cache: bool = True,
         tracer=None,
+        obs: ObsContext | None = None,
         bound_cache=None,
         budget: QueryBudget | None = None,
     ) -> QueryResult:
@@ -198,7 +221,10 @@ class SurfaceKNNEngine:
         measured from a cold start (the paper reports per-query page
         counts).  ``tracer`` overrides the engine tracer for this one
         query (the batch executor gives every query its own);
-        ``bound_cache`` is an optional
+        ``obs`` overrides the engine's :class:`~repro.obs.ObsContext`
+        for this one query — the query runs with it active, so its
+        metrics and (when enabled) its phase profile stay scoped to
+        that context.  ``bound_cache`` is an optional
         :class:`repro.core.batch.BoundCache` sharing bound
         computations across queries without changing any answer.
 
@@ -209,49 +235,66 @@ class SurfaceKNNEngine:
         intervals and a per-query ``max_error`` instead of raising.
         """
         self._validate_query_args(query_vertex, k)
-        tracer = tracer if tracer is not None else self.tracer
-        if cold_cache and self.pages is not None:
-            self.pages.drop_buffer()
-        if method == "exact":
-            return self._query_exact(query_vertex, k, tracer=tracer)
+        ctx = obs if obs is not None else self.obs
+        if tracer is None:
+            tracer = ctx.tracer if ctx is not None else self.tracer
         if method == "mr3":
             schedule = ResolutionSchedule.preset(step_length)
         elif method == "ea":
             schedule = ResolutionSchedule.preset("ea")
-        else:
+        elif method != "exact":
             raise QueryError(
                 f"unknown method {method!r}; use 'mr3', 'ea' or 'exact'"
             )
-        options = RankerOptions(
-            integrate_io=integrate_io,
-            use_refined_region=use_refined_region,
-            use_dummy_lb=use_dummy_lb,
-        )
-        processor = MR3QueryProcessor(
-            self.mesh,
-            self.dmtm,
-            self.msdn,
-            self.objects,
-            schedule,
-            options=options,
-            stats=self.stats,
-            disk=self.disk,
-            tracer=tracer,
-            bound_cache=bound_cache,
-        )
-        with tracer.span(
-            "engine.query", method=method, k=k, cold_cache=cold_cache
-        ) as span:
-            result = processor.query(query_vertex, k, budget=budget)
-        if isinstance(span, Span):
-            result.root_span = span
-        result.method = method if method == "ea" else f"mr3/{schedule.name}"
-        self._observe(result)
+        scope = ctx.activate() if ctx is not None else _NULL_SCOPE
+        with scope:
+            active = ctx if ctx is not None else current()
+            profiler = active.profiler
+            if cold_cache and self.pages is not None:
+                self.pages.drop_buffer()
+            with profiler.phase("query") as phase_root:
+                if method == "exact":
+                    result = self._query_exact(query_vertex, k, tracer=tracer)
+                else:
+                    options = RankerOptions(
+                        integrate_io=integrate_io,
+                        use_refined_region=use_refined_region,
+                        use_dummy_lb=use_dummy_lb,
+                    )
+                    processor = MR3QueryProcessor(
+                        self.mesh,
+                        self.dmtm,
+                        self.msdn,
+                        self.objects,
+                        schedule,
+                        options=options,
+                        stats=self.stats,
+                        disk=self.disk,
+                        tracer=tracer,
+                        bound_cache=bound_cache,
+                        profiler=profiler,
+                    )
+                    with tracer.span(
+                        "engine.query", method=method, k=k,
+                        cold_cache=cold_cache,
+                    ) as span:
+                        result = processor.query(query_vertex, k, budget=budget)
+                    if isinstance(span, Span):
+                        result.root_span = span
+                    result.method = (
+                        method if method == "ea" else f"mr3/{schedule.name}"
+                    )
+            if phase_root is not None:
+                result.profile_data = Profile(
+                    phase_root, label=f"{result.method}/k={k}"
+                )
+            if method != "exact":
+                self._observe(result, active.registry)
         return result
 
-    def _observe(self, result: QueryResult) -> None:
-        """Feed the default metrics registry from a finished query."""
-        registry = get_registry()
+    def _observe(self, result: QueryResult, registry) -> None:
+        """Feed the resolved context's metrics registry from a
+        finished query."""
         registry.counter(f"engine.queries.{result.method}").add(1)
         registry.histogram("engine.query.cpu_seconds").observe(
             result.metrics.cpu_seconds
@@ -296,20 +339,33 @@ class SurfaceKNNEngine:
             )
         if method != "mr3":
             raise QueryError("embedded-point queries support method='mr3'")
-        if cold_cache and self.pages is not None:
-            self.pages.drop_buffer()
-        processor = MR3QueryProcessor(
-            self.mesh,
-            self.dmtm,
-            self.msdn,
-            self.objects,
-            ResolutionSchedule.preset(step_length),
-            options=RankerOptions(**ranker_opts),
-            stats=self.stats,
-            disk=self.disk,
-            tracer=self.tracer,
-        )
-        return processor.query(query, k, budget=budget)
+        scope = self.obs.activate() if self.obs is not None else _NULL_SCOPE
+        with scope:
+            profiler = (
+                self.obs.profiler if self.obs is not None
+                else current().profiler
+            )
+            if cold_cache and self.pages is not None:
+                self.pages.drop_buffer()
+            processor = MR3QueryProcessor(
+                self.mesh,
+                self.dmtm,
+                self.msdn,
+                self.objects,
+                ResolutionSchedule.preset(step_length),
+                options=RankerOptions(**ranker_opts),
+                stats=self.stats,
+                disk=self.disk,
+                tracer=self.tracer,
+                profiler=profiler,
+            )
+            with profiler.phase("query") as phase_root:
+                result = processor.query(query, k, budget=budget)
+            if phase_root is not None:
+                result.profile_data = Profile(
+                    phase_root, label=f"embedded/k={k}"
+                )
+        return result
 
     def _query_exact(self, query_vertex: int, k: int, tracer=None) -> QueryResult:
         tracer = tracer if tracer is not None else self.tracer
@@ -354,6 +410,9 @@ class SurfaceKNNEngine:
         ranker = DistanceRanker(
             self.mesh, self.dmtm, self.msdn, schedule,
             stats=self.stats, tracer=self.tracer,
+            profiler=(
+                self.obs.profiler if self.obs is not None else None
+            ),
         )
         q_xy = self.mesh.vertices[query_vertex][:2]
         with self.tracer.span(

@@ -29,6 +29,7 @@ from repro.core.budget import QueryBudget
 from repro.core.embedding import EmbeddedQuery, source_of
 from repro.core.ranking import DistanceRanker, RankerOptions
 from repro.errors import QueryError
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracing import NULL_TRACER, Span
 from repro.storage.stats import DiskModel, IOStatistics
 
@@ -93,6 +94,16 @@ class QueryResult:
     degraded: bool = False
     max_error: float = 0.0
     budget_reason: str | None = None
+    # Phase profile of the query (repro.obs.profile.Profile) when it
+    # ran under a profiling ObsContext; None otherwise.
+    profile_data: object | None = None
+
+    def profile(self):
+        """The query's phase profile (:class:`repro.obs.Profile`), or
+        ``None`` when profiling was not enabled.  ``render_tree()`` on
+        the returned object prints the flamegraph-style breakdown;
+        ``to_record()`` exports the ``repro.profile/v1`` JSON."""
+        return self.profile_data
 
     def explain(self) -> str:
         """Human-readable account of how the query was answered."""
@@ -127,14 +138,17 @@ class MR3QueryProcessor:
         disk: DiskModel | None = None,
         tracer=None,
         bound_cache=None,
+        profiler=None,
     ):
         self.mesh = mesh
         self.objects = objects
         self.schedule = schedule
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.ranker = DistanceRanker(
             mesh, dmtm, msdn, schedule, options, stats=stats,
             tracer=self.tracer, bound_cache=bound_cache,
+            profiler=self.profiler,
         )
         self.stats = stats
         self.disk = disk if disk is not None else DiskModel()
@@ -180,7 +194,8 @@ class MR3QueryProcessor:
 
             # Step 1: 2D k-NN filter.
             with self.tracer.span("mr3.knn_2d", k=k) as sp:
-                c1_ids = self.objects.knn_2d(q_xy, k)
+                with self.profiler.phase("spatial-filter"):
+                    c1_ids = self.objects.knn_2d(q_xy, k)
                 sp.set_attribute("candidates", len(c1_ids))
 
             # Step 2: rank C1 to get a tight ub for the k-th neighbour.
@@ -204,7 +219,8 @@ class MR3QueryProcessor:
 
             # Step 3: 2D range query with the step-2 radius.
             with self.tracer.span("mr3.range_2d", radius=radius) as sp:
-                c2_ids = self.objects.range_2d(q_xy, radius)
+                with self.profiler.phase("spatial-filter"):
+                    c2_ids = self.objects.range_2d(q_xy, radius)
                 sp.set_attribute("candidates", len(c2_ids))
 
             # Step 4: rank C2, reusing the intervals from step 2.

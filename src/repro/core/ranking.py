@@ -34,6 +34,7 @@ from repro.errors import QueryError
 from repro.geometry.ellipse import EllipseRegion
 from repro.geometry.primitives import BoundingBox
 from repro.obs.events import LevelEvent
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracing import NULL_TRACER
 
 
@@ -101,6 +102,7 @@ class DistanceRanker:
         stats=None,
         tracer=None,
         bound_cache=None,
+        profiler=None,
     ):
         self.mesh = mesh
         self.dmtm = dmtm
@@ -111,6 +113,11 @@ class DistanceRanker:
         # logical/physical page delta attributed to its level.
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Phase profiler (repro.obs.profile.Profiler): each level's
+        # work lands under "interval-ranking", the DMTM/MSDN bound
+        # updates under "bound-composition", the Kanai-Suzuki polish
+        # under "refinement".  Disabled by default.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         # Optional repro.core.batch.BoundCache.  Every bound the loop
         # computes is a pure function of (structures, anchors, target,
         # resolution, region); the cache memoizes those computations
@@ -196,18 +203,20 @@ class DistanceRanker:
                 "rank.level", phase=phase, level=level,
                 dmtm_resolution=res_u, msdn_resolution=res_l,
             ) as span:
-                # At the final level the ub becomes the ranking key when
-                # ranges still overlap, so estimate it over the full
-                # ellipse rather than the refined corridor.
-                plan = self._plan_regions(
-                    q_pos, active, level, refined=level < last_level
-                )
-                self._update_upper_bounds(anchors, active, plan, res_u)
-                self._update_lower_bounds(
-                    q_pos, active, plan, res_l, kth_ub_estimate
-                )
-                verdict = classify_candidates(candidates, k)
-                kth_ub_estimate = verdict.kth_ub
+                with self.profiler.phase("interval-ranking"):
+                    # At the final level the ub becomes the ranking key
+                    # when ranges still overlap, so estimate it over
+                    # the full ellipse rather than the refined corridor.
+                    plan = self._plan_regions(
+                        q_pos, active, level, refined=level < last_level
+                    )
+                    with self.profiler.phase("bound-composition"):
+                        self._update_upper_bounds(anchors, active, plan, res_u)
+                        self._update_lower_bounds(
+                            q_pos, active, plan, res_l, kth_ub_estimate
+                        )
+                    verdict = classify_candidates(candidates, k)
+                    kth_ub_estimate = verdict.kth_ub
                 if io_before is not None:
                     io_delta = self.stats.delta_since(io_before)
                     logical = io_delta.logical_reads
@@ -256,7 +265,8 @@ class DistanceRanker:
             with self.tracer.span(
                 "rank.polish", phase=phase, ambiguous=len(final.active)
             ):
-                self._polish_boundary(anchors, candidates, final, k)
+                with self.profiler.phase("refinement"):
+                    self._polish_boundary(anchors, candidates, final, k)
             final = classify_candidates(candidates, k)
         winners = sorted(final.winners, key=lambda c: (c.ub, c.object_id))[:k]
         if len(winners) < k:
@@ -315,25 +325,31 @@ class DistanceRanker:
         for level, (res_u, res_l) in enumerate(self.schedule.levels()):
             if not active:
                 break
-            plan = self._plan_regions(
-                q_pos, active, level, refined=level < last_level
-            )
-            self._update_upper_bounds(anchors, active, plan, res_u)
-            self._update_lower_bounds(q_pos, active, plan, res_l, radius)
-            active = [
-                c for c in active if c.lb <= radius < c.ub
-            ]
+            with self.profiler.phase("interval-ranking"):
+                plan = self._plan_regions(
+                    q_pos, active, level, refined=level < last_level
+                )
+                with self.profiler.phase("bound-composition"):
+                    self._update_upper_bounds(anchors, active, plan, res_u)
+                    self._update_lower_bounds(
+                        q_pos, active, plan, res_l, radius
+                    )
+                active = [
+                    c for c in active if c.lb <= radius < c.ub
+                ]
         if active and self.options.final_polish:
             # Straddling candidates get the Kanai-Suzuki polish so the
             # in/out decision is made with ~3 %-accurate upper bounds.
-            for cand in active:
-                best = cand.ub
-                for anchor_vertex, offset in anchors:
-                    best = min(
-                        best,
-                        offset + self._ks_distance(anchor_vertex, cand.vertex),
-                    )
-                cand.interval.refine_ub(best)
+            with self.profiler.phase("refinement"):
+                for cand in active:
+                    best = cand.ub
+                    for anchor_vertex, offset in anchors:
+                        best = min(
+                            best,
+                            offset
+                            + self._ks_distance(anchor_vertex, cand.vertex),
+                        )
+                    cand.interval.refine_ub(best)
             active = [c for c in active if c.lb <= radius < c.ub]
         inside = [c for c in candidates if c.ub <= radius]
         return sorted(inside, key=lambda c: (c.ub, c.object_id)), not active

@@ -45,7 +45,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GeodesicError
+from repro.obs.context import active_profiler
 from repro.obs.metrics import get_registry
+from repro.obs.profile import kernel_phase
 
 # ----------------------------------------------------------------------
 # kernel mode
@@ -201,6 +203,13 @@ def _report(settled: int, relaxations: int) -> None:
     reg.counter("geodesic.dijkstra.calls").add(1)
     reg.counter("geodesic.dijkstra.settled").add(settled)
     reg.counter("geodesic.dijkstra.relaxations").add(relaxations)
+    # Under a profiling context the same deltas land on the open
+    # "graph-kernel" phase frame (see repro.obs.profile.kernel_phase).
+    profiler = active_profiler()
+    if profiler.enabled:
+        profiler.count("kernel_calls", 1)
+        profiler.count("settled", settled)
+        profiler.count("relaxations", relaxations)
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +217,7 @@ def _report(settled: int, relaxations: int) -> None:
 # ----------------------------------------------------------------------
 
 
+@kernel_phase
 def dijkstra_csr(
     csr: CSRGraph,
     source: int,
@@ -251,6 +261,7 @@ def dijkstra_csr(
     return out
 
 
+@kernel_phase
 def dijkstra_csr_with_parents(
     csr: CSRGraph,
     source: int,
@@ -323,6 +334,7 @@ class MultiSourceResult:
         return path
 
 
+@kernel_phase
 def multi_source_dijkstra_csr(
     csr: CSRGraph,
     sources: list[tuple[int, float]],
@@ -394,6 +406,7 @@ def multi_source_dijkstra_csr(
     return MultiSourceResult(value=value, raw=raw, origin=origin, parent=parent)
 
 
+@kernel_phase
 def astar_csr(
     csr: CSRGraph,
     source: int,

@@ -17,7 +17,9 @@ from __future__ import annotations
 import heapq
 
 from repro.errors import GeodesicError
+from repro.obs.context import active_profiler
 from repro.obs.metrics import get_registry
+from repro.obs.profile import kernel_phase
 
 Adjacency = list  # list[list[tuple[int, float]]]
 
@@ -28,8 +30,16 @@ def _report(settled: int, relaxations: int) -> None:
     reg.counter("geodesic.dijkstra.calls").add(1)
     reg.counter("geodesic.dijkstra.settled").add(settled)
     reg.counter("geodesic.dijkstra.relaxations").add(relaxations)
+    # Same deltas on the open "graph-kernel" profiler frame, when a
+    # profiling context is active (see repro.obs.profile.kernel_phase).
+    profiler = active_profiler()
+    if profiler.enabled:
+        profiler.count("kernel_calls", 1)
+        profiler.count("settled", settled)
+        profiler.count("relaxations", relaxations)
 
 
+@kernel_phase
 def dijkstra(
     adj: Adjacency,
     source: int,
@@ -82,6 +92,7 @@ def dijkstra(
     return dist
 
 
+@kernel_phase
 def dijkstra_with_parents(
     adj: Adjacency,
     source: int,

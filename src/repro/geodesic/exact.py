@@ -392,6 +392,16 @@ class ExactGeodesic:
                 reg.counter("geodesic.exact.windows_propagated").add(
                     windows_propagated
                 )
+                from repro.obs.context import active_profiler
+
+                profiler = active_profiler()
+                if profiler.enabled:
+                    profiler.count(
+                        "exact_vertices_settled", vertices_settled
+                    )
+                    profiler.count(
+                        "exact_windows_propagated", windows_propagated
+                    )
 
     def distance_to(self, target: int) -> float:
         """Exact surface distance from the source to ``target``."""

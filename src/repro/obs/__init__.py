@@ -1,12 +1,22 @@
-"""Observability layer: tracing spans, metrics, typed trace events
-and per-query trace export.
+"""Observability layer: tracing spans, metrics, scoped contexts,
+phase profiling and per-query trace export.
 
 Everything here is zero-dependency and optional: the engine defaults
-to the shared :data:`~repro.obs.tracing.NULL_TRACER`, whose spans are
-no-ops.  See docs/observability.md for the concepts and the measured
-overhead.
+to the shared :data:`~repro.obs.tracing.NULL_TRACER` and the disabled
+:data:`~repro.obs.profile.NULL_PROFILER`, whose spans/phases are
+no-ops.  Telemetry is scoped through :class:`ObsContext` (registry +
+tracer + profiler); the module-level :func:`get_registry` singleton
+remains as a deprecated fallback.  See docs/observability.md for the
+concepts, the phase catalog and the measured overhead.
 """
 
+from repro.obs.context import (
+    ObsContext,
+    active_profiler,
+    active_registry,
+    current,
+    default_context,
+)
 from repro.obs.events import LevelEvent, QueryTrace
 from repro.obs.export import (
     query_record,
@@ -20,7 +30,16 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    default_registry,
     get_registry,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    PHASES,
+    Profile,
+    Profiler,
+    profile_from_record,
+    profile_record,
 )
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 
@@ -30,11 +49,23 @@ __all__ = [
     "Histogram",
     "LevelEvent",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "ObsContext",
+    "PHASES",
+    "Profile",
+    "Profiler",
     "QueryTrace",
     "Span",
     "Tracer",
+    "active_profiler",
+    "active_registry",
+    "current",
+    "default_context",
+    "default_registry",
     "get_registry",
+    "profile_from_record",
+    "profile_record",
     "query_record",
     "query_trace",
     "read_jsonl",

@@ -1,0 +1,276 @@
+"""Perf-regression attribution between two profile/bench runs.
+
+Usage::
+
+    python -m repro.obs.diff A.jsonl B.jsonl [--json OUT] [--top N]
+
+Both inputs are JSONL files of ``repro.profile/v1`` records (what
+``repro.bench --profile-out`` and ``QueryResult.profile().to_record()``
+emit) or of ``repro.bench/v1`` records (``--metrics-out``).  The tool
+attributes the end-to-end wall-time delta between run A and run B to
+phases and page classes, so a perf PR ships with a machine-readable
+"what got faster/slower and why".
+
+Attribution uses each phase's **self** seconds (exclusive time), so
+the per-phase deltas sum *exactly* to the end-to-end delta — there is
+no "unexplained" residue.  Comparing a run against itself yields an
+all-zero table (the CI self-check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import read_jsonl
+from repro.obs.profile import PROFILE_SCHEMA
+
+DIFF_SCHEMA = "repro.profile_diff/v1"
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def _walk(node: dict):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+def _profile_totals(records: list[dict]) -> dict:
+    """Aggregate a run of ``repro.profile/v1`` records.
+
+    Returns end-to-end seconds, self-seconds per phase, physical
+    reads per page class, and selected counter totals.
+    """
+    total = 0.0
+    phases: dict[str, float] = {}
+    classes: dict[str, float] = {}
+    counters: dict[str, float] = {}
+    for record in records:
+        root = record["root"]
+        total += float(root.get("seconds", 0.0))
+        for node in _walk(root):
+            child_secs = sum(
+                float(c.get("seconds", 0.0)) for c in node.get("children", ())
+            )
+            self_secs = max(0.0, float(node.get("seconds", 0.0)) - child_secs)
+            name = node["name"]
+            phases[name] = phases.get(name, 0.0) + self_secs
+            for key, value in node.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+                if key.startswith("physical."):
+                    cls = key[len("physical."):]
+                    classes[cls] = classes.get(cls, 0) + value
+    return {
+        "kind": "profile",
+        "records": len(records),
+        "total_seconds": total,
+        "phases": phases,
+        "page_classes": classes,
+        "counters": counters,
+    }
+
+
+def _bench_totals(records: list[dict]) -> dict:
+    """Aggregate a run of ``repro.bench/v1`` records.
+
+    Bench points carry total/cpu seconds and per-class page counts
+    but no phase tree, so the attribution falls back to a cpu-vs-io
+    split; page-class deltas still come out per structure.
+    """
+    total = 0.0
+    phases: dict[str, float] = {"cpu": 0.0, "io": 0.0}
+    classes: dict[str, float] = {}
+    counters: dict[str, float] = {}
+    for record in records:
+        t = float(record.get("total", 0.0))
+        cpu = float(record.get("cpu", 0.0))
+        total += t
+        phases["cpu"] += cpu
+        phases["io"] += max(0.0, t - cpu)
+        for key, value in record.items():
+            if key.startswith("pages_") and isinstance(value, (int, float)):
+                cls = key[len("pages_"):]
+                classes[cls] = classes.get(cls, 0) + value
+            if key.startswith("dijkstra_") and isinstance(value, (int, float)):
+                counters[key] = counters.get(key, 0) + value
+    return {
+        "kind": "bench",
+        "records": len(records),
+        "total_seconds": total,
+        "phases": phases,
+        "page_classes": classes,
+        "counters": counters,
+    }
+
+
+def load_run(path: str) -> dict:
+    """Load one JSONL run and aggregate it by schema kind."""
+    records = read_jsonl(path)
+    if not records:
+        raise SystemExit(f"{path}: no records")
+    schemas = {r.get("schema") for r in records}
+    if schemas == {PROFILE_SCHEMA}:
+        return _profile_totals(records)
+    if schemas == {BENCH_SCHEMA}:
+        return _bench_totals(records)
+    raise SystemExit(
+        f"{path}: expected {PROFILE_SCHEMA} or {BENCH_SCHEMA} records, "
+        f"found schemas {sorted(str(s) for s in schemas)}"
+    )
+
+
+def attribute(a: dict, b: dict) -> dict:
+    """Attribute the A→B end-to-end delta to phases and page classes.
+
+    The sum of the per-phase ``delta`` entries equals
+    ``end_to_end.delta`` exactly (self-seconds partition wall time).
+    ``share`` is each phase's fraction of the end-to-end delta.
+    """
+    if a["kind"] != b["kind"]:
+        raise SystemExit(
+            f"cannot compare a {a['kind']} run against a {b['kind']} run"
+        )
+    delta_total = b["total_seconds"] - a["total_seconds"]
+
+    phases = []
+    for name in sorted(set(a["phases"]) | set(b["phases"])):
+        pa = a["phases"].get(name, 0.0)
+        pb = b["phases"].get(name, 0.0)
+        delta = pb - pa
+        phases.append({
+            "phase": name,
+            "a_seconds": pa,
+            "b_seconds": pb,
+            "delta_seconds": delta,
+            "share": delta / delta_total if delta_total else 0.0,
+        })
+    phases.sort(key=lambda p: abs(p["delta_seconds"]), reverse=True)
+
+    classes = []
+    for name in sorted(set(a["page_classes"]) | set(b["page_classes"])):
+        ca = a["page_classes"].get(name, 0)
+        cb = b["page_classes"].get(name, 0)
+        classes.append({
+            "page_class": name,
+            "a_reads": ca,
+            "b_reads": cb,
+            "delta_reads": cb - ca,
+        })
+    classes.sort(key=lambda c: abs(c["delta_reads"]), reverse=True)
+
+    counters = []
+    for name in sorted(set(a["counters"]) | set(b["counters"])):
+        ca = a["counters"].get(name, 0)
+        cb = b["counters"].get(name, 0)
+        counters.append({
+            "counter": name, "a": ca, "b": cb, "delta": cb - ca,
+        })
+
+    return {
+        "schema": DIFF_SCHEMA,
+        "kind": a["kind"],
+        "records": {"a": a["records"], "b": b["records"]},
+        "end_to_end": {
+            "a_seconds": a["total_seconds"],
+            "b_seconds": b["total_seconds"],
+            "delta_seconds": delta_total,
+        },
+        "phases": phases,
+        "page_classes": classes,
+        "counters": counters,
+    }
+
+
+def _fmt_share(share: float, delta_total: float) -> str:
+    if delta_total == 0.0:
+        return "-"
+    return f"{share:+8.1%}"
+
+
+def render_diff(report: dict, top: int = 0) -> str:
+    """Human-readable attribution tables."""
+    e2e = report["end_to_end"]
+    delta = e2e["delta_seconds"]
+    rel = delta / e2e["a_seconds"] if e2e["a_seconds"] else 0.0
+    lines = [
+        f"run A: {report['records']['a']} {report['kind']} records, "
+        f"{e2e['a_seconds']:.6f} s",
+        f"run B: {report['records']['b']} {report['kind']} records, "
+        f"{e2e['b_seconds']:.6f} s",
+        f"end-to-end delta: {delta:+.6f} s ({rel:+.1%})",
+        "",
+        f"{'phase':<20} {'A (s)':>12} {'B (s)':>12} "
+        f"{'delta (s)':>12} {'share':>8}",
+    ]
+    phases = report["phases"][:top] if top else report["phases"]
+    for p in phases:
+        lines.append(
+            f"{p['phase']:<20} {p['a_seconds']:>12.6f} "
+            f"{p['b_seconds']:>12.6f} {p['delta_seconds']:>+12.6f} "
+            f"{_fmt_share(p['share'], delta):>8}"
+        )
+    check = sum(p["delta_seconds"] for p in report["phases"])
+    lines.append(
+        f"{'TOTAL':<20} {e2e['a_seconds']:>12.6f} {e2e['b_seconds']:>12.6f} "
+        f"{check:>+12.6f} {_fmt_share(1.0 if delta else 0.0, delta):>8}"
+    )
+    if report["page_classes"]:
+        lines += [
+            "",
+            f"{'page class':<20} {'A reads':>12} {'B reads':>12} "
+            f"{'delta':>12}",
+        ]
+        for c in report["page_classes"]:
+            lines.append(
+                f"{c['page_class']:<20} {c['a_reads']:>12g} "
+                f"{c['b_reads']:>12g} {c['delta_reads']:>+12g}"
+            )
+    interesting = [c for c in report["counters"] if c["delta"]]
+    if interesting:
+        lines += [
+            "",
+            f"{'counter':<28} {'A':>14} {'B':>14} {'delta':>14}",
+        ]
+        for c in interesting:
+            lines.append(
+                f"{c['counter']:<28} {c['a']:>14g} {c['b']:>14g} "
+                f"{c['delta']:>+14g}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description=(
+            "Attribute the end-to-end wall-time delta between two "
+            "profile/bench JSONL runs to phases and page classes."
+        ),
+    )
+    parser.add_argument("run_a", help="baseline JSONL (run A)")
+    parser.add_argument("run_b", help="candidate JSONL (run B)")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the attribution report as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="show only the N largest phase contributions (0 = all)",
+    )
+    args = parser.parse_args(argv)
+
+    report = attribute(load_run(args.run_a), load_run(args.run_b))
+    print(render_diff(report, top=args.top))
+    if args.json == "-":
+        print(json.dumps(report, indent=2))
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

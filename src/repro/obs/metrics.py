@@ -7,11 +7,14 @@ settled, edges relaxed), gauges are last-written values (structure
 sizes), histograms are fixed-bucket distributions with an interpolated
 quantile readout (per-query latencies).
 
-A module-level default registry (:func:`get_registry`) lets hot
-kernels report without any plumbing; instruments are created on first
-use.  Incrementing a counter is one dict hit + integer add, cheap
-enough to stay always-on (kernels additionally batch their counts and
-report once per call, not once per relaxation).
+Registries are scoped through :class:`~repro.obs.context.ObsContext`:
+hot kernels resolve the *active* context's registry via the
+(deprecated but still supported) :func:`get_registry`, which falls
+back to the legacy module-level default when no context is active.
+Instruments are created on first use.  Incrementing a counter is one
+dict hit + integer add, cheap enough to stay always-on (kernels
+additionally batch their counts and report once per call, not once
+per relaxation).
 """
 
 from __future__ import annotations
@@ -122,6 +125,11 @@ class Histogram:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        # The extremes are tracked exactly — no bucket interpolation.
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
         rank = q * self.count
         cumulative = 0
         for i, bucket_count in enumerate(self.counts):
@@ -133,6 +141,27 @@ class Histogram:
                 estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
                 return max(self._min, min(self._max, estimate))
         return self._max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket bounds (child contexts create their
+        instruments from the same call sites, so bounds always line
+        up in practice).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r}: bucket bounds differ"
+            )
+        with self._lock:
+            for i, n in enumerate(other.counts):
+                self.counts[i] += n
+            self.count += other.count
+            self.total += other.total
+            if other._min < self._min:
+                self._min = other._min
+            if other._max > self._max:
+                self._max = other._max
 
     def reset(self) -> None:
         with self._lock:
@@ -193,6 +222,20 @@ class MetricsRegistry:
             }
         return out
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add, gauges are last-write-wins, histograms merge
+        bucket-wise.  This is how a batch :class:`ObsContext` absorbs
+        its per-query children.
+        """
+        for name, c in list(other._counters.items()):
+            self.counter(name).add(c.value)
+        for name, g in list(other._gauges.items()):
+            self.gauge(name).set(g.value)
+        for name, h in list(other._histograms.items()):
+            self.histogram(name, h.bounds).merge(h)
+
     def reset(self) -> None:
         """Zero every instrument (keeps registrations)."""
         for group in (self._counters, self._gauges, self._histograms):
@@ -203,6 +246,23 @@ class MetricsRegistry:
 _default = MetricsRegistry()
 
 
-def get_registry() -> MetricsRegistry:
-    """The process-wide default registry."""
+def default_registry() -> MetricsRegistry:
+    """The legacy process-wide registry — the default
+    :class:`~repro.obs.context.ObsContext` wraps exactly this object."""
     return _default
+
+
+def get_registry() -> MetricsRegistry:
+    """Registry of the **active** observability context.
+
+    .. deprecated::
+        Prefer carrying an :class:`~repro.obs.context.ObsContext` (or
+        calling :func:`repro.obs.context.active_registry`).  With no
+        context active this still returns the same process-wide
+        registry it always did, so existing callers are unaffected;
+        inside ``with ctx.activate():`` it resolves to that context's
+        registry.
+    """
+    from repro.obs.context import active_registry
+
+    return active_registry()

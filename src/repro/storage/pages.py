@@ -32,6 +32,7 @@ import zlib
 from collections import OrderedDict
 
 from repro.errors import PageCorruptionError, PageReadError, StorageError
+from repro.obs.context import active_profiler
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import NOOP_SPAN, NULL_TRACER
 from repro.storage.faults import (
@@ -275,12 +276,21 @@ class PageManager:
         ``logical_reads == hits + physical_reads`` holds).
         """
         page_class = self._page_class.get(page_id, PAGE_CLASS_OTHER)
+        profiler = active_profiler()
         with self._lock:
             cached = self._buffer.get(self._owner, page_id)
             if cached is not None:
                 self.stats.record_read(page_class, physical=False)
+                profiler.count("logical_reads", 1)
                 return cached
-            data = self._fetch_verified(page_id)
+            # A buffer miss is the query's page-I/O moment: the
+            # physical fetch (plus CRC/retry machinery) is billed to
+            # the "page-io" phase, with per-class read attribution.
+            with profiler.phase("page-io"):
+                data = self._fetch_verified(page_id)
+                profiler.count("logical_reads", 1)
+                profiler.count("physical_reads", 1)
+                profiler.count("physical." + page_class, 1)
             self.stats.record_read(page_class, physical=True)
             self._buffer.put(self._owner, page_id, data)
             return data

@@ -13,7 +13,7 @@ import pytest
 from repro.core.batch import shared_bound_cache
 from repro.core.engine import SurfaceKNNEngine
 from repro.geodesic.csr import set_kernel_mode
-from repro.obs.metrics import get_registry
+from repro.obs.context import ObsContext
 from repro.terrain.mesh import TriangleMesh
 from repro.testkit.generators import standard_engine, standard_mesh
 
@@ -22,20 +22,36 @@ from repro.testkit.generators import standard_engine, standard_mesh
 def _reset_shared_state():
     """Process-wide state must not leak between test modules.
 
-    Guards the three pieces of genuinely global state: the shared
-    batch bound cache, the geodesic kernel mode, and the metrics
-    registry.  Reset runs before AND after each module, so a module
-    that crashes mid-test cannot poison its successors either way.
+    Guards the two pieces of genuinely global state: the shared batch
+    bound cache and the geodesic kernel mode.  Reset runs before AND
+    after each module, so a module that crashes mid-test cannot
+    poison its successors either way.
+
+    The metrics registry is deliberately NOT reset here: tests that
+    read counters run inside a scoped :class:`repro.obs.ObsContext`
+    (see the ``obs_context`` fixture) and never depend on the global
+    registry's contents.
     """
 
     def reset():
         shared_bound_cache().clear()
         set_kernel_mode("csr")
-        get_registry().reset()
 
     reset()
     yield
     reset()
+
+
+@pytest.fixture
+def obs_context():
+    """A fresh activated :class:`ObsContext` (metrics only).
+
+    Counter assertions read ``ctx.registry`` — isolated from every
+    other test and from the process default registry, no global reset
+    needed."""
+    ctx = ObsContext("test")
+    with ctx.activate():
+        yield ctx
 
 
 @pytest.fixture(scope="session")

@@ -315,10 +315,8 @@ class TestDispatchers:
 
 
 class TestCounters:
-    def test_kernels_report_shared_counters(self):
-        from repro.obs.metrics import get_registry
-
-        reg = get_registry()
+    def test_kernels_report_shared_counters(self, obs_context):
+        reg = obs_context.registry
         calls = reg.counter("geodesic.dijkstra.calls")
         settled = reg.counter("geodesic.dijkstra.settled")
         before = (calls.value, settled.value)

@@ -128,6 +128,30 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram("bad", buckets=(2.0, 1.0))
 
+    def test_histogram_quantile_exact_extremes(self):
+        """q=0.0 / q=1.0 return the exact observed min/max, not a
+        bucket-interpolated estimate."""
+        h = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for v in (0.3, 1.7, 3.9):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.3
+        assert h.quantile(1.0) == 3.9
+        # Interior quantiles stay interpolated within their bucket.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+
+    def test_histogram_merge(self):
+        a = Histogram("t", buckets=(1.0, 2.0))
+        b = Histogram("t", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.quantile(0.0) == 0.5
+        assert a.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            a.merge(Histogram("t", buckets=(3.0,)))
+
     def test_default_registry_is_shared(self):
         assert get_registry() is get_registry()
 
@@ -248,8 +272,8 @@ class TestTracedQuery:
         assert result.root_span is None
         assert query_trace(result).spans is None
 
-    def test_kernel_counters_advance(self, small_engine):
-        reg = get_registry()
+    def test_kernel_counters_advance(self, small_engine, obs_context):
+        reg = obs_context.registry
         before = reg.counter("geodesic.dijkstra.settled").value
         small_engine.query(small_engine.snap(600.0, 900.0), 2)
         assert reg.counter("geodesic.dijkstra.settled").value > before

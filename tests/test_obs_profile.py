@@ -1,0 +1,415 @@
+"""Phase profiler, scoped ObsContexts and perf-diff attribution.
+
+Pins the PR's acceptance invariants:
+
+* a profiled query is bit-identical to an unprofiled one (same ids,
+  intervals and logical reads) and profiling is off by default;
+* phase self-seconds partition wall time — they sum to the root's
+  total exactly, which is what lets ``repro.obs.diff`` attribute an
+  end-to-end delta with no unexplained residue;
+* profile counter totals reconcile with ``QueryMetrics`` (logical /
+  physical reads, per-class reads) and with the registry's kernel
+  counters (settled / relaxations);
+* ObsContexts isolate: two engines profiling concurrently never see
+  each other's counters, and nobody resets a global to get there.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.batch import BatchQuery, BatchQueryExecutor
+from repro.core.engine import SurfaceKNNEngine
+from repro.obs.context import ObsContext, active_profiler, current
+from repro.obs.diff import attribute, load_run
+from repro.obs.diff import main as diff_main
+from repro.obs.export import write_jsonl
+from repro.obs.profile import (
+    NOOP_PHASE,
+    NULL_PROFILER,
+    PHASES,
+    PROFILE_SCHEMA,
+    PhaseNode,
+    Profile,
+    Profiler,
+    profile_from_record,
+    profile_record,
+)
+
+
+# ----------------------------------------------------------------------
+# Profiler unit behaviour
+# ----------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_phases_aggregate_by_path(self):
+        prof = Profiler()
+        with prof.phase("query"):
+            for _ in range(3):
+                with prof.phase("graph-kernel"):
+                    pass
+            with prof.phase("page-io"):
+                with prof.phase("graph-kernel"):
+                    pass
+        (profile,) = prof.take()
+        root = profile.root
+        assert root.name == "query" and root.calls == 1
+        assert root.children["graph-kernel"].calls == 3
+        # Same phase under a different parent is a different node.
+        assert root.children["page-io"].children["graph-kernel"].calls == 1
+
+    def test_reentrant_phase_does_not_double_bill(self):
+        """A kernel calling another kernel (shortest_path →
+        dijkstra_with_parents) nests graph-kernel inside graph-kernel;
+        the aggregated self-seconds must still equal the outer
+        frame's wall time, not twice it."""
+        prof = Profiler()
+        with prof.phase("query"):
+            with prof.phase("graph-kernel") as outer:
+                with prof.phase("graph-kernel") as inner:
+                    pass
+        (profile,) = prof.take()
+        assert inner is outer.children["graph-kernel"]
+        by_phase = profile.self_seconds_by_phase()
+        assert by_phase["graph-kernel"] == pytest.approx(
+            outer.seconds, abs=1e-12
+        )
+        assert sum(by_phase.values()) == pytest.approx(
+            profile.total_seconds, abs=1e-12
+        )
+
+    def test_self_seconds_partition_wall_time(self):
+        prof = Profiler()
+        with prof.phase("query"):
+            with prof.phase("interval-ranking"):
+                with prof.phase("graph-kernel"):
+                    pass
+            with prof.phase("refinement"):
+                pass
+        (profile,) = prof.take()
+        by_phase = profile.self_seconds_by_phase()
+        assert sum(by_phase.values()) == pytest.approx(
+            profile.total_seconds, abs=1e-12
+        )
+
+    def test_count_attributes_to_innermost(self):
+        prof = Profiler()
+        prof.count("orphan", 5)  # no open phase: silently dropped
+        with prof.phase("query"):
+            prof.count("a", 1)
+            with prof.phase("graph-kernel"):
+                prof.count("a", 2)
+        (profile,) = prof.take()
+        assert profile.root.counters == {"a": 1}
+        assert profile.root.children["graph-kernel"].counters == {"a": 2}
+        assert profile.counter("a") == 3
+        assert profile.counter("orphan") == 0
+
+    def test_disabled_profiler_is_noop(self):
+        assert NULL_PROFILER.phase("query") is NOOP_PHASE
+        NULL_PROFILER.count("settled", 9)
+        with NULL_PROFILER.phase("query") as node:
+            assert node is None
+        assert NULL_PROFILER.finished() == []
+
+    def test_exception_pops_frame_and_propagates(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with prof.phase("query"):
+                raise RuntimeError("boom")
+        assert prof.current() is None
+        (profile,) = prof.take()  # the root still finished
+        assert profile.root.calls == 1
+
+    def test_record_round_trip(self):
+        prof = Profiler()
+        with prof.phase("query"):
+            prof.count("settled", 7)
+            with prof.phase("page-io"):
+                prof.count("physical.dmtm", 2)
+        (profile,) = prof.take()
+        record = profile_record(profile, label="t/k=3")
+        assert record["schema"] == PROFILE_SCHEMA
+        again = profile_from_record(json.loads(json.dumps(record)))
+        assert again.label == "t/k=3"
+        assert again.total_seconds == profile.total_seconds
+        assert again.total_counters() == profile.total_counters()
+        assert again.self_seconds_by_phase() == (
+            profile.self_seconds_by_phase()
+        )
+        with pytest.raises(ValueError):
+            profile_from_record({"schema": "repro.query_trace/v1"})
+
+
+# ----------------------------------------------------------------------
+# End-to-end: profiled queries
+# ----------------------------------------------------------------------
+
+
+class TestQueryProfile:
+    @pytest.fixture()
+    def profiled(self, small_engine):
+        ctx = ObsContext("t", profiling=True)
+        qv = small_engine.snap(700.0, 700.0)
+        result = small_engine.query(qv, 3, step_length=2, obs=ctx)
+        return result, ctx
+
+    def test_profiling_off_by_default(self, small_engine):
+        result = small_engine.query(small_engine.snap(700.0, 700.0), 3)
+        assert result.profile() is None
+
+    def test_profiled_query_is_bit_identical(self, small_engine):
+        qv = small_engine.snap(600.0, 900.0)
+        plain = small_engine.query(qv, 3, step_length=2)
+        ctx = ObsContext("t", profiling=True)
+        profiled = small_engine.query(qv, 3, step_length=2, obs=ctx)
+        assert profiled.object_ids == plain.object_ids
+        assert profiled.intervals == plain.intervals
+        assert profiled.metrics.logical_reads == plain.metrics.logical_reads
+        assert profiled.metrics.pages_accessed == (
+            plain.metrics.pages_accessed
+        )
+
+    def test_phase_names_come_from_catalog(self, profiled):
+        result, _ctx = profiled
+        profile = result.profile()
+        names = {node.name for node in profile.root.walk()}
+        assert names <= set(PHASES)
+        assert profile.root.name == "query"
+        assert "interval-ranking" in names
+
+    def test_tree_sum_equals_root_time(self, profiled):
+        result, _ctx = profiled
+        profile = result.profile()
+        by_phase = profile.self_seconds_by_phase()
+        assert sum(by_phase.values()) == pytest.approx(
+            profile.total_seconds, abs=1e-9
+        )
+        for node in profile.root.walk():
+            assert node.child_seconds <= node.seconds + 1e-9
+
+    def test_counters_reconcile_with_query_metrics(self, profiled):
+        result, _ctx = profiled
+        profile = result.profile()
+        totals = profile.total_counters()
+        m = result.metrics
+        assert totals.get("logical_reads", 0) == m.logical_reads
+        assert totals.get("physical_reads", 0) == m.pages_accessed
+        by_class = {
+            key[len("physical."):]: value
+            for key, value in totals.items()
+            if key.startswith("physical.")
+        }
+        assert by_class == m.reads_by_class
+
+    def test_counters_reconcile_with_registry(self, small_engine):
+        ctx = ObsContext("t", profiling=True)
+        calls = ctx.registry.counter("geodesic.dijkstra.calls")
+        settled = ctx.registry.counter("geodesic.dijkstra.settled")
+        relax = ctx.registry.counter("geodesic.dijkstra.relaxations")
+        before = (calls.value, settled.value, relax.value)
+        result = small_engine.query(
+            small_engine.snap(700.0, 700.0), 3, step_length=2, obs=ctx
+        )
+        totals = result.profile().total_counters()
+        assert totals.get("kernel_calls", 0) == calls.value - before[0]
+        assert totals.get("settled", 0) == settled.value - before[1]
+        assert totals.get("relaxations", 0) == relax.value - before[2]
+
+    def test_profiler_collects_finished_roots(self, small_engine):
+        ctx = ObsContext("t", profiling=True)
+        for k in (2, 3):
+            small_engine.query(
+                small_engine.snap(700.0, 700.0), k, step_length=2, obs=ctx
+            )
+        profiles = ctx.profiler.take()
+        assert len(profiles) == 2
+        assert ctx.profiler.take() == []  # drained
+
+    def test_render_tree_is_presentable(self, profiled):
+        result, _ctx = profiled
+        text = result.profile().render_tree()
+        assert "profile: mr3" in text
+        assert "query" in text and "100.0%" in text
+        assert "interval-ranking" in text
+
+
+# ----------------------------------------------------------------------
+# ObsContext scoping
+# ----------------------------------------------------------------------
+
+
+class TestObsContext:
+    def test_activation_scopes_current(self):
+        outer = ObsContext("outer")
+        inner = ObsContext("inner")
+        base = current()
+        with outer.activate():
+            assert current() is outer
+            with inner.activate():
+                assert current() is inner
+            assert current() is outer
+        assert current() is base
+
+    def test_default_profiler_is_disabled(self):
+        assert not current().profiler.enabled
+        assert not active_profiler().enabled
+
+    def test_child_inherits_enablement_and_absorb_merges(self):
+        parent = ObsContext("p", profiling=True)
+        child = parent.child("q0")
+        assert child.profiler.enabled
+        assert child.registry is not parent.registry
+        child.registry.counter("settled").add(4)
+        with child.profiler.phase("query"):
+            pass
+        parent.absorb(child)
+        assert parent.registry.counter("settled").value == 4
+        assert len(parent.profiler.finished()) == 1
+
+    def test_two_engines_profile_concurrently_without_crosstalk(
+        self, small_engine, ep_engine
+    ):
+        """The isolation acceptance test: two engines, two contexts,
+        concurrent queries — disjoint telemetry, no global resets."""
+        ctx_a = ObsContext("a", profiling=True)
+        ctx_b = ObsContext("b", profiling=True)
+        default_calls = current().registry.counter(
+            "geodesic.dijkstra.calls"
+        )
+        default_before = default_calls.value
+        errors: list[BaseException] = []
+
+        def run(engine, ctx, n):
+            try:
+                qv = engine.snap(700.0, 700.0)
+                for _ in range(n):
+                    engine.query(qv, 2, step_length=2, obs=ctx)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(small_engine, ctx_a, 2)),
+            threading.Thread(target=run, args=(ep_engine, ctx_b, 3)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(ctx_a.profiler.finished()) == 2
+        assert len(ctx_b.profiler.finished()) == 3
+        for ctx in (ctx_a, ctx_b):
+            assert ctx.registry.counter("geodesic.dijkstra.calls").value > 0
+        # Nothing leaked into the process default registry.
+        assert default_calls.value == default_before
+
+    def test_batch_executor_merges_child_contexts(self, bh_mesh):
+        engine = SurfaceKNNEngine(bh_mesh, density=10.0, seed=3)
+        ctx = ObsContext("batch", profiling=True)
+        qv = engine.snap(700.0, 700.0)
+        specs = [BatchQuery(vertex=qv, k=k, step_length=2) for k in (2, 3, 4)]
+        report = BatchQueryExecutor(engine, workers=2, obs=ctx).run(specs)
+        assert not report.errors
+        assert len(ctx.profiler.finished()) == len(specs)
+        assert ctx.registry.counter("geodesic.dijkstra.calls").value > 0
+
+
+# ----------------------------------------------------------------------
+# obs.diff attribution
+# ----------------------------------------------------------------------
+
+
+def _synthetic_record(query_s, kernel_s, io_s, reads_dmtm):
+    root = PhaseNode("query")
+    root.calls = 1
+    root.seconds = query_s
+    kernel = PhaseNode("graph-kernel")
+    kernel.calls = 4
+    kernel.seconds = kernel_s
+    kernel.counters = {"settled": 100, "relaxations": 400}
+    io = PhaseNode("page-io")
+    io.calls = reads_dmtm
+    io.seconds = io_s
+    io.counters = {
+        "physical_reads": reads_dmtm, "physical.dmtm": reads_dmtm,
+    }
+    root.children = {"graph-kernel": kernel, "page-io": io}
+    return Profile(root, label="synthetic").to_record()
+
+
+class TestDiff:
+    def test_self_diff_is_all_zero(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, [_synthetic_record(1.0, 0.4, 0.1, 20)])
+        report = attribute(load_run(str(path)), load_run(str(path)))
+        assert report["end_to_end"]["delta_seconds"] == 0.0
+        assert all(p["delta_seconds"] == 0.0 for p in report["phases"])
+        assert all(c["delta_reads"] == 0 for c in report["page_classes"])
+
+    def test_phase_deltas_sum_to_end_to_end_delta(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_jsonl(a, [
+            _synthetic_record(1.0, 0.4, 0.1, 20),
+            _synthetic_record(2.0, 1.0, 0.5, 30),
+        ])
+        write_jsonl(b, [
+            _synthetic_record(1.5, 0.9, 0.1, 20),
+            _synthetic_record(2.0, 1.0, 0.7, 60),
+        ])
+        report = attribute(load_run(str(a)), load_run(str(b)))
+        delta = report["end_to_end"]["delta_seconds"]
+        assert delta == pytest.approx(0.5)
+        assert sum(p["delta_seconds"] for p in report["phases"]) == (
+            pytest.approx(delta)
+        )
+        assert sum(p["share"] for p in report["phases"]) == pytest.approx(1.0)
+        # Sorted by |delta|: the kernel regression leads the table.
+        assert report["phases"][0]["phase"] == "graph-kernel"
+        (dmtm,) = report["page_classes"]
+        assert dmtm["page_class"] == "dmtm"
+        assert dmtm["delta_reads"] == 30
+
+    def test_rejects_mixed_or_unknown_schemas(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        write_jsonl(bad, [
+            _synthetic_record(1.0, 0.4, 0.1, 5),
+            {"schema": "repro.bench/v1", "total": 1.0, "cpu": 0.5},
+        ])
+        with pytest.raises(SystemExit):
+            load_run(str(bad))
+        empty = tmp_path / "empty.jsonl"
+        write_jsonl(empty, [])
+        with pytest.raises(SystemExit):
+            load_run(str(empty))
+
+    def test_bench_records_diff_via_cpu_io_split(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        record = {
+            "schema": "repro.bench/v1", "total": 2.0, "cpu": 1.5,
+            "pages_dmtm": 10, "dijkstra_settled": 100,
+        }
+        write_jsonl(a, [record])
+        write_jsonl(b, [dict(record, total=3.0, cpu=1.5, pages_dmtm=25)])
+        report = attribute(load_run(str(a)), load_run(str(b)))
+        assert report["kind"] == "bench"
+        phases = {p["phase"]: p["delta_seconds"] for p in report["phases"]}
+        assert phases == {"cpu": pytest.approx(0.0), "io": pytest.approx(1.0)}
+
+    def test_cli_writes_json_report(self, tmp_path, capsys):
+        run = tmp_path / "run.jsonl"
+        out = tmp_path / "report.json"
+        write_jsonl(run, [_synthetic_record(1.0, 0.4, 0.1, 20)])
+        assert diff_main([str(run), str(run), "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "end-to-end delta: +0.000000 s" in text
+        assert "TOTAL" in text
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.profile_diff/v1"
+        assert report["end_to_end"]["delta_seconds"] == 0.0
