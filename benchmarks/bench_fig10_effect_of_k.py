@@ -50,3 +50,18 @@ def test_fig10_costs_grow_with_k(bh_engine):
     small = bh_engine.query(qv, 3, step_length=2).metrics
     large = bh_engine.query(qv, 15, step_length=2).metrics
     assert large.pages_accessed >= small.pages_accessed
+
+
+def test_mr3_query_with_landmarks(benchmark, bh_landmark_engine, bench_query):
+    benchmark(
+        lambda: bh_landmark_engine.query(bench_query, 9, step_length=2)
+    )
+
+
+def test_landmarks_preserve_answers(bh_engine, bh_landmark_engine, bench_query):
+    # The landmark engine is a clone of the session-cached base, so
+    # this differential costs two queries, not two engine builds.
+    off = bh_engine.query(bench_query, 9, step_length=2)
+    on = bh_landmark_engine.query(bench_query, 9, step_length=2)
+    assert sorted(off.object_ids) == sorted(on.object_ids)
+    assert off.degraded == on.degraded

@@ -25,6 +25,19 @@ def ep_engine():
 
 
 @pytest.fixture(scope="session")
+def bh_landmark_engine(bh_engine):
+    """The BH engine with landmark tables attached.
+
+    Requesting ``bh_engine`` first guarantees the base engine is in
+    the session cache, so this fixture only adds the landmark index —
+    ``standard_engine`` clones the cached engine rather than building
+    DMTM/MSDN a second time (pinned by the ``landmark.build``
+    regression test in tests/test_landmarks.py).
+    """
+    return standard_engine("BH", 25, density=6.0, seed=1, landmarks=8)
+
+
+@pytest.fixture(scope="session")
 def bench_query(bh_engine):
     return query_vertices(bh_engine.mesh, 1, seed=9)[0]
 

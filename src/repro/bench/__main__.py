@@ -1,14 +1,16 @@
 """Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
 
 Figures: fig7, fig8, fig9, fig10, fig11, related, batch, faults,
-kernels, all.  The ``batch`` mode takes ``--batch N --workers W`` and
-reports throughput / latency percentiles of the concurrent executor
-against the sequential baseline.  The ``faults`` mode sweeps injected
-storage fault rates and per-query page budgets, reporting
-retry/corruption counters and degraded-answer rates (``--workers``
-applies here too).  The ``kernels`` mode compares the dict reference
-kernels against the flat CSR kernels (micro + end-to-end) and writes
-the ``repro.bench/v1`` document to ``--out`` (default
+kernels, landmarks, all.  The ``batch`` mode takes ``--batch N
+--workers W`` and reports throughput / latency percentiles of the
+concurrent executor against the sequential baseline.  The ``faults``
+mode sweeps injected storage fault rates and per-query page budgets,
+reporting retry/corruption counters and degraded-answer rates
+(``--workers`` applies here too).  The ``kernels`` mode compares the
+dict reference kernels against the flat CSR kernels (micro +
+end-to-end) and the ``landmarks`` mode runs the fig10 k-sweep with
+ALT landmark pruning on vs off; both merge their series into the
+``repro.bench/v1`` document at ``--out`` (default
 ``BENCH_GEODESIC.json``).  ``--profile-out PATH`` additionally runs
 every query under a profiling context and writes one
 ``repro.profile/v1`` record per query — two such files diff with
@@ -33,6 +35,7 @@ _FIGURES = {
     "batch": experiments.batch,
     "faults": experiments.faults,
     "kernels": experiments.kernels,
+    "landmarks": experiments.landmarks,
 }
 
 
@@ -65,8 +68,8 @@ def main(argv=None) -> int:
         "--out",
         metavar="PATH",
         default="BENCH_GEODESIC.json",
-        help="kernels mode: where to write the repro.bench/v1 JSON "
-        "document (default BENCH_GEODESIC.json)",
+        help="kernels/landmarks modes: where to write (or merge into) "
+        "the repro.bench/v1 JSON document (default BENCH_GEODESIC.json)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -111,7 +114,7 @@ def main(argv=None) -> int:
                 kwargs["batch"] = args.batch
         elif name == "faults":
             kwargs["workers"] = args.workers
-        elif name == "kernels":
+        elif name in ("kernels", "landmarks"):
             kwargs["out"] = args.out
         if obs is not None:
             with obs.activate():

@@ -103,6 +103,17 @@ class SurfaceKNNEngine:
     retry_policy:
         :class:`repro.storage.RetryPolicy` governing fault retries
         (default: 4 attempts, exponential simulated backoff).
+    landmarks:
+        Optional ALT-style landmark lower bounds
+        (:mod:`repro.geodesic.landmarks`).  An ``int`` builds a
+        :class:`~repro.geodesic.landmarks.LandmarkIndex` with that
+        many farthest-point landmarks (tables persisted through the
+        shared bound cache, so warm runs skip recomputation); a
+        prebuilt index is used as-is; ``None`` (default) keeps every
+        query bit-identical to a landmark-free engine.  With landmarks
+        on, the returned neighbour sets and degraded/error reporting
+        are unchanged — only the intervals may tighten and less work
+        is done (see docs/performance.md, "Landmark bounds").
     """
 
     def __init__(
@@ -123,6 +134,7 @@ class SurfaceKNNEngine:
         buffer_pool=None,
         fault_injector=None,
         retry_policy=None,
+        landmarks=None,
     ):
         self.mesh = mesh
         self.obs = obs
@@ -156,6 +168,38 @@ class SurfaceKNNEngine:
             )
             self.dmtm.attach_storage(self.pages)
             self.msdn.attach_storage(self.pages)
+        self.landmarks = self._resolve_landmarks(landmarks)
+
+    def _resolve_landmarks(self, landmarks):
+        if landmarks is None or isinstance(landmarks, bool):
+            if landmarks:
+                raise QueryError("landmarks must be an int count or a LandmarkIndex")
+            return None
+        if isinstance(landmarks, int):
+            from repro.core.batch import shared_bound_cache
+            from repro.geodesic.landmarks import LandmarkIndex
+
+            return LandmarkIndex.build(
+                self.mesh, count=landmarks, cache=shared_bound_cache()
+            )
+        return landmarks
+
+    def with_landmarks(self, landmarks) -> "SurfaceKNNEngine":
+        """A shallow clone of this engine with landmark bounds
+        attached (or detached, with ``None``).
+
+        Mesh, DMTM, MSDN, object set, storage and stats are *shared*
+        with the original — only the landmark index differs — so
+        attaching landmarks to an already-built engine costs just the
+        index build (cache-hit-free on the second call thanks to the
+        shared bound cache).  Metrics consumers take per-query deltas,
+        which the shared ``stats`` keeps correct.
+        """
+        import copy
+
+        clone = copy.copy(self)
+        clone.landmarks = clone._resolve_landmarks(landmarks)
+        return clone
 
     @classmethod
     def from_dem(cls, dem, **kwargs) -> "SurfaceKNNEngine":
@@ -273,6 +317,7 @@ class SurfaceKNNEngine:
                         tracer=tracer,
                         bound_cache=bound_cache,
                         profiler=profiler,
+                        landmarks=self.landmarks,
                     )
                     with tracer.span(
                         "engine.query", method=method, k=k,
@@ -358,6 +403,7 @@ class SurfaceKNNEngine:
                 disk=self.disk,
                 tracer=self.tracer,
                 profiler=profiler,
+                landmarks=self.landmarks,
             )
             with profiler.phase("query") as phase_root:
                 result = processor.query(query, k, budget=budget)
@@ -413,6 +459,7 @@ class SurfaceKNNEngine:
             profiler=(
                 self.obs.profiler if self.obs is not None else None
             ),
+            landmarks=self.landmarks,
         )
         q_xy = self.mesh.vertices[query_vertex][:2]
         with self.tracer.span(

@@ -139,6 +139,7 @@ class MR3QueryProcessor:
         tracer=None,
         bound_cache=None,
         profiler=None,
+        landmarks=None,
     ):
         self.mesh = mesh
         self.objects = objects
@@ -148,7 +149,7 @@ class MR3QueryProcessor:
         self.ranker = DistanceRanker(
             mesh, dmtm, msdn, schedule, options, stats=stats,
             tracer=self.tracer, bound_cache=bound_cache,
-            profiler=self.profiler,
+            profiler=self.profiler, landmarks=landmarks,
         )
         self.stats = stats
         self.disk = disk if disk is not None else DiskModel()

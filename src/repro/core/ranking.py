@@ -33,6 +33,7 @@ from repro.core.regions import integrate_io_regions
 from repro.errors import QueryError
 from repro.geometry.ellipse import EllipseRegion
 from repro.geometry.primitives import BoundingBox
+from repro.obs.context import active_registry
 from repro.obs.events import LevelEvent
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracing import NULL_TRACER
@@ -103,11 +104,20 @@ class DistanceRanker:
         tracer=None,
         bound_cache=None,
         profiler=None,
+        landmarks=None,
     ):
         self.mesh = mesh
         self.dmtm = dmtm
         self.msdn = msdn
         self.schedule = schedule
+        # Optional repro.geodesic.landmarks.LandmarkIndex — a third
+        # lower-bound source alongside Euclidean and MSDN.  Its exact
+        # -table triangle-inequality bounds fold into every
+        # candidate's interval up front (lower bounds only tighten,
+        # so intervals stay sound) and prune full MSDN passes for
+        # candidates the landmark bound already rejects.  None keeps
+        # the loop bit-identical to the landmark-free ranker.
+        self.landmarks = landmarks
         self.options = options if options is not None else RankerOptions()
         # Shared IOStatistics: with it, every trace event carries the
         # logical/physical page delta attributed to its level.
@@ -184,8 +194,23 @@ class DistanceRanker:
             euclid = float(np.linalg.norm(q_pos - np.asarray(cand.position)))
             cand.interval.refine_lb(euclid)
 
-        active = list(candidates)
+        landmark_lbs = None
         kth_ub_estimate = float("inf")
+        if self.landmarks is not None:
+            landmark_lbs = self._apply_landmark_bounds(anchors, candidates)
+            # Landmark concatenation distances are genuine surface
+            # paths, so the k-th smallest is a valid rejection
+            # threshold from level 0 — before the DMTM has produced
+            # any finite upper bound.  It only gates *work-skipping*
+            # (dummy tests and landmark prunes), never the intervals
+            # themselves, and is replaced by the classified kth_ub
+            # after the first level.
+            with self.profiler.phase("landmark-bounds"):
+                kth_ub_estimate = self.landmarks.kth_upper_bound(
+                    anchors, [c.vertex for c in candidates], k
+                )
+
+        active = list(candidates)
         iterations = 0
         converged = False
         exhausted = False
@@ -213,7 +238,8 @@ class DistanceRanker:
                     with self.profiler.phase("bound-composition"):
                         self._update_upper_bounds(anchors, active, plan, res_u)
                         self._update_lower_bounds(
-                            q_pos, active, plan, res_l, kth_ub_estimate
+                            q_pos, active, plan, res_l, kth_ub_estimate,
+                            landmark_lbs=landmark_lbs,
                         )
                     verdict = classify_candidates(candidates, k)
                     kth_ub_estimate = verdict.kth_ub
@@ -320,6 +346,10 @@ class DistanceRanker:
             euclid = float(np.linalg.norm(q_pos - np.asarray(cand.position)))
             cand.interval.refine_lb(euclid)
 
+        landmark_lbs = None
+        if self.landmarks is not None:
+            landmark_lbs = self._apply_landmark_bounds(anchors, candidates)
+
         active = [c for c in candidates if c.lb <= radius]
         last_level = len(self.schedule) - 1
         for level, (res_u, res_l) in enumerate(self.schedule.levels()):
@@ -332,7 +362,8 @@ class DistanceRanker:
                 with self.profiler.phase("bound-composition"):
                     self._update_upper_bounds(anchors, active, plan, res_u)
                     self._update_lower_bounds(
-                        q_pos, active, plan, res_l, radius
+                        q_pos, active, plan, res_l, radius,
+                        landmark_lbs=landmark_lbs,
                     )
                 active = [
                     c for c in active if c.lb <= radius < c.ub
@@ -545,6 +576,36 @@ class DistanceRanker:
     # lower bounds
     # ------------------------------------------------------------------
 
+    def _apply_landmark_bounds(self, anchors, candidates) -> dict:
+        """Fold the landmark triangle-inequality lower bounds into the
+        candidate intervals (paper-external ALT extension).
+
+        The bounds come from exact surface-distance tables, so they
+        are admissible; folding them in can only *raise* lower bounds,
+        which keeps every downstream classification sound.  Returns
+        ``{id(candidate): bound}`` so :meth:`_update_lower_bounds` can
+        prune full MSDN passes the landmark bound already decides.
+        """
+        with self.profiler.phase("landmark-bounds"):
+            vertices = [c.vertex for c in candidates]
+            bounds = self.landmarks.anchored_lower_bounds(anchors, vertices)
+            hits = 0
+            out: dict = {}
+            for cand, value in zip(candidates, bounds):
+                value = float(value)
+                out[id(cand)] = value
+                # In exact arithmetic value <= dS <= ub always; clamp
+                # against fp drift on already-polished ubs so the
+                # interval never inverts.  Admissibility itself is
+                # enforced by the landmark_admissible oracle.
+                clamped = min(value, cand.ub)
+                if clamped > cand.lb:
+                    hits += 1
+                    cand.interval.refine_lb(clamped)
+            if hits:
+                active_registry().counter("landmark.hits").add(hits)
+        return out
+
     def _update_lower_bounds(
         self,
         q_pos,
@@ -552,8 +613,10 @@ class DistanceRanker:
         plan: _IterationPlan,
         res_l: float,
         kth_ub_estimate: float,
+        landmark_lbs: dict | None = None,
     ) -> None:
         opts = self.options
+        prunes = 0
         groups = self._group_for_io(active, plan.io_regions)
         for group_box, members in groups:
             axes = tuple(
@@ -575,6 +638,18 @@ class DistanceRanker:
                 cand = active[idx]
                 roi = plan.io_regions[idx]
                 roi_arg = [roi] if roi is not None else None
+                if (
+                    landmark_lbs is not None
+                    and math.isfinite(kth_ub_estimate)
+                    and landmark_lbs.get(id(cand), 0.0) >= kth_ub_estimate
+                ):
+                    # The landmark bound (already folded into the
+                    # interval up front) rejects this candidate on its
+                    # own; the MSDN pass could only raise the lb
+                    # further, so skipping it leaves a stale-but-sound
+                    # bound and the classification is unchanged.
+                    prunes += 1
+                    continue
                 if (
                     opts.use_dummy_lb
                     and cand.lb_path_keys
@@ -602,6 +677,8 @@ class DistanceRanker:
                 cand.interval.refine_lb(result.value)
                 cand.lb_path_keys = result.path_keys
                 cand.lb_path_resolution = result.resolution
+        if prunes:
+            active_registry().counter("landmark.prunes").add(prunes)
 
     def _lb_cache_key(self, q_pos, position, res_l: float, roi):
         return (

@@ -40,6 +40,11 @@ from repro.geodesic.pathnet import (
 )
 from repro.geodesic.exact import ExactGeodesic, exact_surface_distance
 from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
+from repro.geodesic.landmarks import (
+    LandmarkIndex,
+    LandmarkTables,
+    mesh_fingerprint,
+)
 
 __all__ = [
     "KeyedGraph",
@@ -64,4 +69,7 @@ __all__ = [
     "ExactGeodesic",
     "exact_surface_distance",
     "kanai_suzuki_distance",
+    "LandmarkIndex",
+    "LandmarkTables",
+    "mesh_fingerprint",
 ]

@@ -412,6 +412,7 @@ def astar_csr(
     source: int,
     target: int,
     max_dist: float | None = None,
+    heuristic=None,
 ) -> float | None:
     """Single-target A* with the straight-line-distance heuristic.
 
@@ -422,6 +423,13 @@ def astar_csr(
     on meshes with many equal-length paths A* may walk a different
     one, so callers that consume path keys use
     :func:`dijkstra_csr_with_parents` instead.
+
+    ``heuristic`` optionally replaces the straight-line heuristic
+    with a caller-supplied per-node sequence (e.g. the ALT landmark
+    heuristic from
+    :meth:`repro.geodesic.landmarks.LandmarkIndex.pathnet_heuristic`).
+    The caller must guarantee admissibility and consistency — the
+    returned distance is exact only under those properties.
     """
     n = csr.num_nodes
     if not 0 <= source < n:
@@ -431,7 +439,7 @@ def astar_csr(
     if source == target:
         _report(1, 0)
         return 0.0
-    h = csr.heuristic_to(target)
+    h = csr.heuristic_to(target) if heuristic is None else heuristic
     indptr = csr._indptr_list
     indices = csr._indices_list
     weights = csr._weights_list

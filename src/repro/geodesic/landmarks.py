@@ -1,0 +1,322 @@
+"""ALT-style landmark lower bounds for surface distances.
+
+Road-network k-NN engines precompute distances from a small set of
+*landmark* vertices and serve O(1) triangle-inequality lower bounds
+``max_l |d(l,u) - d(l,v)|`` (the ALT family: A*, landmarks, triangle
+inequality).  This module transplants that idea to the surface
+setting with one crucial twist: every graph distance this repo
+computes (edge network ``dN``, pathnet distances) **over-estimates**
+the exact surface distance ``dS``, so ``|dN(l,u) - dN(l,v)|`` is NOT
+a valid lower bound of ``dS(u,v)``.  The pair-bound tables must be
+built from distances in the *same metric* the bound is quoted in.
+
+The :class:`LandmarkIndex` therefore keeps two tables:
+
+* ``surface`` — exact per-landmark distance rows ``dS(l, .)`` from
+  one :class:`~repro.geodesic.exact.ExactGeodesic` propagation per
+  landmark (optionally run in parallel).  The triangle inequality of
+  the surface metric then gives the admissible pair bound
+  ``max_l |dS(l,u) - dS(l,v)| <= dS(u,v)`` that the ranking loop and
+  the ``landmark_admissible`` testkit oracle rely on, and the
+  concatenation bound ``dS(u,v) <= dS(l,u) + dS(l,v)`` used to seed
+  pruning thresholds;
+* ``graph`` — edge-network rows ``dN(l, .)`` computed with
+  :func:`~repro.geodesic.csr.multi_source_dijkstra_csr` over the
+  compiled CSR form of the mesh's edge graph.  These drive the
+  farthest-point landmark *selection* (each new landmark maximizes
+  its network distance to the already-chosen set — one multi-source
+  search per round) and are cheap enough to recompute, but are never
+  used to bound ``dS``.
+
+Tables persist through a :class:`repro.core.batch.BoundCache` keyed
+by the mesh fingerprint (SHA-1 over vertex and face bytes), landmark
+count, selection seed and a format version — warm batch/service runs
+skip the exact propagations entirely (``landmark.cache_hits``), cold
+builds count once under ``landmark.build`` and profile under the
+``landmark-build`` phase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeodesicError
+from repro.geodesic.csr import csr_from_adjacency, multi_source_dijkstra_csr
+from repro.geodesic.exact import ExactGeodesic
+from repro.obs.context import active_profiler, active_registry
+
+#: Bump when the table layout changes — stale cache entries must miss.
+TABLE_VERSION = 1
+
+
+def mesh_fingerprint(mesh) -> str:
+    """Stable identity of a mesh's geometry (SHA-1 over vertex and
+    face bytes) — the graph-identity component of cache keys."""
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(mesh.vertices, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(mesh.faces, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def _cache_key(fingerprint: str, count: int, seed: int) -> tuple:
+    return ("landmarks", fingerprint, int(count), int(seed), TABLE_VERSION)
+
+
+@dataclass(frozen=True)
+class LandmarkTables:
+    """Precomputed distance tables for one mesh.
+
+    ``surface[i, v]`` is the exact surface distance from landmark
+    ``landmarks[i]`` to vertex ``v``; ``graph[i, v]`` the edge-network
+    distance (``inf`` where unreachable).  Both arrays are read-only
+    views served to vectorized bound evaluation.
+    """
+
+    landmarks: tuple[int, ...]
+    surface: np.ndarray  # (L, V) exact dS rows
+    graph: np.ndarray  # (L, V) edge-network dN rows
+
+    def __post_init__(self):
+        self.surface.setflags(write=False)
+        self.graph.setflags(write=False)
+
+
+def _edge_csr(mesh):
+    """Compiled CSR form of the mesh's edge network."""
+    return csr_from_adjacency(mesh.edge_network(), positions=mesh.vertices)
+
+
+def _graph_row(csr, landmark: int) -> np.ndarray:
+    """One landmark-to-all edge-network row, via the multi-source
+    kernel (a single-source search is the one-anchor special case)."""
+    result = multi_source_dijkstra_csr(csr, [(int(landmark), 0.0)])
+    row = np.full(csr.num_nodes, np.inf)
+    for node, value in result.value.items():
+        row[node] = value
+    return row
+
+
+def _select_landmarks(mesh, csr, count: int, seed: int) -> list[int]:
+    """Farthest-point sampling over the edge network.
+
+    The first landmark is drawn from the seeded RNG; each next one
+    maximizes its network distance to the chosen set, computed by ONE
+    multi-source search per round (the set's vertices are the
+    sources).  Ties break toward the lowest vertex id (``argmax``
+    returns the first maximum), so selection is deterministic.
+    """
+    n = mesh.num_vertices
+    rng = random.Random(seed)
+    chosen = [rng.randrange(n)]
+    while len(chosen) < count:
+        sweep = multi_source_dijkstra_csr(csr, [(v, 0.0) for v in chosen])
+        to_set = np.full(n, np.inf)
+        for node, value in sweep.value.items():
+            to_set[node] = value
+        # Unreachable vertices would argmax at inf but make useless
+        # landmarks (their exact rows are inf too) — mask them out.
+        to_set[~np.isfinite(to_set)] = -1.0
+        chosen.append(int(np.argmax(to_set)))
+    return chosen
+
+
+def _surface_rows(mesh, landmarks, parallel: bool) -> np.ndarray:
+    """Exact dS rows, one full window propagation per landmark."""
+
+    def row(landmark: int) -> np.ndarray:
+        return ExactGeodesic(mesh, int(landmark)).distances()
+
+    if parallel and len(landmarks) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(8, len(landmarks))) as pool:
+            rows = list(pool.map(row, landmarks))
+    else:
+        rows = [row(l) for l in landmarks]
+    return np.vstack(rows)
+
+
+class LandmarkIndex:
+    """Serves O(1) admissible lower bounds on surface distances.
+
+    Build through :meth:`build` (cache-aware) rather than the
+    constructor.  All bound evaluation runs on numpy views of the
+    precomputed tables; non-finite table entries (vertices
+    unreachable from a landmark) contribute nothing — the affected
+    landmark's term degrades to the trivial bound 0 for that pair.
+    """
+
+    def __init__(self, mesh, tables: LandmarkTables):
+        if tables.surface.shape != (len(tables.landmarks), mesh.num_vertices):
+            raise GeodesicError(
+                f"landmark table shape {tables.surface.shape} does not "
+                f"match {len(tables.landmarks)} landmarks x "
+                f"{mesh.num_vertices} vertices"
+            )
+        self.mesh = mesh
+        self.tables = tables
+        self._surface = tables.surface
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        mesh,
+        count: int = 8,
+        seed: int = 0,
+        cache=None,
+        parallel: bool = False,
+    ) -> "LandmarkIndex":
+        """Select landmarks and compute both tables (cache-aware).
+
+        ``cache`` is an optional :class:`repro.core.batch.BoundCache`;
+        a hit (keyed by mesh fingerprint, count, seed and table
+        version) skips every propagation and counts under
+        ``landmark.cache_hits``.  A real build counts once under
+        ``landmark.build`` and profiles under ``landmark-build``.
+        ``parallel=True`` runs the per-landmark exact propagations on
+        a thread pool.
+        """
+        if count < 1:
+            raise GeodesicError(f"landmark count must be >= 1, got {count}")
+        count = min(int(count), mesh.num_vertices)
+        registry = active_registry()
+        key = _cache_key(mesh_fingerprint(mesh), count, seed)
+        if cache is not None:
+            found, tables = cache.lookup(key)
+            if found:
+                registry.counter("landmark.cache_hits").add(1)
+                return cls(mesh, tables)
+        with active_profiler().phase("landmark-build"):
+            csr = _edge_csr(mesh)
+            landmarks = _select_landmarks(mesh, csr, count, seed)
+            graph = np.vstack([_graph_row(csr, l) for l in landmarks])
+            surface = _surface_rows(mesh, landmarks, parallel)
+        tables = LandmarkTables(
+            landmarks=tuple(int(l) for l in landmarks),
+            surface=surface,
+            graph=graph,
+        )
+        registry.counter("landmark.build").add(1)
+        if cache is not None:
+            cache.store(key, tables)
+        return cls(mesh, tables)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def landmarks(self) -> tuple[int, ...]:
+        return self.tables.landmarks
+
+    @property
+    def count(self) -> int:
+        return len(self.tables.landmarks)
+
+    # ------------------------------------------------------------------
+    # bounds
+    # ------------------------------------------------------------------
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """``max_l |dS(l,u) - dS(l,v)| <= dS(u,v)`` (triangle
+        inequality of the surface metric; 0 when a landmark cannot
+        see either vertex)."""
+        diff = self._surface[:, int(u)] - self._surface[:, int(v)]
+        bounds = np.where(np.isfinite(diff), np.abs(diff), 0.0)
+        return float(bounds.max(initial=0.0))
+
+    def lower_bound_batch(self, sources, targets) -> np.ndarray:
+        """Vectorized :meth:`lower_bound` over parallel index arrays
+        (either side may be a scalar, broadcast against the other)."""
+        s = np.atleast_1d(np.asarray(sources, dtype=np.intp))
+        t = np.atleast_1d(np.asarray(targets, dtype=np.intp))
+        diff = self._surface[:, s] - self._surface[:, t]
+        bounds = np.where(np.isfinite(diff), np.abs(diff), 0.0)
+        return bounds.max(axis=0, initial=0.0)
+
+    def anchored_lower_bounds(self, anchors, vertices) -> np.ndarray:
+        """Lower bounds from an anchored query source to each vertex.
+
+        ``anchors`` are MR3 ``(vertex, offset)`` pairs where the
+        offset is the length of a genuine surface path from the query
+        point to the anchor vertex, so
+        ``dS(q, v) >= lower_bound(a, v) - offset`` for every anchor —
+        the composed bound is the best anchor's, clipped at 0.
+        """
+        t = np.atleast_1d(np.asarray(vertices, dtype=np.intp))
+        out = np.zeros(t.shape, dtype=float)
+        for vertex, offset in anchors:
+            row = self.lower_bound_batch(int(vertex), t) - float(offset)
+            np.maximum(out, row, out=out)
+        return np.maximum(out, 0.0, out=out)
+
+    def kth_upper_bound(self, anchors, vertices, k: int) -> float:
+        """Admissible seed for the ranking loop's pruning threshold:
+        the k-th smallest landmark-concatenation upper bound
+        ``min_a (offset_a + min_l (dS(l,a) + dS(l,v)))`` over the
+        candidate vertices.  Each term is the length of a genuine
+        surface path (query→anchor→landmark→candidate), so the k-th
+        smallest over-estimates the true k-th distance — skipping a
+        candidate whose lower bound already exceeds it is safe before
+        any DMTM upper bound exists.  ``inf`` when fewer than ``k``
+        candidates get a finite bound.
+        """
+        t = np.atleast_1d(np.asarray(vertices, dtype=np.intp))
+        best = np.full(t.shape, np.inf)
+        for vertex, offset in anchors:
+            via = self._surface[:, [int(vertex)]] + self._surface[:, t]
+            via = np.where(np.isfinite(via), via, np.inf)
+            np.minimum(best, float(offset) + via.min(axis=0), out=best)
+        finite = np.sort(best[np.isfinite(best)])
+        if finite.size >= k:
+            return float(finite[k - 1])
+        return float("inf")
+
+    # ------------------------------------------------------------------
+    # A* heuristic assembly (pathnet graphs)
+    # ------------------------------------------------------------------
+
+    def pathnet_heuristic(self, graph, target_vertex: int) -> list[float]:
+        """Per-node ALT heuristic for A* over a pathnet graph, maxed
+        with the straight-line heuristic.
+
+        Pathnet nodes are mesh vertices (exact table columns) or
+        Steiner points on mesh edges.  A Steiner point ``x`` on edge
+        ``(u, w)`` satisfies ``dS(a, x) <= |x - a|`` for each endpoint
+        ``a`` (the sub-segment lies on the surface), which brackets
+        ``dS(l, x)`` in ``[max_a (dS(l,a) - |x-a|),
+        min_a (dS(l,a) + |x-a|)]``; against the target column the
+        bracket yields an admissible *and consistent* bound on the
+        pathnet distance (every component is 1-Lipschitz in the 3D
+        position, and pathnet edge weights are 3D segment lengths),
+        so :func:`~repro.geodesic.csr.astar_csr`'s early exit stays
+        exact.
+        """
+        csr = graph.csr()
+        mesh = self.mesh
+        surface = self._surface
+        target_col = surface[:, int(target_vertex)]
+        target_pos = mesh.vertices[int(target_vertex)]
+        h: list[float] = []
+        for node in range(csr.num_nodes):
+            key = graph.key_of(node)
+            pos = csr.positions[node]
+            straight = float(np.linalg.norm(pos - target_pos))
+            if key[0] == "v":
+                lo = hi = surface[:, int(key[1])]
+            else:
+                u, w = mesh.edge_vertices[int(key[1])]
+                du = float(np.linalg.norm(pos - mesh.vertices[int(u)]))
+                dw = float(np.linalg.norm(pos - mesh.vertices[int(w)]))
+                lo = np.maximum(surface[:, int(u)] - du, surface[:, int(w)] - dw)
+                hi = np.minimum(surface[:, int(u)] + du, surface[:, int(w)] + dw)
+            alt = np.maximum(lo - target_col, target_col - hi)
+            alt = np.where(np.isfinite(alt), alt, 0.0)
+            h.append(max(straight, float(alt.max(initial=0.0))))
+        return h

@@ -99,11 +99,19 @@ def pathnet_distance(
     target: int,
     steiner_per_edge: int = 1,
     faces: np.ndarray | None = None,
+    landmarks=None,
 ) -> float:
     """Approximate ``dS`` between two vertices via pathnet search —
     A* with the straight-line heuristic on the CSR kernels (the
     distance is all that is returned, so the goal-directed search is
-    safe), plain Dijkstra in reference mode."""
+    safe), plain Dijkstra in reference mode.
+
+    ``landmarks`` optionally supplies a
+    :class:`repro.geodesic.landmarks.LandmarkIndex` whose ALT
+    heuristic (maxed with the straight line, admissible and
+    consistent on pathnet graphs) tightens the A* search further;
+    the returned distance is unchanged.
+    """
     graph = build_pathnet(mesh, steiner_per_edge, faces)
     src_key = vertex_key(source)
     dst_key = vertex_key(target)
@@ -114,7 +122,12 @@ def pathnet_distance(
     if kernel_mode() == "reference":
         d = graph_dijkstra(graph, s, targets={t}).get(t)
     else:
-        d = astar_csr(graph.csr(), s, t)
+        heuristic = (
+            landmarks.pathnet_heuristic(graph, target)
+            if landmarks is not None
+            else None
+        )
+        d = astar_csr(graph.csr(), s, t, heuristic=heuristic)
     if d is None:
         raise GeodesicError(f"no pathnet route from {source} to {target}")
     return d

@@ -17,6 +17,11 @@ vs clean            counters reconcile (``retries_total ==
 budgeted vs         a budget that never tripped is bit-identical;
 exhaustive          a tripped budget still satisfies every oracle
                     and carries a sound ``max_error`` (PR 3)
+landmarks on vs     identical neighbour ids and degraded reporting,
+off                 landmark bounds admissible vs exact geodesics
+                    (``landmark_admissible``); the landmarks-on run
+                    itself stays bit-identical across the kernel and
+                    batch axes (PR 7)
 ==================  =================================================
 
 Every mode's results additionally run the full invariant-oracle
@@ -33,6 +38,7 @@ fail is not a harness.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, replace
 
@@ -85,12 +91,31 @@ def _mutate_drop_worst(result):
     )
 
 
+def _mutate_weaken_landmark_bound(result):
+    """Simulate an inadmissible landmark lower bound: the last
+    reported neighbour's interval is replaced by a point above any
+    true surface distance (``ub >= dS``, so ``1.05*ub + 1 > dS``
+    always) — exactly what a buggy landmark table that *over*-bounds
+    would produce after the lb is folded into the interval."""
+    if not result.intervals:
+        return result
+    _lb, ub = result.intervals[-1]
+    if not math.isfinite(ub):
+        return result
+    bad = 1.05 * ub + 1.0
+    return replace(
+        result,
+        intervals=list(result.intervals[:-1]) + [(bad, bad)],
+    )
+
+
 #: Named result mutators usable from the CLI (``--inject``), the
 #: shrinker's repro cases and the demonstration tests.
 MUTATORS = {
     "shrink_ub": _mutate_shrink_ub,
     "inflate_lb": _mutate_inflate_lb,
     "drop_worst": _mutate_drop_worst,
+    "weaken_landmark_bound": _mutate_weaken_landmark_bound,
 }
 
 
@@ -212,12 +237,13 @@ def run_scenario(
         for q in queries
     ]
 
-    def check(mode: str, index: int, result) -> None:
+    def check(mode: str, index: int, result, **extra) -> None:
         ctx = OracleContext(
             result=result,
             truth=truths[index],
             k=queries[index].k,
             exact_sets=scenario.terrain.flat,
+            **extra,
         )
         for violation in run_oracles(ctx, oracle_names):
             report.findings.append(
@@ -283,6 +309,64 @@ def run_scenario(
             check("batch", index, result)
             _compare("batch", index, baseline[index], result,
                      report.findings)
+
+    # ------------------------------------------------------------------
+    # landmarks on vs off: same answers, admissible bounds — and the
+    # landmark run must itself stay bit-identical across the kernel
+    # and batch axes (the landmarks-on/off axis composes with both)
+    # ------------------------------------------------------------------
+    if active("landmarks"):
+        report.modes_run.append("landmarks")
+        lm_engine = engine.with_landmarks(4)
+        object_vertices = {
+            int(obj): engine.objects.vertex_of(int(obj))
+            for obj, _d in (truths[0] if truths else [])
+        }
+        lm_results = []
+        for index, q in enumerate(queries):
+            result = mutate(
+                lm_engine.query(q.vertex, q.k, step_length=q.step_length)
+            )
+            lm_results.append(result)
+            check(
+                "landmarks", index, result,
+                landmarks=lm_engine.landmarks,
+                object_vertices=object_vertices,
+                baseline=baseline[index],
+            )
+        with use_reference_kernels():
+            for index, q in enumerate(queries):
+                result = mutate(
+                    lm_engine.query(q.vertex, q.k, step_length=q.step_length)
+                )
+                _compare("landmarks+kernel", index, lm_results[index],
+                         result, report.findings)
+        executor = BatchQueryExecutor(
+            lm_engine, workers=max(1, scenario.batch_workers)
+        )
+        batch_report = executor.run(
+            [
+                {"vertex": q.vertex, "k": q.k, "step_length": q.step_length}
+                for q in queries
+            ]
+        )
+        for error in batch_report.errors:
+            report.findings.append(
+                Finding(
+                    mode="landmarks+batch",
+                    query_index=error.index,
+                    violation=Violation(
+                        oracle="mode_identity",
+                        message=f"batch query failed: {error.kind}: "
+                                f"{error.message}",
+                    ),
+                )
+            )
+        for index, result in enumerate(batch_report.results):
+            if result is None:
+                continue
+            _compare("landmarks+batch", index, lm_results[index],
+                     mutate(result), report.findings)
 
     # ------------------------------------------------------------------
     # budgeted vs exhaustive: identity when untripped, bound otherwise

@@ -113,8 +113,29 @@ def standard_engine(
     ``fresh=True`` bypasses the engine cache (the mesh stays shared) —
     use it for suites that mutate engine state (``set_objects``
     sweeps), so the mutation cannot leak into other modules.
+
+    A ``landmarks=`` kwarg is handled specially: the landmark-free
+    base engine is built (or fetched) under its own cache key first,
+    then cloned with :meth:`SurfaceKNNEngine.with_landmarks` — DMTM,
+    MSDN and storage are never rebuilt just to attach landmark
+    tables, and the landmark variant gets its own cache slot.
     """
+    landmarks = kwargs.pop("landmarks", None)
     key = (name, size, density, seed, tuple(sorted(kwargs.items())))
+    if landmarks is not None:
+        base = standard_engine(
+            name, size=size, density=density, seed=seed, fresh=fresh,
+            **kwargs,
+        )
+        lm_key = key + (("landmarks", landmarks),)
+        if not fresh:
+            engine = _engine_cache.get(lm_key)
+            if engine is not None:
+                return engine
+        engine = base.with_landmarks(landmarks)
+        if not fresh:
+            _engine_cache[lm_key] = engine
+        return engine
     if not fresh:
         engine = _engine_cache.get(key)
         if engine is not None:

@@ -48,6 +48,14 @@ class OracleContext:
     reported top-k and the k-th distance the result should bracket.
     ``exact_sets`` demands exact set agreement (flat terrain, where
     MR3 has no approximation allowance).
+
+    ``landmarks`` optionally carries the
+    :class:`repro.geodesic.landmarks.LandmarkIndex` the query ran
+    with, ``object_vertices`` maps object id -> mesh vertex (so the
+    admissibility oracle can look up landmark table bounds for the
+    reported objects), and ``baseline`` is the same query's result
+    from a landmarks-off run — the admissibility oracle then asserts
+    the landmark run changed nothing observable about the answer.
     """
 
     result: object
@@ -55,6 +63,9 @@ class OracleContext:
     k: int
     exact_sets: bool = False
     schedule_levels: list = field(default_factory=list)
+    landmarks: object = None
+    object_vertices: dict = None
+    baseline: object = None
 
     @property
     def truth_dist(self) -> dict:
@@ -279,6 +290,76 @@ def check_degraded_soundness(ctx: OracleContext) -> list[str]:
     return out
 
 
+def check_landmark_admissible(ctx: OracleContext) -> list[str]:
+    """Landmark (ALT) lower bounds are admissible, and enabling them
+    changes nothing observable about the answer.
+
+    Three legs, each active only when its inputs are present:
+
+    1. **Table admissibility** — for every reported object whose mesh
+       vertex is known, the landmark triangle-inequality bound
+       ``max_l |dS(l,q) - dS(l,p)|`` must not exceed the exact
+       surface distance (brute-force ``exact_knn`` machinery supplies
+       the truth).
+    2. **Reported bounds admissible** — every reported lower bound
+       (landmark-tightened or not) stays below the true ``dS``; this
+       leg runs in *every* mode, so an inadmissible injected bound
+       (``weaken_landmark_bound``) is caught even on baseline runs.
+    3. **Answer identity** — against a landmarks-off baseline of the
+       same query: identical neighbour *set*, identical ``degraded``
+       flag and ``budget_reason``.  Landmark bounds only *tighten*
+       intervals and *skip* work, so the decided set and the
+       degraded/error reporting must match.  The within-set *order*
+       is not pinned: results sort by their current upper bounds, and
+       skipped MSDN passes legitimately shift which candidates get
+       polished — ``result_shape`` still asserts each run's own order
+       is ascending by ub, and ``topk_agreement`` pins the set against
+       ground truth.
+    """
+    dist = ctx.truth_dist
+    out = []
+    if ctx.landmarks is not None and ctx.object_vertices:
+        query_vertex = ctx.result.query_vertex
+        if isinstance(query_vertex, int):
+            for obj in ctx.result.object_ids:
+                ds = dist.get(obj)
+                vertex = ctx.object_vertices.get(obj)
+                if ds is None or vertex is None:
+                    continue
+                bound = ctx.landmarks.lower_bound(query_vertex, vertex)
+                if bound > ds + EPS + 1e-9 * ds:
+                    out.append(
+                        f"object {obj}: landmark bound {bound:.6f} exceeds "
+                        f"true dS {ds:.6f} (inadmissible table)"
+                    )
+    for obj, (lb, _ub) in zip(ctx.result.object_ids, ctx.result.intervals):
+        ds = dist.get(obj)
+        if ds is not None and lb > ds + EPS + 1e-9 * ds:
+            out.append(
+                f"object {obj}: reported lb {lb:.6f} exceeds true dS "
+                f"{ds:.6f} (inadmissible bound reached the answer)"
+            )
+    base = ctx.baseline
+    if base is not None:
+        if sorted(base.object_ids) != sorted(ctx.result.object_ids):
+            out.append(
+                f"landmark run changed the answer set: "
+                f"{ctx.result.object_ids} vs baseline {base.object_ids}"
+            )
+        if base.degraded != ctx.result.degraded:
+            out.append(
+                f"landmark run changed degraded: {ctx.result.degraded} "
+                f"vs baseline {base.degraded}"
+            )
+        if base.budget_reason != ctx.result.budget_reason:
+            out.append(
+                f"landmark run changed budget_reason: "
+                f"{ctx.result.budget_reason!r} vs baseline "
+                f"{base.budget_reason!r}"
+            )
+    return out
+
+
 # ----------------------------------------------------------------------
 # catalog
 # ----------------------------------------------------------------------
@@ -341,6 +422,14 @@ ORACLES: dict[str, Oracle] = {
             "anytime extension",
             "repro.core.budget",
             "degraded kth ub overshoots true kth by <= max_error",
+        ),
+        Oracle(
+            "landmark_admissible",
+            check_landmark_admissible,
+            "ALT extension (Goldberg & Harrelson)",
+            "repro.geodesic.landmarks / repro.core.ranking",
+            "landmark bounds <= true dS; answer set and degraded "
+            "reporting identical to landmarks-off",
         ),
     )
 }
