@@ -1,12 +1,15 @@
 """Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
 
 Figures: fig7, fig8, fig9, fig10, fig11, related, batch, faults,
-kernels, landmarks, all.  The ``batch`` mode takes ``--batch N
+chaos, kernels, landmarks, all.  The ``batch`` mode takes ``--batch N
 --workers W`` and reports throughput / latency percentiles of the
 concurrent executor against the sequential baseline.  The ``faults``
 mode sweeps injected storage fault rates and per-query page budgets,
 reporting retry/corruption counters and degraded-answer rates
-(``--workers`` applies here too).  The ``kernels`` mode compares the
+(``--workers`` applies here too).  The ``chaos`` mode sweeps
+*persistent* dead-page fractions (kill-list faults that never
+recover) and reports availability, storage-degraded rates, quarantine
+activity and engine health — the degraded-mode execution contract.  The ``kernels`` mode compares the
 dict reference kernels against the flat CSR kernels (micro +
 end-to-end) and the ``landmarks`` mode runs the fig10 k-sweep with
 ALT landmark pruning on vs off; both merge their series into the
@@ -34,6 +37,7 @@ _FIGURES = {
     "related": experiments.related,
     "batch": experiments.batch,
     "faults": experiments.faults,
+    "chaos": experiments.chaos,
     "kernels": experiments.kernels,
     "landmarks": experiments.landmarks,
 }
@@ -112,7 +116,7 @@ def main(argv=None) -> int:
             kwargs["workers"] = args.workers
             if args.batch is not None:
                 kwargs["batch"] = args.batch
-        elif name == "faults":
+        elif name in ("faults", "chaos"):
             kwargs["workers"] = args.workers
         elif name in ("kernels", "landmarks"):
             kwargs["out"] = args.out

@@ -9,6 +9,7 @@ what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -690,6 +691,114 @@ def faults(
         "tables": tables,
         "rows": {"faults": fault_rows, "budgets": budget_rows},
     }
+
+
+def chaos(
+    quick: bool = False,
+    size: int | None = None,
+    density: float = 4.0,
+    k: int = 5,
+    queries: int | None = None,
+    workers: int = 4,
+    fractions=None,
+    seed: int = 13,
+) -> dict:
+    """Degraded-mode chaos sweep: persistent (kill-list) page faults.
+
+    For each dead-page fraction a fresh engine has that share of its
+    DMTM/MSDN pages put on the injector kill-list — every read of
+    those pages fails, retries never help — and a concurrent batch
+    runs against it.  The degraded-mode contract under measurement:
+
+    * **no crashes** — every query completes or is explicitly skipped
+      by admission control, never raises;
+    * **availability** — the fraction of queries that returned an
+      answer (exact or degraded);
+    * **honest degradation** — every non-exact answer carries
+      ``degraded=True`` with ``degraded_reason="storage"`` and a
+      finite, sound ``max_error``;
+    * **bounded retry cost** — the quarantine's fast-fail counter
+      shows dead pages being refused without disk retries.
+    """
+    from repro.core import SurfaceKNNEngine
+    from repro.core.batch import BatchQueryExecutor
+    from repro.storage.faults import kill_random_pages
+
+    if size is None:
+        size = 17 if quick else 33
+    if queries is None:
+        queries = 16 if quick else 64
+    if fractions is None:
+        fractions = (0.0, 0.05, 0.10) if quick else (0.0, 0.02, 0.05, 0.10)
+
+    mesh = mesh_for("BH", size)
+    reference = SurfaceKNNEngine(mesh, density=density, seed=1)
+    qvs = query_vertices(mesh, min(queries, 32), seed=seed)
+    specs = [(qvs[i % len(qvs)], k) for i in range(queries)]
+    baseline = [reference.query(v, kk) for v, kk in specs]
+
+    rows = []
+    for fraction in fractions:
+        engine = SurfaceKNNEngine(mesh, density=density, seed=1)
+        dead = kill_random_pages(engine.pages, fraction, seed=seed)
+        report = BatchQueryExecutor(engine, workers=workers).run(specs)
+        summary = report.summary()
+        ok = report.ok_results
+        degraded = [r for r in ok if r.degraded]
+        bad_reason = sum(
+            1 for r in degraded if r.degraded_reason != "storage"
+        )
+        finite_errors = [
+            r.max_error for r in degraded if math.isfinite(r.max_error)
+        ]
+        exact = sum(
+            1
+            for got, want in zip(report.results, baseline)
+            if got is not None
+            and not got.degraded
+            and got.object_ids == want.object_ids
+        )
+        q_stats = engine.pages.quarantine.stats()
+        rows.append(
+            {
+                "fraction": fraction,
+                "dead_pages": len(dead),
+                "queries": len(specs),
+                "crashed": summary["failed"],
+                "skipped": summary["skipped"],
+                "availability": len(ok) / len(specs),
+                "degraded_rate": len(degraded) / len(specs),
+                "bad_reason": bad_reason,
+                "exact_match_rate": exact / len(specs),
+                "mean_max_error": (
+                    sum(finite_errors) / len(finite_errors)
+                    if finite_errors
+                    else 0.0
+                ),
+                "quarantined": q_stats["quarantined"],
+                "fast_fails": q_stats["fast_fails_total"],
+                "probes": q_stats["probes_total"],
+                "health": summary["engine_health"].get("state", "n/a"),
+                # The contract in one flag: nothing crashed and every
+                # answered query is exact or honestly storage-degraded.
+                "answers_ok": summary["failed"] == 0 and bad_reason == 0,
+            }
+        )
+
+    tables = [
+        format_table(
+            f"Chaos — persistent dead pages, {queries} queries, "
+            f"{workers} workers (BH {size}x{size}, k={k})",
+            [
+                "fraction", "dead_pages", "queries", "crashed", "skipped",
+                "availability", "degraded_rate", "exact_match_rate",
+                "mean_max_error", "quarantined", "fast_fails", "probes",
+                "health", "answers_ok",
+            ],
+            rows,
+        ),
+    ]
+    return {"tables": tables, "rows": rows}
 
 
 # ----------------------------------------------------------------------

@@ -222,50 +222,105 @@ class BatchError:
 
 class CircuitBreaker:
     """Stops admitting batch queries after ``threshold`` *consecutive*
-    storage failures.
+    storage failures, with half-open recovery probes.
 
     A storage failure that survives the page manager's retries means
     the simulated disk is persistently unhealthy; hammering it with
     the rest of the batch just burns the retry budget.  Any success
-    closes the circuit again (failures must be consecutive).  All
-    transitions take the breaker lock, so concurrent workers see a
-    consistent state.
+    closes the circuit again (failures must be consecutive).
+
+    Recovery: an open circuit is not forever.  After ``cooldown``
+    refused admissions the breaker goes *half-open* and admits exactly
+    one probe query.  If the probe succeeds the circuit closes (the
+    disk — or the quarantine's salvage of it — recovered); if it fails
+    the circuit re-opens for another cooldown.  The cooldown is
+    counted in denials, not wall clock, so behaviour is deterministic
+    under test.  All transitions take the breaker lock, so concurrent
+    workers see a consistent state.
     """
 
-    def __init__(self, threshold: int = 8, registry=None):
+    def __init__(self, threshold: int = 8, registry=None, cooldown: int = 16):
         if threshold < 1:
             raise QueryError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise QueryError(f"breaker cooldown must be >= 1, got {cooldown}")
         self.threshold = threshold
+        self.cooldown = cooldown
         # Trip counters land in this registry (the executor passes its
         # ObsContext's); None falls back to the active context's.
         self.registry = registry
         self._lock = threading.Lock()
         self._consecutive_failures = 0
+        self._denials_since_open = 0
+        self._half_open = False
         self.trips = 0  # times the circuit went from closed to open
+        self.recoveries = 0  # half-open probes that closed the circuit
+        self.reopens = 0  # half-open probes that failed
+
+    def _registry(self):
+        return self.registry if self.registry is not None else get_registry()
 
     @property
     def open(self) -> bool:
         with self._lock:
-            return self._consecutive_failures >= self.threshold
+            return (
+                self._consecutive_failures >= self.threshold
+                and not self._half_open
+            )
+
+    @property
+    def half_open(self) -> bool:
+        with self._lock:
+            return self._half_open
 
     def allow(self) -> bool:
-        """May the next query run? (False once the circuit is open.)"""
-        return not self.open
+        """May the next query run?
+
+        False while the circuit is open — except that every
+        ``cooldown``-th denial flips the breaker half-open and grants
+        one probe admission (True).
+        """
+        with self._lock:
+            if self._consecutive_failures < self.threshold:
+                return True
+            if self._half_open:
+                # One probe is already in flight; hold the rest.
+                return False
+            self._denials_since_open += 1
+            if self._denials_since_open >= self.cooldown:
+                self._half_open = True
+                self._denials_since_open = 0
+                return True
+            return False
 
     def record_success(self) -> None:
         with self._lock:
+            was_half_open = self._half_open
             self._consecutive_failures = 0
+            self._denials_since_open = 0
+            self._half_open = False
+            if was_half_open:
+                self.recoveries += 1
+                self._registry().counter(
+                    "batch.circuit_recoveries_total"
+                ).add(1)
 
     def record_failure(self) -> None:
         with self._lock:
+            if self._half_open:
+                # Failed probe: re-open for another cooldown.
+                self._half_open = False
+                self._denials_since_open = 0
+                self.reopens += 1
+                self._consecutive_failures = max(
+                    self._consecutive_failures + 1, self.threshold
+                )
+                self._registry().counter("batch.circuit_reopens_total").add(1)
+                return
             self._consecutive_failures += 1
             if self._consecutive_failures == self.threshold:
                 self.trips += 1
-                registry = (
-                    self.registry if self.registry is not None
-                    else get_registry()
-                )
-                registry.counter("batch.circuit_trips_total").add(1)
+                self._registry().counter("batch.circuit_trips_total").add(1)
 
 
 @dataclass
@@ -286,6 +341,9 @@ class BatchReport:
     workers: int
     cache_stats: dict = field(default_factory=dict)
     errors: list = field(default_factory=list)
+    # Engine health snapshot (repro.core.health.EngineHealth.as_dict)
+    # taken when the batch finished; {} for engines without storage.
+    engine_health: dict = field(default_factory=dict)
 
     @property
     def ok_results(self) -> list:
@@ -325,6 +383,15 @@ class BatchReport:
             "failed": sum(1 for e in self.errors if not e.skipped),
             "skipped": sum(1 for e in self.errors if e.skipped),
             "degraded": sum(1 for r in ok if r.degraded),
+            "degraded_budget": sum(
+                1 for r in ok
+                if r.degraded and getattr(r, "degraded_reason", None) == "budget"
+            ),
+            "degraded_storage": sum(
+                1 for r in ok
+                if r.degraded and getattr(r, "degraded_reason", None) == "storage"
+            ),
+            "engine_health": dict(self.engine_health),
         }
 
 
@@ -365,6 +432,9 @@ class BatchQueryExecutor:
         not run).  The breaker only reacts to
         :class:`~repro.errors.StorageError` — query-shaped failures
         (bad k etc.) are isolated but don't open the circuit.
+    circuit_cooldown:
+        Refused admissions before an open breaker goes half-open and
+        admits one probe query (see :class:`CircuitBreaker`).
     obs:
         Batch-level :class:`~repro.obs.ObsContext`.  Every query runs
         under a fresh per-query **child** context (so concurrent
@@ -388,6 +458,7 @@ class BatchQueryExecutor:
         cold_cache: bool = True,
         budget: QueryBudget | None = None,
         circuit_threshold: int = 8,
+        circuit_cooldown: int = 16,
         obs: ObsContext | None = None,
     ):
         if workers < 1:
@@ -399,8 +470,13 @@ class BatchQueryExecutor:
         self.budget = budget
         self.obs = obs if obs is not None else current()
         self.circuit_breaker = CircuitBreaker(
-            circuit_threshold, registry=self.obs.registry
+            circuit_threshold,
+            registry=self.obs.registry,
+            cooldown=circuit_cooldown,
         )
+        health = getattr(engine, "health", None)
+        if health is not None:
+            health.attach_breaker(self.circuit_breaker)
         if not share_bounds:
             self.bound_cache = None
         else:
@@ -432,6 +508,9 @@ class BatchQueryExecutor:
         """
         index, spec = item
         breaker = self.circuit_breaker
+        # Breaker first: allow() may grant a half-open recovery probe,
+        # which must run even while the health verdict says FAILED
+        # (the probe is how the verdict gets revised).
         if not breaker.allow():
             return None, 0.0, BatchError(
                 index=index, vertex=spec.vertex, k=spec.k,
@@ -442,6 +521,26 @@ class BatchQueryExecutor:
                 ),
                 skipped=True,
             )
+        health = getattr(self.engine, "health", None)
+        if health is not None:
+            state = health.state()
+            if state == "failed" and health.cause_kind != "breaker":
+                self.obs.registry.counter(
+                    "batch.health_rejections_total"
+                ).add(1)
+                return None, 0.0, BatchError(
+                    index=index, vertex=spec.vertex, k=spec.k,
+                    kind="EngineUnhealthy",
+                    message=(
+                        f"engine health is failed ({health.cause}); "
+                        "query not admitted"
+                    ),
+                    skipped=True,
+                )
+            if state == "degraded":
+                self.obs.registry.counter(
+                    "batch.degraded_admissions_total"
+                ).add(1)
         tracer = Tracer() if self.tracing else None
         # Each query gets its own child context: concurrent queries
         # never share mutable telemetry, and the finished child is
@@ -489,6 +588,7 @@ class BatchQueryExecutor:
             ) as pool:
                 outcomes = list(pool.map(self._run_one, items))
         wall = time.perf_counter() - start
+        health = getattr(self.engine, "health", None)
         return BatchReport(
             results=[r for r, _t, _e in outcomes],
             latencies=[t for _r, t, _e in outcomes],
@@ -498,6 +598,7 @@ class BatchQueryExecutor:
                 self.bound_cache.stats() if self.bound_cache is not None else {}
             ),
             errors=[e for _r, _t, e in outcomes if e is not None],
+            engine_health=health.as_dict() if health is not None else {},
         )
 
     def run_vertices(self, vertices, k: int, **spec_kwargs) -> BatchReport:

@@ -23,7 +23,13 @@ Semantics:
 * ``max_seconds`` bounds wall-clock time from query start.
 * Checks are level-granular: the level that trips the budget runs to
   completion, so a budget can be slightly overshot — the contract is
-  "stop refining", not "hard-abort mid-level".
+  "stop refining", not "hard-abort mid-level".  As a backstop,
+  ``max_seconds`` is additionally enforced *inside* the CSR kernel
+  relaxation loops (every few dozen settled nodes, via
+  :mod:`repro.geodesic.deadline`), so one pathological search cannot
+  blow arbitrarily far past the deadline between two level
+  boundaries; the ranker catches the kernel's deadline marker at the
+  level boundary and degrades as usual.
 * The very first filter level always runs (without it no candidate
   has a finite upper bound and there would be no answer to degrade
   to).
@@ -97,6 +103,23 @@ class BudgetTracker:
 
     def seconds_used(self) -> float:
         return time.perf_counter() - self._t0
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute ``perf_counter`` deadline for kernel-level checks
+        (None when no time limit is set)."""
+        if self.budget.max_seconds is None:
+            return None
+        return self._t0 + self.budget.max_seconds
+
+    def note_mid_level_stop(self) -> None:
+        """Record that a kernel hit the wall-clock deadline mid-level
+        (the kernel raised, the ranker stopped refining)."""
+        if self.exhausted_reason is None:
+            self.exhausted_reason = (
+                f"time budget exhausted mid-level ({self.seconds_used():.3f}s"
+                f"/{self.budget.max_seconds:.3f}s)"
+            )
 
     def check(self) -> bool:
         """Re-evaluate the limits; True once the budget is exhausted."""

@@ -27,6 +27,7 @@ from contextlib import nullcontext
 
 from repro.core.baseline import exact_knn
 from repro.core.budget import QueryBudget
+from repro.core.health import EngineHealth
 from repro.core.mr3 import MR3QueryProcessor, QueryMetrics, QueryResult
 from repro.core.objects import ObjectSet
 from repro.core.ranking import RankerOptions
@@ -135,8 +136,14 @@ class SurfaceKNNEngine:
         fault_injector=None,
         retry_policy=None,
         landmarks=None,
+        degraded_mode: bool = True,
     ):
         self.mesh = mesh
+        # With degraded_mode on (default), storage faults that exhaust
+        # the retry policy degrade answers (redundant bound fallback,
+        # sound intervals, degraded_reason="storage") instead of
+        # raising StorageError; off restores fail-stop queries.
+        self.degraded_mode = bool(degraded_mode)
         self.obs = obs
         if tracer is not None:
             self.tracer = tracer
@@ -169,6 +176,7 @@ class SurfaceKNNEngine:
             self.dmtm.attach_storage(self.pages)
             self.msdn.attach_storage(self.pages)
         self.landmarks = self._resolve_landmarks(landmarks)
+        self.health = EngineHealth(self)
 
     def _resolve_landmarks(self, landmarks):
         if landmarks is None or isinstance(landmarks, bool):
@@ -318,6 +326,7 @@ class SurfaceKNNEngine:
                         bound_cache=bound_cache,
                         profiler=profiler,
                         landmarks=self.landmarks,
+                        degraded_mode=self.degraded_mode,
                     )
                     with tracer.span(
                         "engine.query", method=method, k=k,
@@ -350,6 +359,10 @@ class SurfaceKNNEngine:
         ).observe(result.metrics.pages_accessed)
         if result.degraded:
             registry.counter("engine.queries.degraded").add(1)
+            registry.counter(
+                "engine.queries.degraded."
+                f"{result.degraded_reason or 'budget'}"
+            ).add(1)
             registry.histogram("engine.query.max_error").observe(
                 result.max_error
             )
@@ -404,6 +417,7 @@ class SurfaceKNNEngine:
                 tracer=self.tracer,
                 profiler=profiler,
                 landmarks=self.landmarks,
+                degraded_mode=self.degraded_mode,
             )
             with profiler.phase("query") as phase_root:
                 result = processor.query(query, k, budget=budget)

@@ -22,13 +22,17 @@ from __future__ import annotations
 
 import math
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.bounds import Candidate
 from repro.core.budget import QueryBudget
 from repro.core.embedding import EmbeddedQuery, source_of
 from repro.core.ranking import DistanceRanker, RankerOptions
 from repro.errors import QueryError
+from repro.geodesic.deadline import deadline_scope
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracing import NULL_TRACER, Span
 from repro.storage.stats import DiskModel, IOStatistics
@@ -94,6 +98,10 @@ class QueryResult:
     degraded: bool = False
     max_error: float = 0.0
     budget_reason: str | None = None
+    # Why the answer is degraded: "budget" (a QueryBudget stopped
+    # refinement), "storage" (a page read failed and a redundant
+    # bound source was substituted), or None for exact answers.
+    degraded_reason: str | None = None
     # Phase profile of the query (repro.obs.profile.Profile) when it
     # ran under a profiling ObsContext; None otherwise.
     profile_data: object | None = None
@@ -140,10 +148,17 @@ class MR3QueryProcessor:
         bound_cache=None,
         profiler=None,
         landmarks=None,
+        degraded_mode: bool = True,
     ):
         self.mesh = mesh
         self.objects = objects
         self.schedule = schedule
+        # With degraded_mode on (the default), storage faults that
+        # survive the retry policy degrade the answer (redundant bound
+        # fallback, degraded_reason="storage") instead of raising; off
+        # restores fail-stop semantics for circuit-breaker style
+        # supervision.
+        self.degraded_mode = bool(degraded_mode)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.ranker = DistanceRanker(
@@ -186,11 +201,16 @@ class MR3QueryProcessor:
             else None
         )
 
+        scope = (
+            deadline_scope(tracker.deadline)
+            if tracker is not None and tracker.deadline is not None
+            else nullcontext()
+        )
         with self.tracer.span(
             "mr3.query", query_vertex=query_vertex, k=k,
             schedule=self.schedule.name,
-        ) as root:
-            q_pos, _anchors = source_of(self.mesh, query)
+        ) as root, scope:
+            q_pos, anchors = source_of(self.mesh, query)
             q_xy = q_pos[:2]
 
             # Step 1: 2D k-NN filter.
@@ -210,13 +230,16 @@ class MR3QueryProcessor:
                     phase="filter",
                     budget=tracker,
                     min_levels=1,
+                    storage_fallback=self.degraded_mode,
                 )
             radius = out1.kth_ub
             if not math.isfinite(radius):
-                raise QueryError(
-                    "could not bound the k-th neighbour; "
-                    "is the terrain connected?"
-                )
+                if not (self.degraded_mode and out1.storage_degraded):
+                    raise QueryError(
+                        "could not bound the k-th neighbour; "
+                        "is the terrain connected?"
+                    )
+                radius = self._conservative_radius(anchors, cands1, k)
 
             # Step 3: 2D range query with the step-2 radius.
             with self.tracer.span("mr3.range_2d", radius=radius) as sp:
@@ -237,6 +260,7 @@ class MR3QueryProcessor:
                 out2 = self.ranker.rank(
                     query, cands2, k, phase="ranking",
                     budget=tracker, min_levels=0,
+                    storage_fallback=self.degraded_mode,
                 )
 
         cpu_seconds = time.process_time() - cpu_start
@@ -254,9 +278,15 @@ class MR3QueryProcessor:
             metrics.io_seconds = self.disk.io_seconds(delta)
 
         winners = out2.winners
-        degraded = (
+        budget_degraded = (
             out1.budget_exhausted or out2.budget_exhausted
         ) and not out2.converged
+        storage_degraded = out1.storage_degraded or out2.storage_degraded
+        degraded = budget_degraded or storage_degraded
+        degraded_reason = (
+            "storage" if storage_degraded
+            else ("budget" if degraded else None)
+        )
         max_error = 0.0
         if degraded and winners:
             # Sound per-query error bound for the anytime answer.  The
@@ -285,4 +315,26 @@ class MR3QueryProcessor:
             degraded=degraded,
             max_error=max_error,
             budget_reason=tracker.exhausted_reason if tracker else None,
+            degraded_reason=degraded_reason,
         )
+
+    def _conservative_radius(self, anchors, cands1, k: int) -> float:
+        """Sound step-3 radius when storage faults left the filter
+        with no finite k-th upper bound.
+
+        Preferred source: the landmark concatenation upper bound
+        (every term is a genuine surface-path length, and landmark
+        tables live in memory — immune to page faults).  Last resort:
+        ``max anchor offset + total mesh edge length`` — any shortest
+        path on a connected mesh uses each edge at most once, so the
+        sum of all edge lengths bounds dS from any anchor, and the
+        anchor offset bridges the query point to that anchor.
+        """
+        if self.ranker.landmarks is not None:
+            radius = self.ranker.landmarks.kth_upper_bound(
+                anchors, [c.vertex for c in cands1], k
+            )
+            if math.isfinite(radius):
+                return radius
+        worst_offset = max(offset for _vertex, offset in anchors)
+        return worst_offset + float(np.sum(self.mesh.edge_lengths))

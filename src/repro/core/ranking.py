@@ -30,7 +30,8 @@ import numpy as np
 from repro.core.bounds import Candidate, classify_candidates
 from repro.core.embedding import source_of
 from repro.core.regions import integrate_io_regions
-from repro.errors import QueryError
+from repro.errors import QueryError, StorageError
+from repro.geodesic.deadline import DeadlineExceeded
 from repro.geometry.ellipse import EllipseRegion
 from repro.geometry.primitives import BoundingBox
 from repro.obs.context import active_registry
@@ -80,6 +81,35 @@ class RankingOutcome:
     # (or the classification rule) was done — the intervals are sound
     # but looser than an unbudgeted run would produce.
     budget_exhausted: bool = False
+    # True when at least one DMTM/MSDN region fetch failed with a
+    # StorageError and the loop fell back to its redundant bound
+    # sources (stale bounds, landmarks, per-candidate salvage).  The
+    # intervals are still sound — skipping a tightening pass can only
+    # leave bounds looser, never wrong.
+    storage_degraded: bool = False
+
+
+class _StorageFallback:
+    """Per-rank record of region fetches lost to storage faults.
+
+    Passed down into the bound-update helpers; its presence enables
+    the catch-and-skip fallback (a ``None`` fallback preserves the
+    historical raise-through behaviour for ``degraded_mode=False``
+    engines).
+    """
+
+    __slots__ = ("events", "salvaged")
+
+    def __init__(self):
+        self.events: list[tuple[str, float, str]] = []
+        self.salvaged = 0
+
+    def note(self, source: str, resolution: float, exc: Exception) -> None:
+        self.events.append((source, float(resolution), str(exc)))
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.events)
 
 
 @dataclass
@@ -158,6 +188,7 @@ class DistanceRanker:
         phase: str = "rank",
         budget=None,
         min_levels: int = 1,
+        storage_fallback: bool = True,
     ) -> RankingOutcome:
         """Run the multiresolution ranking loop.
 
@@ -184,6 +215,15 @@ class DistanceRanker:
         gets a finite upper bound (the step-3 radius and the degraded
         answer both need one), the ranking phase passes 0 because its
         candidates inherit step-2 intervals.
+
+        ``storage_fallback`` (default True) turns region fetches lost
+        to :class:`~repro.errors.StorageError` into degraded-mode
+        events: the group's bound-tightening pass is skipped (stale
+        intervals stay sound), individual candidates are salvaged
+        through their own smaller regions where possible, and the
+        outcome is flagged ``storage_degraded``.  With it off, the
+        first storage failure propagates — the pre-degraded-mode
+        behaviour the circuit breaker watches for.
         """
         if k < 1:
             raise QueryError("k must be >= 1")
@@ -214,6 +254,7 @@ class DistanceRanker:
         iterations = 0
         converged = False
         exhausted = False
+        fallback = _StorageFallback() if storage_fallback else None
         trace: list[LevelEvent] = []
         last_level = len(self.schedule) - 1
         for level, (res_u, res_l) in enumerate(self.schedule.levels()):
@@ -224,36 +265,21 @@ class DistanceRanker:
             active_before = len(active)
             io_before = self.stats.snapshot() if self.stats is not None else None
             cpu_before = time.process_time()
-            with self.tracer.span(
-                "rank.level", phase=phase, level=level,
-                dmtm_resolution=res_u, msdn_resolution=res_l,
-            ) as span:
-                with self.profiler.phase("interval-ranking"):
-                    # At the final level the ub becomes the ranking key
-                    # when ranges still overlap, so estimate it over
-                    # the full ellipse rather than the refined corridor.
-                    plan = self._plan_regions(
-                        q_pos, active, level, refined=level < last_level
-                    )
-                    with self.profiler.phase("bound-composition"):
-                        self._update_upper_bounds(anchors, active, plan, res_u)
-                        self._update_lower_bounds(
-                            q_pos, active, plan, res_l, kth_ub_estimate,
-                            landmark_lbs=landmark_lbs,
-                        )
-                    verdict = classify_candidates(candidates, k)
-                    kth_ub_estimate = verdict.kth_ub
-                if io_before is not None:
-                    io_delta = self.stats.delta_since(io_before)
-                    logical = io_delta.logical_reads
-                    physical = io_delta.physical_reads
-                    by_class = io_delta.physical_by_class
-                else:
-                    logical = physical = 0
-                    by_class = {}
-                span.set_attribute("active_before", active_before)
-                span.set_attribute("active_after", len(verdict.active))
-                span.set_attribute("physical_reads", physical)
+            try:
+                verdict, logical, physical, by_class = self._run_level(
+                    phase, level, res_u, res_l, q_pos, anchors, active,
+                    candidates, k, kth_ub_estimate, landmark_lbs,
+                    last_level, io_before, active_before, fallback,
+                )
+            except DeadlineExceeded:
+                # A kernel noticed the wall-clock deadline mid-level.
+                # Partial bound updates are sound (bounds only
+                # tighten), so stop refining and degrade.
+                exhausted = True
+                if budget is not None:
+                    budget.note_mid_level_stop()
+                break
+            kth_ub_estimate = verdict.kth_ub
             trace.append(
                 LevelEvent(
                     phase=phase,
@@ -288,11 +314,16 @@ class DistanceRanker:
                 break
         final = classify_candidates(candidates, k)
         if not final.done and self.options.final_polish and not exhausted:
-            with self.tracer.span(
-                "rank.polish", phase=phase, ambiguous=len(final.active)
-            ):
-                with self.profiler.phase("refinement"):
-                    self._polish_boundary(anchors, candidates, final, k)
+            try:
+                with self.tracer.span(
+                    "rank.polish", phase=phase, ambiguous=len(final.active)
+                ):
+                    with self.profiler.phase("refinement"):
+                        self._polish_boundary(anchors, candidates, final, k)
+            except DeadlineExceeded:
+                exhausted = True
+                if budget is not None:
+                    budget.note_mid_level_stop()
             final = classify_candidates(candidates, k)
         winners = sorted(final.winners, key=lambda c: (c.ub, c.object_id))[:k]
         if len(winners) < k:
@@ -310,6 +341,15 @@ class DistanceRanker:
             )
             winners.extend(pool[: k - len(winners)])
             winners.sort(key=lambda c: (c.ub, c.object_id))
+        storage_degraded = fallback is not None and fallback.triggered
+        if storage_degraded:
+            registry = active_registry()
+            registry.counter("ranking.storage_fallbacks_total").add(
+                len(fallback.events)
+            )
+            registry.counter("ranking.storage_salvages_total").add(
+                fallback.salvaged
+            )
         return RankingOutcome(
             winners=winners,
             all_candidates=candidates,
@@ -318,10 +358,55 @@ class DistanceRanker:
             kth_ub=winners[-1].ub if winners else float("inf"),
             trace=trace,
             budget_exhausted=exhausted,
+            storage_degraded=storage_degraded,
         )
 
+    def _run_level(
+        self, phase, level, res_u, res_l, q_pos, anchors, active,
+        candidates, k, kth_ub_estimate, landmark_lbs, last_level,
+        io_before, active_before, fallback,
+    ):
+        """One refinement level: plan regions, tighten both bound
+        families, classify.  Returns (verdict, level I/O deltas)."""
+        with self.tracer.span(
+            "rank.level", phase=phase, level=level,
+            dmtm_resolution=res_u, msdn_resolution=res_l,
+        ) as span:
+            with self.profiler.phase("interval-ranking"):
+                # At the final level the ub becomes the ranking key
+                # when ranges still overlap, so estimate it over
+                # the full ellipse rather than the refined corridor.
+                plan = self._plan_regions(
+                    q_pos, active, level, refined=level < last_level
+                )
+                with self.profiler.phase("bound-composition"):
+                    self._update_upper_bounds(
+                        anchors, active, plan, res_u, fallback=fallback
+                    )
+                    self._update_lower_bounds(
+                        q_pos, active, plan, res_l, kth_ub_estimate,
+                        landmark_lbs=landmark_lbs, fallback=fallback,
+                    )
+                verdict = classify_candidates(candidates, k)
+            if io_before is not None:
+                io_delta = self.stats.delta_since(io_before)
+                logical = io_delta.logical_reads
+                physical = io_delta.physical_reads
+                by_class = io_delta.physical_by_class
+            else:
+                logical = physical = 0
+                by_class = {}
+            span.set_attribute("active_before", active_before)
+            span.set_attribute("active_after", len(verdict.active))
+            span.set_attribute("physical_reads", physical)
+        return verdict, logical, physical, by_class
+
     def rank_within(
-        self, query, candidates: list[Candidate], radius: float
+        self,
+        query,
+        candidates: list[Candidate],
+        radius: float,
+        storage_fallback: bool = True,
     ) -> tuple[list[Candidate], bool]:
         """Surface *range query* classification: which candidates have
         ``dS(q, p) <= radius``?
@@ -335,7 +420,9 @@ class DistanceRanker:
         Returns ``(inside, certain)`` — ``certain`` is False when the
         schedule was exhausted with candidates still straddling the
         radius (those are classified by upper bound, the paper's
-        at-max-resolution convention).
+        at-max-resolution convention), or when a storage fault made
+        the loop skip a bound source (``storage_fallback``, same
+        semantics as :meth:`rank`).
         """
         if radius < 0:
             raise QueryError("radius must be non-negative")
@@ -350,6 +437,7 @@ class DistanceRanker:
         if self.landmarks is not None:
             landmark_lbs = self._apply_landmark_bounds(anchors, candidates)
 
+        fallback = _StorageFallback() if storage_fallback else None
         active = [c for c in candidates if c.lb <= radius]
         last_level = len(self.schedule) - 1
         for level, (res_u, res_l) in enumerate(self.schedule.levels()):
@@ -360,10 +448,12 @@ class DistanceRanker:
                     q_pos, active, level, refined=level < last_level
                 )
                 with self.profiler.phase("bound-composition"):
-                    self._update_upper_bounds(anchors, active, plan, res_u)
+                    self._update_upper_bounds(
+                        anchors, active, plan, res_u, fallback=fallback
+                    )
                     self._update_lower_bounds(
                         q_pos, active, plan, res_l, radius,
-                        landmark_lbs=landmark_lbs,
+                        landmark_lbs=landmark_lbs, fallback=fallback,
                     )
                 active = [
                     c for c in active if c.lb <= radius < c.ub
@@ -383,7 +473,8 @@ class DistanceRanker:
                     cand.interval.refine_ub(best)
             active = [c for c in active if c.lb <= radius < c.ub]
         inside = [c for c in candidates if c.ub <= radius]
-        return sorted(inside, key=lambda c: (c.ub, c.object_id)), not active
+        certain = not active and not (fallback is not None and fallback.triggered)
+        return sorted(inside, key=lambda c: (c.ub, c.object_id)), certain
 
     def _polish_boundary(self, anchors, candidates, verdict, k: int) -> None:
         """Tighten the upper bounds of candidates straddling the k-th
@@ -439,7 +530,12 @@ class DistanceRanker:
     # ------------------------------------------------------------------
 
     def _update_upper_bounds(
-        self, anchors, active: list[Candidate], plan: _IterationPlan, res_u: float
+        self,
+        anchors,
+        active: list[Candidate],
+        plan: _IterationPlan,
+        res_u: float,
+        fallback: _StorageFallback | None = None,
     ) -> None:
         """Tighten upper bounds for the active candidates.
 
@@ -452,7 +548,20 @@ class DistanceRanker:
             # One fetch per integrated region (page I/O is charged
             # here unconditionally — a bound-cache hit below never
             # changes the read accounting).
-            self.dmtm.touch_region(res_u, group_box)
+            try:
+                self.dmtm.touch_region(res_u, group_box)
+            except StorageError as exc:
+                if fallback is None:
+                    raise
+                # The group's region is unreadable: skip its ub pass
+                # (stale upper bounds remain genuine path lengths, so
+                # the intervals stay sound) and try each member's own
+                # smaller region, which may avoid the bad pages.
+                fallback.note("dmtm", res_u, exc)
+                self._salvage_upper_bounds(
+                    anchors, active, plan, res_u, members, group_box, fallback
+                )
+                continue
             refinables = []
             for idx in members:
                 cand = active[idx]
@@ -478,6 +587,35 @@ class DistanceRanker:
                         value, keys = result
                         cand.interval.refine_ub(value)
                         cand.ub_path_keys = keys
+
+    def _salvage_upper_bounds(
+        self, anchors, active, plan, res_u, members, group_box, fallback
+    ) -> None:
+        """Per-candidate ub recovery after a failed group fetch.
+
+        Each member retries through its own (smaller) I/O region —
+        which may miss the quarantined pages the merged region hit.
+        Members without a finer region than the group's (whole-terrain
+        fetches, single-member groups) have nothing new to try.
+        """
+        for idx in members:
+            box = plan.io_regions[idx]
+            if box is None or box == group_box:
+                continue
+            cand = active[idx]
+            try:
+                self.dmtm.touch_region(res_u, box)
+            except StorageError:
+                continue
+            combined = self._combined_ubs_over_region(
+                anchors, [cand.vertex], res_u, box
+            )
+            result = combined.get(cand.vertex)
+            if result is not None:
+                value, keys = result
+                cand.interval.refine_ub(value)
+                cand.ub_path_keys = keys
+                fallback.salvaged += 1
 
     def _combined_ubs_over_region(
         self, anchors, target_vertices, res_u: float, group_box
@@ -614,6 +752,7 @@ class DistanceRanker:
         res_l: float,
         kth_ub_estimate: float,
         landmark_lbs: dict | None = None,
+        fallback: _StorageFallback | None = None,
     ) -> None:
         opts = self.options
         prunes = 0
@@ -627,7 +766,19 @@ class DistanceRanker:
                     }
                 )
             )
-            self.msdn.touch_region(res_l, group_box, axes=axes)
+            try:
+                self.msdn.touch_region(res_l, group_box, axes=axes)
+            except StorageError as exc:
+                if fallback is None:
+                    raise
+                # Skipping an MSDN pass leaves the Euclidean/landmark
+                # lower bounds in place — lower bounds only ever
+                # tighten, so a stale one is still admissible.
+                fallback.note("msdn", res_l, exc)
+                self._salvage_lower_bounds(
+                    q_pos, active, plan, res_l, members, group_box, fallback
+                )
+                continue
             # Dummy-corridor screening first, then one batched MSDN
             # pass for the survivors.  Each bound is a pure function
             # of (source, target, resolution, region) with
@@ -679,6 +830,28 @@ class DistanceRanker:
                 cand.lb_path_resolution = result.resolution
         if prunes:
             active_registry().counter("landmark.prunes").add(prunes)
+
+    def _salvage_lower_bounds(
+        self, q_pos, active, plan, res_l, members, group_box, fallback
+    ) -> None:
+        """Per-candidate lb recovery after a failed group fetch (the
+        lower-bound twin of :meth:`_salvage_upper_bounds`)."""
+        for idx in members:
+            roi = plan.io_regions[idx]
+            if roi is None or roi == group_box:
+                continue
+            cand = active[idx]
+            axes = (self.msdn.choose_axis(q_pos, cand.position),)
+            try:
+                self.msdn.touch_region(res_l, roi, axes=axes)
+            except StorageError:
+                continue
+            results = self._lower_bounds_batch(q_pos, [(cand, roi)], res_l)
+            result = results[0]
+            cand.interval.refine_lb(result.value)
+            cand.lb_path_keys = result.path_keys
+            cand.lb_path_resolution = result.resolution
+            fallback.salvaged += 1
 
     def _lb_cache_key(self, q_pos, position, res_l: float, roi):
         return (

@@ -48,6 +48,12 @@ class PageCorruptionError(StorageError):
     stored data no longer matches what was written."""
 
 
+class QuarantinedPageError(StorageError):
+    """A read was refused without touching the disk because the page
+    is quarantined (a previous read exhausted the retry policy and the
+    page has not yet been readmitted through probation)."""
+
+
 class SimplificationError(SurfKnnError):
     """Mesh simplification could not make progress."""
 

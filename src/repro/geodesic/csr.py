@@ -39,12 +39,18 @@ same queries under both modes and assert identical answers.
 from __future__ import annotations
 
 import heapq
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import GeodesicError
+from repro.geodesic.deadline import (
+    DEADLINE_CHECK_INTERVAL,
+    DeadlineExceeded,
+    current_deadline,
+)
 from repro.obs.context import active_profiler
 from repro.obs.metrics import get_registry
 from repro.obs.profile import kernel_phase
@@ -238,6 +244,7 @@ def dijkstra_csr(
     remaining = set(targets) if targets is not None else None
     heap: list[tuple[float, int]] = [(0.0, source)]
     relaxations = 0
+    deadline = current_deadline()
     while heap:
         d, u = heapq.heappop(heap)
         if visited[u]:
@@ -246,6 +253,15 @@ def dijkstra_csr(
             break
         visited[u] = 1
         out[u] = d
+        if (
+            deadline is not None
+            and len(out) % DEADLINE_CHECK_INTERVAL == 0
+            and time.perf_counter() >= deadline
+        ):
+            raise DeadlineExceeded(
+                f"dijkstra_csr passed its deadline after {len(out)} "
+                "settled nodes"
+            )
         if remaining is not None:
             remaining.discard(u)
             if not remaining:
@@ -284,6 +300,7 @@ def dijkstra_csr_with_parents(
     remaining = set(targets) if targets is not None else None
     heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
     relaxations = 0
+    deadline = current_deadline()
     while heap:
         d, u, p = heapq.heappop(heap)
         if visited[u]:
@@ -292,6 +309,15 @@ def dijkstra_csr_with_parents(
             break
         visited[u] = 1
         out[u] = d
+        if (
+            deadline is not None
+            and len(out) % DEADLINE_CHECK_INTERVAL == 0
+            and time.perf_counter() >= deadline
+        ):
+            raise DeadlineExceeded(
+                f"dijkstra_csr_with_parents passed its deadline after "
+                f"{len(out)} settled nodes"
+            )
         if p >= 0:
             parent[u] = p
         if remaining is not None:
@@ -377,6 +403,7 @@ def multi_source_dijkstra_csr(
     parent: dict[int, int] = {}
     remaining = set(targets) if targets is not None else None
     relaxations = 0
+    deadline = current_deadline()
     while heap:
         val, u, rank, p, rw = heapq.heappop(heap)
         if visited[u]:
@@ -387,6 +414,15 @@ def multi_source_dijkstra_csr(
         value[u] = val
         raw[u] = rw
         origin[u] = rank
+        if (
+            deadline is not None
+            and len(value) % DEADLINE_CHECK_INTERVAL == 0
+            and time.perf_counter() >= deadline
+        ):
+            raise DeadlineExceeded(
+                f"multi_source_dijkstra_csr passed its deadline after "
+                f"{len(value)} settled nodes"
+            )
         if p >= 0:
             parent[u] = p
         if remaining is not None:
@@ -449,6 +485,7 @@ def astar_csr(
     # (priority, g, node): priority = g + h(node), h(target) == 0.
     heap: list[tuple[float, float, int]] = [(h[source], 0.0, source)]
     result = None
+    deadline = current_deadline()
     while heap:
         pri, g, u = heapq.heappop(heap)
         if visited[u]:
@@ -457,6 +494,15 @@ def astar_csr(
             break
         visited[u] = 1
         settled += 1
+        if (
+            deadline is not None
+            and settled % DEADLINE_CHECK_INTERVAL == 0
+            and time.perf_counter() >= deadline
+        ):
+            raise DeadlineExceeded(
+                f"astar_csr passed its deadline after {settled} "
+                "settled nodes"
+            )
         if u == target:
             result = g
             break

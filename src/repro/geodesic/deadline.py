@@ -1,0 +1,61 @@
+"""Cooperative wall-clock deadlines for long-running kernels.
+
+``QueryBudget.max_seconds`` used to be enforced only at refinement
+*level* boundaries: one pathological Dijkstra sweep could blow far past
+its deadline before the ranker looked at the clock again.  This module
+gives the CSR kernels a cheap way to notice the deadline mid-search:
+
+* the query processor installs the absolute deadline in a
+  :class:`~contextvars.ContextVar` (so concurrent batch workers each
+  see their own query's deadline);
+* each kernel reads it once per call and, every
+  :data:`DEADLINE_CHECK_INTERVAL` settled nodes, compares
+  ``time.perf_counter()`` against it — with no deadline installed the
+  per-settle cost is a single ``is not None`` test;
+* on expiry the kernel raises :class:`DeadlineExceeded`, an internal
+  control-flow marker the ranker catches at the level boundary to stop
+  refining and return the (still sound) partial answer.
+
+The marker derives from :class:`~repro.errors.SurfKnnError` so that if
+it ever escapes the ranker it is still absorbed by batch isolation
+rather than crashing a worker.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.errors import SurfKnnError
+
+#: Settled-node stride between wall-clock checks inside kernel loops.
+DEADLINE_CHECK_INTERVAL = 64
+
+
+class DeadlineExceeded(SurfKnnError):
+    """A kernel noticed its query's wall-clock deadline mid-search.
+
+    Internal control flow: callers on the ranking path catch it at the
+    nearest sound stopping point and degrade instead of failing.
+    """
+
+
+_deadline: ContextVar[float | None] = ContextVar(
+    "repro_kernel_deadline", default=None
+)
+
+
+def current_deadline() -> float | None:
+    """The active absolute deadline (``time.perf_counter()`` scale)."""
+    return _deadline.get()
+
+
+@contextmanager
+def deadline_scope(deadline_at: float | None):
+    """Install ``deadline_at`` as the kernel deadline for this scope."""
+    token = _deadline.set(deadline_at)
+    try:
+        yield
+    finally:
+        _deadline.reset(token)

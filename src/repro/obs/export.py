@@ -58,6 +58,8 @@ def query_record(result) -> dict:
     if getattr(result, "degraded", False):
         record["degraded"] = True
         record["max_error"] = result.max_error
+        if getattr(result, "degraded_reason", None):
+            record["degraded_reason"] = result.degraded_reason
         if getattr(result, "budget_reason", None):
             record["budget_reason"] = result.budget_reason
     return record
@@ -143,7 +145,15 @@ def render(result) -> str:
         f"k={result.k}, converged={result.converged}"
     ]
     if getattr(result, "degraded", False):
-        reason = getattr(result, "budget_reason", None) or "budget exhausted"
+        if getattr(result, "degraded_reason", None) == "storage":
+            reason = (
+                "storage faults survived the retry policy; redundant "
+                "bound sources substituted"
+            )
+        else:
+            reason = (
+                getattr(result, "budget_reason", None) or "budget exhausted"
+            )
         lines.append(
             f"DEGRADED: {reason}; answer is best-known top-{result.k} "
             f"with max_error {result.max_error:.1f}"

@@ -23,7 +23,23 @@ once, so this module re-exports the whole contract:
 * **Batch isolation** — :class:`BatchQueryExecutor` confines each
   member failure to a :class:`BatchError` record, and its
   :class:`CircuitBreaker` stops admitting queries after consecutive
-  storage failures.
+  storage failures (and probes for recovery half-open, after a
+  cooldown of refused admissions).
+* **Degraded-mode execution** — when a read exhausts the retry
+  policy, the page enters :class:`PageQuarantine` (later reads
+  fail fast with :class:`QuarantinedPageError` until a probation
+  probe readmits it) and the ranker substitutes redundant bound
+  sources — stale-but-sound intervals, landmark bounds,
+  per-candidate salvage — so queries come back ``degraded=True``
+  with ``degraded_reason="storage"`` instead of raising.
+  :func:`kill_random_pages` builds persistent-fault (kill-list)
+  schedules for chaos testing; :class:`EngineHealth` folds the
+  quarantine, fault counters and breaker into a
+  healthy/degraded/failed verdict that batch admission consults.
+  ``QueryBudget.max_seconds`` is additionally enforced inside the
+  CSR kernels (:class:`DeadlineExceeded` is caught at level
+  boundaries), so one pathological search cannot blow far past its
+  deadline.
 
 Example
 -------
@@ -42,30 +58,56 @@ Example
 
 from repro.core.batch import BatchError, CircuitBreaker
 from repro.core.budget import BudgetTracker, QueryBudget
-from repro.errors import PageCorruptionError, PageReadError, StorageError
+from repro.core.health import (
+    HEALTH_DEGRADED,
+    HEALTH_FAILED,
+    HEALTH_HEALTHY,
+    EngineHealth,
+)
+from repro.errors import (
+    PageCorruptionError,
+    PageReadError,
+    QuarantinedPageError,
+    StorageError,
+)
+from repro.geodesic.deadline import DeadlineExceeded
 from repro.storage.faults import (
     FAULT_CORRUPT,
+    FAULT_DEAD,
     FAULT_LATENCY,
     FAULT_TRANSIENT,
     FaultEvent,
     FaultInjector,
     FaultStats,
+    PageQuarantine,
+    QuarantineEntry,
     RetryPolicy,
+    kill_random_pages,
 )
 
 __all__ = [
     "FAULT_CORRUPT",
+    "FAULT_DEAD",
     "FAULT_LATENCY",
     "FAULT_TRANSIENT",
+    "HEALTH_DEGRADED",
+    "HEALTH_FAILED",
+    "HEALTH_HEALTHY",
     "BatchError",
     "BudgetTracker",
     "CircuitBreaker",
+    "DeadlineExceeded",
+    "EngineHealth",
     "FaultEvent",
     "FaultInjector",
     "FaultStats",
     "PageCorruptionError",
+    "PageQuarantine",
     "PageReadError",
+    "QuarantineEntry",
+    "QuarantinedPageError",
     "QueryBudget",
     "RetryPolicy",
     "StorageError",
+    "kill_random_pages",
 ]

@@ -34,6 +34,7 @@ from repro.errors import StorageError
 FAULT_TRANSIENT = "transient"
 FAULT_CORRUPT = "corrupt"
 FAULT_LATENCY = "latency"
+FAULT_DEAD = "dead"  # page on the kill-list: every attempt fails
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,10 @@ class FaultStats:
     latency_seconds_total: float = 0.0
     backoff_seconds_total: float = 0.0
     reads_failed_total: int = 0  # reads that exhausted the policy
+    pages_quarantined_total: int = 0
+    quarantine_fastfails_total: int = 0  # reads refused without disk I/O
+    quarantine_probes_total: int = 0
+    pages_readmitted_total: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -100,6 +105,10 @@ class FaultStats:
             "latency_seconds_total": self.latency_seconds_total,
             "backoff_seconds_total": self.backoff_seconds_total,
             "reads_failed_total": self.reads_failed_total,
+            "pages_quarantined_total": self.pages_quarantined_total,
+            "quarantine_fastfails_total": self.quarantine_fastfails_total,
+            "quarantine_probes_total": self.quarantine_probes_total,
+            "pages_readmitted_total": self.pages_readmitted_total,
         }
 
 
@@ -126,6 +135,13 @@ class FaultInjector:
     max_faults:
         Optional hard cap on injected transient+corrupt faults (keeps
         worst-case retry storms bounded in stress tests).
+    dead_pages:
+        Pages that fail *every* read attempt — a persistent fault, as
+        opposed to the recoverable rate-drawn kinds.  Dead-page events
+        are exempt from ``max_faults`` (they are not a random storm to
+        bound but a fixture of the schedule) yet still counted in
+        ``injected_total`` so the retry/failure reconciliation identity
+        holds.
 
     Thread safety: draws take the injector lock, so worker threads
     hammering one disk see a consistent (if interleaving-dependent)
@@ -140,6 +156,7 @@ class FaultInjector:
         latency_rate: float = 0.0,
         latency_seconds: float = 0.05,
         max_faults: int | None = None,
+        dead_pages: "set[int] | frozenset[int] | list[int] | None" = None,
     ):
         for name, rate in (
             ("transient_rate", transient_rate),
@@ -153,6 +170,7 @@ class FaultInjector:
         self.latency_rate = latency_rate
         self.latency_seconds = latency_seconds
         self.max_faults = max_faults
+        self.dead_pages: set[int] = set(dead_pages or ())
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._sequence = 0
@@ -161,7 +179,18 @@ class FaultInjector:
             FAULT_TRANSIENT: 0,
             FAULT_CORRUPT: 0,
             FAULT_LATENCY: 0,
+            FAULT_DEAD: 0,
         }
+
+    def kill(self, page_ids) -> None:
+        """Permanently fail every future read of ``page_ids``."""
+        with self._lock:
+            self.dead_pages.update(int(p) for p in page_ids)
+
+    def revive(self, page_ids) -> None:
+        """Remove pages from the kill-list (the disk 'heals')."""
+        with self._lock:
+            self.dead_pages.difference_update(int(p) for p in page_ids)
 
     # ------------------------------------------------------------------
 
@@ -187,6 +216,11 @@ class FaultInjector:
         it); may report simulated latency alongside a clean payload.
         """
         with self._lock:
+            if page_id in self.dead_pages:
+                self._record(FAULT_DEAD, page_id)
+                raise _TransientFault(
+                    f"page {page_id} is on the kill-list (persistent fault)"
+                )
             latency = 0.0
             if self.latency_rate and self._rng.random() < self.latency_rate:
                 latency = self.latency_seconds
@@ -221,8 +255,12 @@ class FaultInjector:
 
     @property
     def injected_total(self) -> int:
-        """Transient + corruption faults injected so far."""
-        return self.counts[FAULT_TRANSIENT] + self.counts[FAULT_CORRUPT]
+        """Transient + corruption + dead-page faults injected so far."""
+        return (
+            self.counts[FAULT_TRANSIENT]
+            + self.counts[FAULT_CORRUPT]
+            + self.counts[FAULT_DEAD]
+        )
 
     def summary(self) -> dict:
         """JSON-ready injector state (for bench reports)."""
@@ -231,8 +269,195 @@ class FaultInjector:
                 "transient": self.counts[FAULT_TRANSIENT],
                 "corrupt": self.counts[FAULT_CORRUPT],
                 "latency": self.counts[FAULT_LATENCY],
+                "dead": self.counts[FAULT_DEAD],
+                "dead_pages": len(self.dead_pages),
                 "latency_seconds": sum(
                     e.detail for e in self.log if e.kind == FAULT_LATENCY
                 ),
                 "events": len(self.log),
             }
+
+
+# ----------------------------------------------------------------------
+# Page quarantine: fail fast on known-bad pages, probe for recovery.
+
+
+#: Gate verdicts returned by :meth:`PageQuarantine.gate`.
+QUARANTINE_CLEAR = "clear"
+QUARANTINE_BLOCKED = "blocked"
+QUARANTINE_PROBE = "probe"
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined ``(owner, page_id)`` with its probation state.
+
+    ``cooldown`` is counted in *gated reads*, not wall clock, so the
+    lifecycle is deterministic: after admission (or a failed probe)
+    the next ``cooldown - 1`` reads fail fast and the ``cooldown``-th
+    becomes a probe that goes through the full retry cycle.  Each
+    failed probe doubles the cooldown up to a cap, so a page that
+    stays dead costs geometrically less over time.
+    """
+
+    owner: int
+    page_id: int
+    reason: str  # transient | corrupt
+    page_class: str
+    cooldown: int
+    fast_fails: int = 0
+    probes: int = 0
+    since_probe: int = 0
+    probing: bool = False
+
+
+class PageQuarantine:
+    """Registry of pages whose reads exhausted the retry policy.
+
+    A quarantined page costs one dictionary lookup per read instead of
+    a full retry storm; a deterministic read-counted probation path
+    re-probes the disk so a healed page is readmitted.  Cumulative
+    per-page history (admissions, probes, readmissions) survives
+    readmission so oracles can bound the total disk attempts a bad
+    page may ever have seen.
+    """
+
+    def __init__(self, cooldown_reads: int = 8, max_cooldown_reads: int = 128):
+        if cooldown_reads < 1 or max_cooldown_reads < cooldown_reads:
+            raise StorageError(
+                "quarantine needs 1 <= cooldown_reads <= max_cooldown_reads"
+            )
+        self.cooldown_reads = cooldown_reads
+        self.max_cooldown_reads = max_cooldown_reads
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[int, int], QuarantineEntry] = {}
+        self._history: dict[tuple[int, int], dict] = {}
+        self.fast_fails_total = 0
+        self.probes_total = 0
+        self.readmissions_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return tuple(key) in self._entries
+
+    def entries(self) -> list[QuarantineEntry]:
+        """Snapshot of the current quarantine population."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def history(self) -> dict[tuple[int, int], dict]:
+        """Cumulative per-page lifecycle counts (survive readmission)."""
+        with self._lock:
+            return {key: dict(h) for key, h in self._history.items()}
+
+    def reason_of(self, owner: int, page_id: int) -> str | None:
+        entry = self._entries.get((owner, page_id))
+        return entry.reason if entry is not None else None
+
+    # -- read-path hooks ------------------------------------------------
+
+    def gate(self, owner: int, page_id: int) -> str:
+        """Classify one read of ``page_id``: ``clear`` (not
+        quarantined), ``blocked`` (fail fast), or ``probe`` (let this
+        read through the full retry cycle)."""
+        with self._lock:
+            entry = self._entries.get((owner, page_id))
+            if entry is None:
+                return QUARANTINE_CLEAR
+            if not entry.probing:
+                entry.since_probe += 1
+                if entry.since_probe >= entry.cooldown:
+                    entry.probing = True
+                    entry.since_probe = 0
+                    entry.probes += 1
+                    self.probes_total += 1
+                    self._history[(owner, page_id)]["probes"] += 1
+                    return QUARANTINE_PROBE
+            entry.fast_fails += 1
+            self.fast_fails_total += 1
+            return QUARANTINE_BLOCKED
+
+    def admit(
+        self, owner: int, page_id: int, reason: str, page_class: str
+    ) -> None:
+        """Quarantine a page whose read just exhausted the policy."""
+        with self._lock:
+            key = (owner, page_id)
+            if key in self._entries:
+                self._entries[key].reason = reason
+                return
+            self._entries[key] = QuarantineEntry(
+                owner=owner,
+                page_id=page_id,
+                reason=reason,
+                page_class=page_class,
+                cooldown=self.cooldown_reads,
+            )
+            history = self._history.setdefault(
+                key, {"admissions": 0, "probes": 0, "readmissions": 0}
+            )
+            history["admissions"] += 1
+
+    def probe_failed(self, owner: int, page_id: int) -> None:
+        """A probation read exhausted the policy again: keep the page
+        quarantined with a doubled (capped) cooldown."""
+        with self._lock:
+            entry = self._entries.get((owner, page_id))
+            if entry is None:
+                return
+            entry.probing = False
+            entry.since_probe = 0
+            entry.cooldown = min(entry.cooldown * 2, self.max_cooldown_reads)
+
+    def probe_succeeded(self, owner: int, page_id: int) -> None:
+        """A probation read came back clean: readmit the page."""
+        with self._lock:
+            if self._entries.pop((owner, page_id), None) is not None:
+                self.readmissions_total += 1
+                self._history[(owner, page_id)]["readmissions"] += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "quarantined": len(self._entries),
+                "fast_fails_total": self.fast_fails_total,
+                "probes_total": self.probes_total,
+                "readmissions_total": self.readmissions_total,
+            }
+
+
+def kill_random_pages(
+    pages,
+    fraction: float,
+    seed: int = 0,
+    classes: tuple[str, ...] = ("dmtm", "msdn"),
+) -> list[int]:
+    """Permanently kill a seeded random fraction of a manager's pages.
+
+    Picks ``floor(fraction * len(eligible))`` pages whose page class is
+    in ``classes`` (by default the DMTM/MSDN bound sources — object and
+    index pages stay readable, matching the chaos-benchmark contract)
+    and adds them to the manager's injector kill-list, installing a
+    zero-rate :class:`FaultInjector` if none is attached.  Returns the
+    sorted killed page ids.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise StorageError(f"fraction must be in [0, 1], got {fraction}")
+    eligible = [
+        page_id
+        for page_id in range(pages.num_pages)
+        if pages.page_class_of(page_id) in classes
+    ]
+    count = int(len(eligible) * fraction)
+    if count == 0:
+        return []
+    rng = random.Random(seed)
+    dead = sorted(rng.sample(eligible, count))
+    injector = pages.fault_injector
+    if injector is None:
+        injector = FaultInjector(seed=seed)
+        pages.fault_injector = injector
+    injector.kill(dead)
+    return dead

@@ -31,13 +31,23 @@ import threading
 import zlib
 from collections import OrderedDict
 
-from repro.errors import PageCorruptionError, PageReadError, StorageError
+from repro.errors import (
+    PageCorruptionError,
+    PageReadError,
+    QuarantinedPageError,
+    StorageError,
+)
 from repro.obs.context import active_profiler
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import NOOP_SPAN, NULL_TRACER
 from repro.storage.faults import (
+    FAULT_CORRUPT,
+    FAULT_TRANSIENT,
+    QUARANTINE_BLOCKED,
+    QUARANTINE_PROBE,
     FaultInjector,
     FaultStats,
+    PageQuarantine,
     RetryPolicy,
     _TransientFault,
 )
@@ -186,6 +196,14 @@ class PageManager:
         Optional :class:`repro.obs.tracing.Tracer`; fault recovery
         emits ``storage.retry`` spans through it (a clean read emits
         nothing).
+    quarantine:
+        Optional :class:`~repro.storage.faults.PageQuarantine`; by
+        default each manager owns a private one.  A page whose read
+        exhausts the retry policy is quarantined: later buffer misses
+        for it fail fast with
+        :class:`~repro.errors.QuarantinedPageError` instead of
+        re-running the retry storm, until a probation read readmits
+        it.
 
     Reads are guarded by a per-manager lock so the buffer probe and
     the hit/miss accounting are atomic with respect to other threads
@@ -201,6 +219,7 @@ class PageManager:
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         tracer=None,
+        quarantine: PageQuarantine | None = None,
     ):
         if page_size < 64:
             raise StorageError("page_size must be at least 64 bytes")
@@ -217,6 +236,9 @@ class PageManager:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.quarantine = (
+            quarantine if quarantine is not None else PageQuarantine()
+        )
         self.fault_stats = FaultStats()
         self._crc: dict[int, int] = {}
         self._page_class: dict[int, str] = {}
@@ -283,14 +305,57 @@ class PageManager:
                 self.stats.record_read(page_class, physical=False)
                 profiler.count("logical_reads", 1)
                 return cached
+            # A buffered copy is valid data, so the quarantine only
+            # gates disk access: known-bad pages fail fast here
+            # instead of re-running the retry storm, except for the
+            # periodic probation read that checks whether the page
+            # has healed.
+            verdict = self.quarantine.gate(self._owner, page_id)
+            if verdict == QUARANTINE_BLOCKED:
+                self.fault_stats.quarantine_fastfails_total += 1
+                get_registry().counter(
+                    "storage.quarantine_fastfails_total"
+                ).add(1)
+                reason = self.quarantine.reason_of(self._owner, page_id)
+                raise QuarantinedPageError(
+                    f"page {page_id} is quarantined ({reason}); read "
+                    "refused without touching the disk"
+                )
+            if verdict == QUARANTINE_PROBE:
+                self.fault_stats.quarantine_probes_total += 1
+                get_registry().counter("storage.quarantine_probes_total").add(1)
             # A buffer miss is the query's page-I/O moment: the
             # physical fetch (plus CRC/retry machinery) is billed to
             # the "page-io" phase, with per-class read attribution.
             with profiler.phase("page-io"):
-                data = self._fetch_verified(page_id)
+                try:
+                    data = self._fetch_verified(page_id)
+                except (PageReadError, PageCorruptionError) as exc:
+                    if verdict == QUARANTINE_PROBE:
+                        self.quarantine.probe_failed(self._owner, page_id)
+                    else:
+                        self.quarantine.admit(
+                            self._owner,
+                            page_id,
+                            reason=(
+                                FAULT_CORRUPT
+                                if isinstance(exc, PageCorruptionError)
+                                else FAULT_TRANSIENT
+                            ),
+                            page_class=page_class,
+                        )
+                        self.fault_stats.pages_quarantined_total += 1
+                        get_registry().counter(
+                            "storage.pages_quarantined_total"
+                        ).add(1)
+                    raise
                 profiler.count("logical_reads", 1)
                 profiler.count("physical_reads", 1)
                 profiler.count("physical." + page_class, 1)
+            if verdict == QUARANTINE_PROBE:
+                self.quarantine.probe_succeeded(self._owner, page_id)
+                self.fault_stats.pages_readmitted_total += 1
+                get_registry().counter("storage.pages_readmitted_total").add(1)
             self.stats.record_read(page_class, physical=True)
             self._buffer.put(self._owner, page_id, data)
             return data

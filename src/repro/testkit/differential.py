@@ -22,6 +22,11 @@ off                 landmark bounds admissible vs exact geodesics
                     (``landmark_admissible``); the landmarks-on run
                     itself stays bit-identical across the kernel and
                     batch axes (PR 7)
+persistent          queries never crash: every answer is exact or
+(kill-list) vs      ``degraded=True`` with ``degraded_reason=
+clean               "storage"`` and sound intervals; quarantined
+                    pages are never re-read past the probe cap
+                    (``storage_degradation_sound``)
 ==================  =================================================
 
 Every mode's results additionally run the full invariant-oracle
@@ -429,6 +434,61 @@ def run_scenario(
                         ),
                     ),
                 )
+            )
+
+    # ------------------------------------------------------------------
+    # persistent faults (kill-list): no crash, answers exact or
+    # storage-degraded-and-sound, quarantined pages never hammered
+    # ------------------------------------------------------------------
+    if (
+        active("persistent")
+        and scenario.fault is not None
+        and scenario.fault.dead_page_fraction > 0.0
+    ):
+        from repro.errors import SurfKnnError
+
+        report.modes_run.append("persistent")
+        dead_engine = build_engine(
+            scenario, mesh, with_faults=True, persistent=True
+        )
+        for index, q in enumerate(queries):
+            try:
+                result = mutate(
+                    dead_engine.query(q.vertex, q.k, step_length=q.step_length)
+                )
+            except SurfKnnError as exc:
+                report.findings.append(
+                    Finding(
+                        mode="persistent", query_index=index,
+                        violation=Violation(
+                            oracle="storage_degradation_sound",
+                            message=(
+                                "degraded-mode query crashed instead of "
+                                f"degrading: {type(exc).__name__}: {exc}"
+                            ),
+                        ),
+                    )
+                )
+                continue
+            if result.degraded and result.degraded_reason != "storage":
+                report.findings.append(
+                    Finding(
+                        mode="persistent", query_index=index,
+                        violation=Violation(
+                            oracle="storage_degradation_sound",
+                            message=(
+                                "unbudgeted kill-list query degraded with "
+                                f"reason {result.degraded_reason!r}, "
+                                "expected 'storage'"
+                            ),
+                        ),
+                    )
+                )
+            check(
+                "persistent", index, result,
+                quarantine=dead_engine.pages.quarantine,
+                fault_injector=dead_engine.pages.fault_injector,
+                retry_attempts=scenario.fault.retry_attempts,
             )
 
     report.seconds = time.perf_counter() - start

@@ -207,7 +207,13 @@ class QuerySpec:
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Seeded fault schedule for the faulted differential leg."""
+    """Seeded fault schedule for the faulted differential leg.
+
+    ``dead_page_fraction > 0`` adds a *persistent* component: that
+    fraction of the DMTM/MSDN pages is put on the injector's
+    kill-list (every read fails, retries never help) — the
+    degraded-mode leg of the differential matrix runs against it.
+    """
 
     seed: int = 0
     transient_rate: float = 0.05
@@ -215,6 +221,8 @@ class FaultSpec:
     latency_rate: float = 0.0
     max_faults: int = 64
     retry_attempts: int = 8
+    dead_page_fraction: float = 0.0
+    dead_page_seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -338,6 +346,16 @@ def generate_scenario(seed: int) -> Scenario:
             max_faults=rng.choice((16, 64, 256)),
         )
     budget_pages = rng.choice((None, None, 4, 12, 40))
+    batch_workers = rng.choice((2, 4))
+    # Persistent-fault component, drawn last so every draw above sees
+    # the exact stream position it saw before this field existed —
+    # pre-existing seeds keep producing byte-identical scenarios.
+    if fault is not None and rng.random() < 0.35:
+        fault = replace(
+            fault,
+            dead_page_fraction=round(rng.uniform(0.02, 0.10), 3),
+            dead_page_seed=rng.randrange(10_000),
+        )
     return Scenario(
         seed=seed,
         terrain=terrain,
@@ -345,7 +363,7 @@ def generate_scenario(seed: int) -> Scenario:
         queries=tuple(queries),
         fault=fault,
         budget_pages=budget_pages,
-        batch_workers=rng.choice((2, 4)),
+        batch_workers=batch_workers,
     )
 
 
@@ -473,15 +491,21 @@ def build_engine(
     scenario: Scenario,
     mesh: TriangleMesh | None = None,
     with_faults: bool = False,
+    persistent: bool = False,
 ):
     """Fresh engine for a scenario.
 
     ``with_faults=True`` attaches the scenario's seeded
     :class:`~repro.storage.faults.FaultInjector` and a retry policy
     generous enough that the schedule's fault storms always recover
-    (``retry_attempts`` attempts per read).
+    (``retry_attempts`` attempts per read).  ``persistent=True``
+    additionally applies the spec's kill-list
+    (``dead_page_fraction`` of the DMTM/MSDN pages fail every read) —
+    those reads can *never* recover, so this leg exercises the
+    quarantine + redundant-bound degraded mode rather than the retry
+    path.
     """
-    from repro.storage.faults import FaultInjector, RetryPolicy
+    from repro.storage.faults import FaultInjector, RetryPolicy, kill_random_pages
 
     mesh = mesh if mesh is not None else build_mesh(scenario.terrain)
     objects = build_objects(mesh, scenario.objects)
@@ -498,7 +522,16 @@ def build_engine(
             max_faults=fault.max_faults,
         )
         kwargs["retry_policy"] = RetryPolicy(max_attempts=fault.retry_attempts)
-    return SurfaceKNNEngine(mesh, objects=objects, **kwargs)
+    engine = SurfaceKNNEngine(mesh, objects=objects, **kwargs)
+    if persistent:
+        if scenario.fault is None or scenario.fault.dead_page_fraction <= 0.0:
+            raise QueryError("scenario has no persistent-fault component")
+        kill_random_pages(
+            engine.pages,
+            scenario.fault.dead_page_fraction,
+            seed=scenario.fault.dead_page_seed,
+        )
+    return engine
 
 
 def with_fewer_objects(scenario: Scenario, count: int) -> Scenario:

@@ -56,6 +56,13 @@ class OracleContext:
     reported objects), and ``baseline`` is the same query's result
     from a landmarks-off run — the admissibility oracle then asserts
     the landmark run changed nothing observable about the answer.
+
+    ``quarantine`` / ``fault_injector`` / ``retry_attempts``
+    optionally carry the engine's live
+    :class:`repro.storage.faults.PageQuarantine`, its
+    :class:`~repro.storage.faults.FaultInjector` and the retry
+    policy's attempt count, so the storage-degradation oracle can
+    bound the disk attempts any quarantined page ever saw.
     """
 
     result: object
@@ -66,6 +73,9 @@ class OracleContext:
     landmarks: object = None
     object_vertices: dict = None
     baseline: object = None
+    quarantine: object = None
+    fault_injector: object = None
+    retry_attempts: int = 0
 
     @property
     def truth_dist(self) -> dict:
@@ -360,6 +370,67 @@ def check_landmark_admissible(ctx: OracleContext) -> list[str]:
     return out
 
 
+def check_storage_degradation_sound(ctx: OracleContext) -> list[str]:
+    """Degraded-mode contract under persistent storage faults.
+
+    Four legs:
+
+    1. ``degraded_reason`` is coherent: degraded results carry
+       ``"storage"`` or ``"budget"``, exact results carry ``None``.
+    2. Storage-degraded answers keep the interval sandwich — every
+       reported ``[lb, ub]`` still brackets the exact ``dS`` (the
+       redundant bound fallback may only substitute *sound* sources).
+    3. A storage-degraded result still has the right shape (k distinct
+       neighbours, ordered, valid intervals).
+    4. Quarantined pages are never hammered: the injector's dead-page
+       events on any page the quarantine ever held are bounded by
+       ``retry_attempts x (admissions + probes)`` — fast-fails must
+       not touch the disk.
+    """
+    result = ctx.result
+    out = []
+    reason = getattr(result, "degraded_reason", None)
+    if result.degraded:
+        if reason not in ("storage", "budget"):
+            out.append(
+                f"degraded result carries invalid degraded_reason {reason!r}"
+            )
+    elif reason is not None:
+        out.append(
+            f"non-degraded result carries degraded_reason {reason!r}"
+        )
+    if result.degraded and reason == "storage":
+        out.extend(check_interval_sandwich(ctx))
+        out.extend(check_result_shape(ctx))
+    if (
+        ctx.quarantine is not None
+        and ctx.fault_injector is not None
+        and ctx.retry_attempts > 0
+    ):
+        from repro.storage.faults import FAULT_DEAD
+
+        dead_attempts: dict[int, int] = {}
+        for event in ctx.fault_injector.log:
+            if event.kind == FAULT_DEAD:
+                dead_attempts[event.page_id] = (
+                    dead_attempts.get(event.page_id, 0) + 1
+                )
+        for (_owner, page_id), hist in ctx.quarantine.history().items():
+            cap = ctx.retry_attempts * (
+                hist["admissions"] + hist["probes"]
+            )
+            seen = dead_attempts.get(page_id, 0)
+            if seen > cap:
+                out.append(
+                    f"page {page_id}: {seen} dead-page disk attempts "
+                    f"exceed the quarantine cap {cap} "
+                    f"({hist['admissions']} admissions, "
+                    f"{hist['probes']} probes x {ctx.retry_attempts} "
+                    "attempts) — fast-fails leaked to the disk"
+                )
+    return out
+
+
 # ----------------------------------------------------------------------
 # catalog
 # ----------------------------------------------------------------------
@@ -430,6 +501,14 @@ ORACLES: dict[str, Oracle] = {
             "repro.geodesic.landmarks / repro.core.ranking",
             "landmark bounds <= true dS; answer set and degraded "
             "reporting identical to landmarks-off",
+        ),
+        Oracle(
+            "storage_degradation_sound",
+            check_storage_degradation_sound,
+            "degraded-mode extension",
+            "repro.storage.faults / repro.core.ranking",
+            "storage-degraded answers stay sound; quarantined pages "
+            "are never re-read past the probe cap",
         ),
     )
 }

@@ -18,9 +18,12 @@ from repro.errors import QueryError
 from repro.storage.faults import FaultInjector, RetryPolicy
 
 
-def faulted_engine(mesh, **fault_kwargs) -> SurfaceKNNEngine:
+def faulted_engine(
+    mesh, degraded_mode: bool = True, **fault_kwargs
+) -> SurfaceKNNEngine:
     return SurfaceKNNEngine(
         mesh, density=10.0, seed=3,
+        degraded_mode=degraded_mode,
         fault_injector=FaultInjector(**fault_kwargs),
         retry_policy=RetryPolicy(max_attempts=2),
     )
@@ -101,7 +104,12 @@ class TestBatchIsolation:
         assert injector.injected_total > 0
 
     def test_breaker_stops_admission_on_dead_disk(self, bh_mesh):
-        engine = faulted_engine(bh_mesh, seed=1, transient_rate=1.0)
+        # degraded_mode=False restores fail-stop queries: storage
+        # faults crash the query and feed the breaker (with it on,
+        # queries degrade instead and the circuit never opens).
+        engine = faulted_engine(
+            bh_mesh, degraded_mode=False, seed=1, transient_rate=1.0
+        )
         executor = BatchQueryExecutor(
             engine, workers=2, circuit_threshold=3
         )

@@ -17,14 +17,18 @@ from repro.core.engine import SurfaceKNNEngine
 from repro.errors import (
     PageCorruptionError,
     PageReadError,
+    QuarantinedPageError,
     StorageError,
 )
 from repro.obs.tracing import Tracer
 from repro.storage.faults import (
     FAULT_CORRUPT,
+    FAULT_DEAD,
     FAULT_TRANSIENT,
     FaultInjector,
+    PageQuarantine,
     RetryPolicy,
+    kill_random_pages,
 )
 from repro.storage.pages import PageManager
 
@@ -166,6 +170,152 @@ class TestPageManagerRecovery:
             pm.read(i)
         stats = pm.fault_stats.as_dict()
         assert all(v == 0 for v in stats.values())
+
+
+class TestPageQuarantine:
+    """Lifecycle of a known-bad page: admit after retry exhaustion,
+    fail fast without touching the disk, probe after the read-counted
+    cooldown, readmit on recovery — with cumulative history intact."""
+
+    def dead_page_manager(self, cooldown_reads: int = 3):
+        injector = FaultInjector(seed=1)
+        injector.kill([0])
+        pm = make_manager(
+            injector,
+            retry_policy=RetryPolicy(max_attempts=2),
+            quarantine=PageQuarantine(cooldown_reads=cooldown_reads),
+        )
+        return pm, injector
+
+    def test_exhausted_read_enters_quarantine(self):
+        pm, injector = self.dead_page_manager()
+        with pytest.raises(PageReadError):
+            pm.read(0)
+        assert (pm._owner, 0) in pm.quarantine
+        assert pm.quarantine.reason_of(pm._owner, 0) == FAULT_TRANSIENT
+        assert pm.fault_stats.pages_quarantined_total == 1
+        assert pm.fault_stats.reads_failed_total == 1
+        # Both attempts of the one retry cycle hit the kill-list.
+        assert [e.kind for e in injector.log] == [FAULT_DEAD, FAULT_DEAD]
+
+    def test_quarantined_reads_fail_fast_without_disk(self):
+        pm, injector = self.dead_page_manager(cooldown_reads=3)
+        with pytest.raises(PageReadError):
+            pm.read(0)
+        events_after_admit = len(injector.log)
+        # Reads 1 and 2 of the cooldown window are blocked outright:
+        # typed error, no retry storm, no injector traffic.
+        for _ in range(2):
+            with pytest.raises(QuarantinedPageError):
+                pm.read(0)
+        assert len(injector.log) == events_after_admit
+        assert pm.fault_stats.quarantine_fastfails_total == 2
+        assert pm.quarantine.stats()["fast_fails_total"] == 2
+        # Fast fails are refusals, not read failures.
+        assert pm.fault_stats.reads_failed_total == 1
+
+    def test_quarantined_error_is_a_storage_error(self):
+        assert issubclass(QuarantinedPageError, StorageError)
+
+    def test_probe_failure_doubles_cooldown(self):
+        pm, injector = self.dead_page_manager(cooldown_reads=3)
+        with pytest.raises(PageReadError):
+            pm.read(0)
+        for _ in range(2):
+            with pytest.raises(QuarantinedPageError):
+                pm.read(0)
+        events_before_probe = len(injector.log)
+        # The cooldown-th gated read probes the disk: the full retry
+        # cycle runs again and fails again.
+        with pytest.raises(PageReadError):
+            pm.read(0)
+        assert len(injector.log) == events_before_probe + 2
+        assert pm.fault_stats.quarantine_probes_total == 1
+        (entry,) = pm.quarantine.entries()
+        assert entry.cooldown == 6  # doubled after the failed probe
+        # The page stays quarantined; the next read fails fast again.
+        with pytest.raises(QuarantinedPageError):
+            pm.read(0)
+
+    def test_revived_page_is_readmitted_on_probe(self):
+        pm, injector = self.dead_page_manager(cooldown_reads=1)
+        with pytest.raises(PageReadError):
+            pm.read(0)
+        injector.revive([0])
+        # cooldown_reads=1 makes the very next read the probe.
+        data = pm.read(0)
+        assert data.startswith(b"page-0")
+        assert (pm._owner, 0) not in pm.quarantine
+        assert len(pm.quarantine) == 0
+        assert pm.fault_stats.pages_readmitted_total == 1
+        assert pm.quarantine.stats()["readmissions_total"] == 1
+        # Cumulative history survives readmission.
+        history = pm.quarantine.history()[(pm._owner, 0)]
+        assert history == {"admissions": 1, "probes": 1, "readmissions": 1}
+        # A readmitted page serves reads normally again.
+        pm.drop_buffer()
+        assert pm.read(0).startswith(b"page-0")
+
+    def test_retry_identity_survives_quarantine_cycles(self):
+        # The counter reconciliation from the recoverable-fault
+        # contract must still hold when dead-page probe cycles are in
+        # the mix: every injected event is either retried past or
+        # ends a failed read, and fast-fails add nothing.
+        pm, injector = self.dead_page_manager(cooldown_reads=2)
+        for _ in range(12):
+            with pytest.raises(StorageError):
+                pm.read(0)
+        stats = pm.fault_stats
+        assert stats.retries_total == (
+            injector.injected_total - stats.reads_failed_total
+        )
+        assert stats.quarantine_fastfails_total > 0
+
+    def test_cooldown_validated(self):
+        with pytest.raises(StorageError):
+            PageQuarantine(cooldown_reads=0)
+        with pytest.raises(StorageError):
+            PageQuarantine(cooldown_reads=8, max_cooldown_reads=4)
+
+
+class TestKillRandomPages:
+    def test_fraction_validated(self):
+        pm = make_manager(None)
+        with pytest.raises(StorageError):
+            kill_random_pages(pm, 1.5)
+        with pytest.raises(StorageError):
+            kill_random_pages(pm, -0.1)
+
+    def test_respects_page_classes(self):
+        # make_manager allocates everything under the default "other"
+        # class, which the default DMTM/MSDN filter must skip.
+        pm = make_manager(None)
+        assert kill_random_pages(pm, 1.0) == []
+        dead = kill_random_pages(pm, 0.5, classes=("other",))
+        assert len(dead) == 4  # floor(8 * 0.5)
+        assert dead == sorted(dead)
+
+    def test_installs_zero_rate_injector(self):
+        pm = make_manager(None)
+        assert pm.fault_injector is None
+        dead = kill_random_pages(pm, 0.25, seed=9, classes=("other",))
+        injector = pm.fault_injector
+        assert injector is not None
+        assert set(injector.dead_pages) == set(dead)
+        # The installed injector only carries the kill-list: reads of
+        # surviving pages stay fault-free.
+        for page_id in range(8):
+            if page_id in injector.dead_pages:
+                continue
+            assert pm.read(page_id).startswith(b"page-")
+        assert all(e.kind == FAULT_DEAD for e in injector.log)
+
+    def test_deterministic_for_seed(self):
+        picks = [
+            kill_random_pages(make_manager(None), 0.5, seed=3, classes=("other",))
+            for _ in range(2)
+        ]
+        assert picks[0] == picks[1]
 
 
 class TestEngineUnderFaults:
