@@ -115,6 +115,14 @@ class SurfaceKNNEngine:
         on, the returned neighbour sets and degraded/error reporting
         are unchanged — only the intervals may tighten and less work
         is done (see docs/performance.md, "Landmark bounds").
+    lazy_landmarks:
+        With ``landmarks`` given as an int, build a
+        :class:`~repro.geodesic.landmarks.LazyLandmarkIndex` instead:
+        selection runs up front, but the expensive exact rows are
+        built incrementally — one per query inside the ranking loop
+        (``landmark-lazy-build`` phase), each persisted through the
+        shared bound cache — so the table cost amortizes across a
+        sweep instead of blocking engine construction.
     """
 
     def __init__(
@@ -136,6 +144,7 @@ class SurfaceKNNEngine:
         fault_injector=None,
         retry_policy=None,
         landmarks=None,
+        lazy_landmarks: bool = False,
         degraded_mode: bool = True,
     ):
         self.mesh = mesh
@@ -175,24 +184,25 @@ class SurfaceKNNEngine:
             )
             self.dmtm.attach_storage(self.pages)
             self.msdn.attach_storage(self.pages)
-        self.landmarks = self._resolve_landmarks(landmarks)
+        self.landmarks = self._resolve_landmarks(landmarks, lazy=lazy_landmarks)
         self.health = EngineHealth(self)
 
-    def _resolve_landmarks(self, landmarks):
+    def _resolve_landmarks(self, landmarks, lazy: bool = False):
         if landmarks is None or isinstance(landmarks, bool):
             if landmarks:
                 raise QueryError("landmarks must be an int count or a LandmarkIndex")
             return None
         if isinstance(landmarks, int):
             from repro.core.batch import shared_bound_cache
-            from repro.geodesic.landmarks import LandmarkIndex
+            from repro.geodesic.landmarks import LandmarkIndex, LazyLandmarkIndex
 
-            return LandmarkIndex.build(
+            builder = LazyLandmarkIndex if lazy else LandmarkIndex
+            return builder.build(
                 self.mesh, count=landmarks, cache=shared_bound_cache()
             )
         return landmarks
 
-    def with_landmarks(self, landmarks) -> "SurfaceKNNEngine":
+    def with_landmarks(self, landmarks, lazy: bool = False) -> "SurfaceKNNEngine":
         """A shallow clone of this engine with landmark bounds
         attached (or detached, with ``None``).
 
@@ -200,13 +210,15 @@ class SurfaceKNNEngine:
         with the original — only the landmark index differs — so
         attaching landmarks to an already-built engine costs just the
         index build (cache-hit-free on the second call thanks to the
-        shared bound cache).  Metrics consumers take per-query deltas,
-        which the shared ``stats`` keeps correct.
+        shared bound cache).  ``lazy=True`` attaches an incremental
+        :class:`~repro.geodesic.landmarks.LazyLandmarkIndex` (see the
+        constructor's ``lazy_landmarks``).  Metrics consumers take
+        per-query deltas, which the shared ``stats`` keeps correct.
         """
         import copy
 
         clone = copy.copy(self)
-        clone.landmarks = clone._resolve_landmarks(landmarks)
+        clone.landmarks = clone._resolve_landmarks(landmarks, lazy=lazy)
         return clone
 
     @classmethod

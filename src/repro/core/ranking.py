@@ -235,20 +235,31 @@ class DistanceRanker:
             cand.interval.refine_lb(euclid)
 
         landmark_lbs = None
-        kth_ub_estimate = float("inf")
+        landmark_kth = float("inf")
         if self.landmarks is not None:
+            # Lazy indexes grow their exact table here, a bounded
+            # number of rows per query (billed to the
+            # "landmark-lazy-build" phase); eager indexes no-op.
+            self.landmarks.ensure_progress()
             landmark_lbs = self._apply_landmark_bounds(anchors, candidates)
             # Landmark concatenation distances are genuine surface
             # paths, so the k-th smallest is a valid rejection
             # threshold from level 0 — before the DMTM has produced
             # any finite upper bound.  It only gates *work-skipping*
             # (dummy tests and landmark prunes), never the intervals
-            # themselves, and is replaced by the classified kth_ub
-            # after the first level.
+            # themselves: folding landmark values into candidate
+            # intervals would let a concatenation path become the
+            # final fill key at exhausted-ambiguity fills, breaking
+            # answer-set identity with landmarks-off runs (KS polish
+            # is a stopping rule, not a hard bound, so a landmark ub
+            # can legitimately undercut it).  Gating, by contrast, is
+            # identity-safe by construction: a skipped refinement
+            # leaves a stale-but-sound bound behind.
             with self.profiler.phase("landmark-bounds"):
-                kth_ub_estimate = self.landmarks.kth_upper_bound(
+                landmark_kth = self.landmarks.kth_upper_bound(
                     anchors, [c.vertex for c in candidates], k
                 )
+        kth_ub_estimate = landmark_kth
 
         active = list(candidates)
         iterations = 0
@@ -279,7 +290,13 @@ class DistanceRanker:
                 if budget is not None:
                     budget.note_mid_level_stop()
                 break
-            kth_ub_estimate = verdict.kth_ub
+            # Composed gate: the classified kth_ub comes from
+            # DMTM/MSDN-sourced intervals; the landmark concatenation
+            # estimate is an independent upper bound on the same k-th
+            # distance.  Their min is admissible and strictly tightens
+            # the prune/dummy work-skipping threshold whenever the
+            # landmark tables beat the current refinement level.
+            kth_ub_estimate = min(verdict.kth_ub, landmark_kth)
             trace.append(
                 LevelEvent(
                     phase=phase,
@@ -435,6 +452,7 @@ class DistanceRanker:
 
         landmark_lbs = None
         if self.landmarks is not None:
+            self.landmarks.ensure_progress()
             landmark_lbs = self._apply_landmark_bounds(anchors, candidates)
 
         fallback = _StorageFallback() if storage_fallback else None
@@ -621,7 +639,17 @@ class DistanceRanker:
         self, anchors, target_vertices, res_u: float, group_box
     ) -> dict:
         """Combined upper bounds for targets sharing one fetched
-        region, memoized per (anchors, target, resolution, region)."""
+        region, memoized per (anchors, target, resolution, region).
+
+        Landmark concatenation bounds are deliberately NOT folded into
+        these per-candidate values: interval ubs must stay
+        DMTM/KS-sourced so a landmark run fills exhausted-ambiguity
+        slots with the same ``(ub, object_id)`` keys as a
+        landmarks-off run.  Landmark upper bounds instead compose with
+        the classified kth_ub on the work-skipping gate in
+        :meth:`rank` (see ``landmark_kth``), which tightens pruning
+        without touching the fill order.
+        """
         cache = self.bound_cache
         if cache is None:
             shared = self.dmtm.extract_network(

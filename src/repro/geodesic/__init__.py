@@ -29,7 +29,14 @@ from repro.geodesic.csr import (
     kernel_mode,
     multi_source_dijkstra_csr,
     set_kernel_mode,
+    use_kernel_mode,
     use_reference_kernels,
+)
+from repro.geodesic.frontier import (
+    astar_frontier,
+    dijkstra_frontier,
+    dijkstra_frontier_with_parents,
+    multi_source_frontier,
 )
 from repro.geodesic.pathnet import (
     build_pathnet,
@@ -43,6 +50,7 @@ from repro.geodesic.kanai_suzuki import kanai_suzuki_distance
 from repro.geodesic.landmarks import (
     LandmarkIndex,
     LandmarkTables,
+    LazyLandmarkIndex,
     mesh_fingerprint,
 )
 
@@ -59,7 +67,12 @@ __all__ = [
     "csr_from_adjacency",
     "kernel_mode",
     "set_kernel_mode",
+    "use_kernel_mode",
     "use_reference_kernels",
+    "dijkstra_frontier",
+    "dijkstra_frontier_with_parents",
+    "multi_source_frontier",
+    "astar_frontier",
     "shortest_path",
     "build_pathnet",
     "pathnet_distance",
@@ -71,5 +84,6 @@ __all__ = [
     "kanai_suzuki_distance",
     "LandmarkIndex",
     "LandmarkTables",
+    "LazyLandmarkIndex",
     "mesh_fingerprint",
 ]

@@ -29,11 +29,12 @@ Three search shapes cover every caller:
   Dijkstra on tie-heavy meshes, so it is only wired where the path is
   not consumed.
 
-Kernel selection is a process-wide mode switch: ``"csr"`` (default)
-or ``"reference"`` (the dict kernels, kept as
-``dijkstra_reference``).  :func:`use_reference_kernels` flips it for a
-``with`` block — the differential tests and ``bench kernels`` run the
-same queries under both modes and assert identical answers.
+Kernel selection is a process-wide mode switch: ``"csr"`` (default),
+``"reference"`` (the dict kernels, kept as ``dijkstra_reference``) or
+``"frontier"`` (the numpy frontier-batched kernels in
+:mod:`repro.geodesic.frontier`).  :func:`use_kernel_mode` flips it
+for a ``with`` block — the differential tests and ``bench kernels``
+run the same queries under every mode and assert identical answers.
 """
 
 from __future__ import annotations
@@ -59,12 +60,13 @@ from repro.obs.profile import kernel_phase
 # kernel mode
 # ----------------------------------------------------------------------
 
-_MODES = ("csr", "reference")
+_MODES = ("csr", "reference", "frontier")
 _kernel_mode = "csr"
 
 
 def kernel_mode() -> str:
-    """The process-wide kernel selection: ``"csr"`` or ``"reference"``."""
+    """The process-wide kernel selection: ``"csr"``, ``"reference"``
+    or ``"frontier"``."""
     return _kernel_mode
 
 
@@ -72,7 +74,7 @@ def set_kernel_mode(mode: str) -> None:
     """Select the search kernels used by graph-backed call sites.
 
     Process-wide (not thread-scoped): flip it around single-threaded
-    sections only, e.g. via :func:`use_reference_kernels`.
+    sections only, e.g. via :func:`use_kernel_mode`.
     """
     global _kernel_mode
     if mode not in _MODES:
@@ -81,15 +83,21 @@ def set_kernel_mode(mode: str) -> None:
 
 
 @contextmanager
-def use_reference_kernels():
-    """Run a block on the dict reference kernels (differential tests,
-    reference timings in ``bench kernels``)."""
+def use_kernel_mode(mode: str):
+    """Run a block under an explicit kernel mode (differential tests,
+    per-mode timings in ``bench kernels``)."""
     previous = _kernel_mode
-    set_kernel_mode("reference")
+    set_kernel_mode(mode)
     try:
         yield
     finally:
         set_kernel_mode(previous)
+
+
+def use_reference_kernels():
+    """Run a block on the dict reference kernels (differential tests,
+    reference timings in ``bench kernels``)."""
+    return use_kernel_mode("reference")
 
 
 # ----------------------------------------------------------------------
@@ -119,32 +127,61 @@ class CSRGraph:
         "_indices_list",
         "_weights_list",
         "_arrays",
+        "_frontier",
         "positions",
     )
 
     def __init__(self, indptr, indices, weights, positions=None):
-        self._indptr_list = (
-            indptr.tolist() if isinstance(indptr, np.ndarray) else list(indptr)
-        )
-        self._indices_list = (
-            indices.tolist() if isinstance(indices, np.ndarray) else list(indices)
-        )
-        self._weights_list = (
-            weights.tolist() if isinstance(weights, np.ndarray) else list(weights)
-        )
-        self._arrays = None
+        if (
+            isinstance(indptr, np.ndarray)
+            and isinstance(indices, np.ndarray)
+            and isinstance(weights, np.ndarray)
+        ):
+            # Array-first construction (the vectorised pathnet
+            # builder): keep the numpy form primary and materialise
+            # the list mirrors lazily — the frontier kernels never
+            # need them.
+            self._indptr_list = None
+            self._indices_list = None
+            self._weights_list = None
+            self._arrays = (
+                np.ascontiguousarray(indptr, dtype=np.int64),
+                np.ascontiguousarray(indices, dtype=np.int64),
+                np.ascontiguousarray(weights, dtype=np.float64),
+            )
+        else:
+            self._indptr_list = list(indptr)
+            self._indices_list = list(indices)
+            self._weights_list = list(weights)
+            self._arrays = None
+        self._frontier = None  # per-graph frontier-kernel state cache
         self.positions = (
             np.asarray(positions, dtype=np.float64) if positions is not None else None
         )
 
     def _materialise(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        if self._arrays is None:
-            self._arrays = (
+        arrays = self._arrays
+        if (
+            arrays is not None
+            and self._indptr_list is not None
+            and (
+                arrays[0].shape[0] != len(self._indptr_list)
+                or arrays[1].shape[0] != len(self._indices_list)
+            )
+        ):
+            # Hardening: a caller grew the list storage after the
+            # numpy views were materialised.  Re-materialise (and drop
+            # the derived frontier state) rather than search on stale
+            # views.
+            arrays = None
+            self._frontier = None
+        if arrays is None:
+            arrays = self._arrays = (
                 np.asarray(self._indptr_list, dtype=np.int64),
                 np.asarray(self._indices_list, dtype=np.int64),
                 np.asarray(self._weights_list, dtype=np.float64),
             )
-        return self._arrays
+        return arrays
 
     @property
     def indptr(self) -> np.ndarray:
@@ -160,15 +197,25 @@ class CSRGraph:
 
     @property
     def num_nodes(self) -> int:
-        return len(self._indptr_list) - 1
+        if self._indptr_list is not None:
+            return len(self._indptr_list) - 1
+        return int(self._arrays[0].shape[0]) - 1
 
     @property
     def num_edges(self) -> int:
-        return len(self._indices_list)
+        if self._indices_list is not None:
+            return len(self._indices_list)
+        return int(self._arrays[1].shape[0])
 
     def lists(self) -> tuple[list, list, list]:
         """``(indptr, indices, weights)`` as plain Python lists — the
-        form the CPython hot loops consume."""
+        form the CPython hot loops consume (materialised lazily for
+        array-first graphs)."""
+        if self._indptr_list is None:
+            indptr, indices, weights = self._arrays
+            self._indptr_list = indptr.tolist()
+            self._indices_list = indices.tolist()
+            self._weights_list = weights.tolist()
         return self._indptr_list, self._indices_list, self._weights_list
 
     def heuristic_to(self, target: int) -> list[float]:
@@ -236,9 +283,7 @@ def dijkstra_csr(
     n = csr.num_nodes
     if not 0 <= source < n:
         raise GeodesicError(f"source {source} out of range")
-    indptr = csr._indptr_list
-    indices = csr._indices_list
-    weights = csr._weights_list
+    indptr, indices, weights = csr.lists()
     visited = bytearray(n)
     out: dict[int, float] = {}
     remaining = set(targets) if targets is not None else None
@@ -291,9 +336,7 @@ def dijkstra_csr_with_parents(
     n = csr.num_nodes
     if not 0 <= source < n:
         raise GeodesicError(f"source {source} out of range")
-    indptr = csr._indptr_list
-    indices = csr._indices_list
-    weights = csr._weights_list
+    indptr, indices, weights = csr.lists()
     visited = bytearray(n)
     out: dict[int, float] = {}
     parent: dict[int, int] = {}
@@ -383,9 +426,7 @@ def multi_source_dijkstra_csr(
     if not sources:
         _report(0, 0)
         return MultiSourceResult({}, {}, {}, {})
-    indptr = csr._indptr_list
-    indices = csr._indices_list
-    weights = csr._weights_list
+    indptr, indices, weights = csr.lists()
     offsets = []
     heap: list[tuple[float, int, int, int, float]] = []
     for rank, (node, offset) in enumerate(sources):
@@ -476,9 +517,7 @@ def astar_csr(
         _report(1, 0)
         return 0.0
     h = csr.heuristic_to(target) if heuristic is None else heuristic
-    indptr = csr._indptr_list
-    indices = csr._indices_list
-    weights = csr._weights_list
+    indptr, indices, weights = csr.lists()
     visited = bytearray(n)
     settled = 0
     relaxations = 0
@@ -526,16 +565,21 @@ def astar_csr(
 def graph_dijkstra(graph, source, targets=None, max_dist=None) -> dict[int, float]:
     """Mode dispatcher with the compile-on-reuse rule.
 
-    In CSR mode the flat kernel runs only when the graph already
-    carries a compiled CSR form (a cached network view, or a graph an
-    explicit ``csr()`` caller compiled): both kernels return identical
-    answers, but compile-then-search loses to the dict kernel on a
-    graph searched once, and pathnet refinement builds lots of
-    throwaway graphs.  Reference mode always takes the dict kernel.
+    In CSR and frontier modes the flat kernels run only when the graph
+    already carries a compiled CSR form (a cached network view, or a
+    graph an explicit ``csr()`` caller compiled): all kernels return
+    identical answers, but compile-then-search loses to the dict
+    kernel on a graph searched once, and pathnet refinement builds
+    lots of throwaway graphs.  Reference mode always takes the dict
+    kernel.
     """
     if _kernel_mode != "reference":
         csr = graph.csr_if_compiled()
         if csr is not None:
+            if _kernel_mode == "frontier":
+                from repro.geodesic.frontier import dijkstra_frontier
+
+                return dijkstra_frontier(csr, source, targets, max_dist)
             return dijkstra_csr(csr, source, targets, max_dist)
     from repro.geodesic.dijkstra import dijkstra_reference
 
@@ -550,6 +594,10 @@ def graph_dijkstra_with_parents(
     if _kernel_mode != "reference":
         csr = graph.csr_if_compiled()
         if csr is not None:
+            if _kernel_mode == "frontier":
+                from repro.geodesic.frontier import dijkstra_frontier_with_parents
+
+                return dijkstra_frontier_with_parents(csr, source, targets, max_dist)
             return dijkstra_csr_with_parents(csr, source, targets, max_dist)
     from repro.geodesic.dijkstra import dijkstra_with_parents
 

@@ -42,6 +42,35 @@ _EPS = 1e-9
 _ANGLE_EPS = 1e-7
 
 
+def _mesh_tables(mesh):
+    """Per-mesh plain-Python access tables for the propagation loop.
+
+    The inner loop reads face vertices, per-slot edge ids, neighbour
+    faces and edge lengths hundreds of thousands of times per source;
+    numpy scalar indexing dominates at that call rate.  The tables
+    hold exactly the same values as the mesh arrays (plain ``float``
+    of the same float64 entries), so every computed distance is
+    bit-identical to the array-indexing formulation.  Cached on the
+    mesh: one build serves every source (each landmark row, every
+    fig7 oracle).
+    """
+    tables = mesh.__dict__.get("_exact_tables")
+    if tables is None:
+        faces3 = [tuple(int(v) for v in f) for f in mesh.faces]
+        fedges3 = [tuple(int(e) for e in row) for row in mesh.face_edges]
+        fneigh3 = [tuple(int(g) for g in row) for row in mesh.face_neighbors]
+        elen = [float(x) for x in mesh.edge_lengths]
+        # Per-vertex neighbour edge lengths aligned with
+        # mesh.vertex_neighbors — the vertex-relaxation loop's edges.
+        vneigh_len = [
+            [mesh.edge_length(v, u) for u in nbrs]
+            for v, nbrs in enumerate(mesh.vertex_neighbors)
+        ]
+        tables = (faces3, fedges3, fneigh3, elen, vneigh_len, {})
+        mesh.__dict__["_exact_tables"] = tables
+    return tables
+
+
 @dataclass
 class _Window:
     """A window on the directed edge (slot ``slot`` of face ``face``),
@@ -94,12 +123,22 @@ class ExactGeodesic:
         self.source = int(source)
         self.max_windows = max_windows
         self.windows_created = 0
-        self.best = np.full(mesh.num_vertices, np.inf)
+        # Plain Python list: the loop reads/writes single entries only,
+        # and list access is several times cheaper than numpy scalar
+        # indexing.  Python floats are the same float64 values.
+        self.best: list[float] = [math.inf] * mesh.num_vertices
         self.best[source] = 0.0
         self._heap: list[tuple[float, int, str, object]] = []
         self._counter = 0
         self._boundary = mesh.boundary_vertices()
-        self._saddle_cache: dict[int, bool] = {}
+        (
+            self._faces3,
+            self._fedges3,
+            self._fneigh3,
+            self._elen,
+            self._vneigh_len,
+            self._saddle_cache,
+        ) = _mesh_tables(mesh)
         self._seed_source()
 
     # ------------------------------------------------------------------
@@ -113,8 +152,7 @@ class ExactGeodesic:
     def _seed_source(self) -> None:
         mesh = self.mesh
         s = self.source
-        for u in mesh.vertex_neighbors[s]:
-            d = mesh.edge_length(s, u)
+        for u, d in zip(mesh.vertex_neighbors[s], self._vneigh_len[s]):
             if d < self.best[u]:
                 self.best[u] = d
                 self._push(d, "vertex", u)
@@ -134,14 +172,12 @@ class ExactGeodesic:
     def _spawn_pseudo_source(self, v: int, sigma: float) -> None:
         """Emit windows covering the opposite edge of every face
         incident to ``v``, sourced at ``v`` with offset ``sigma``."""
-        mesh = self.mesh
-        for fi in mesh.vertex_faces[v]:
-            face = mesh.faces[fi]
+        faces3 = self._faces3
+        for fi in self.mesh.vertex_faces[v]:
+            face = faces3[fi]
             # Opposite edge = the slot whose two vertices are not v.
             for slot in range(3):
-                a = int(face[slot])
-                b = int(face[(slot + 1) % 3])
-                if a != v and b != v:
+                if face[slot] != v and face[(slot + 1) % 3] != v:
                     self._emit_window_from_point(fi, slot, v, sigma)
                     break
 
@@ -149,38 +185,43 @@ class ExactGeodesic:
         """Window on edge ``slot`` of face ``fi`` whose source is mesh
         vertex ``v`` (the apex of that face), covering the whole edge
         and propagating into the neighbouring face."""
-        mesh = self.mesh
-        g = mesh.face_neighbors[fi, slot]
+        g = self._fneigh3[fi][slot]
         if g < 0:
             return  # boundary edge: nothing beyond it
-        a = int(mesh.faces[fi][slot])
-        b = int(mesh.faces[fi][(slot + 1) % 3])
-        edge_id = mesh.face_edges[fi, slot]
-        length = float(mesh.edge_lengths[edge_id])
-        d_a = mesh.edge_length(v, a)
-        d_b = mesh.edge_length(v, b)
+        face = self._faces3[fi]
+        fedges = self._fedges3[fi]
+        a = face[slot]
+        edge_id = fedges[slot]
+        elen = self._elen
+        length = elen[edge_id]
+        # Slot s of a face is the edge face[s] -> face[(s+1)%3], so the
+        # apex v = face[slot+2] reaches a via edge slot+2 (v -> a) and
+        # b via edge slot+1 (b -> v) — same edge ids, same floats as
+        # the edge_length(v, a) / edge_length(v, b) dict lookups.
+        d_a = elen[fedges[(slot + 2) % 3]]
+        d_b = elen[fedges[(slot + 1) % 3]]
         # Find the edge inside face g and its direction there.
-        g_slot, flipped = self._slot_in_face(g, edge_id, a, b)
+        g_slot, flipped = self._slot_in_face(g, edge_id, a)
         if flipped:
             d_a, d_b = d_b, d_a
         sx = (d_a * d_a - d_b * d_b + length * length) / (2.0 * length)
         sy2 = d_a * d_a - sx * sx
         sy = -math.sqrt(sy2) if sy2 > 0.0 else 0.0
         self._enqueue_window(
-            _Window(face=int(g), slot=g_slot, b0=0.0, b1=length, sx=sx, sy=sy, sigma=sigma)
+            _Window(face=g, slot=g_slot, b0=0.0, b1=length, sx=sx, sy=sy, sigma=sigma)
         )
 
-    def _slot_in_face(self, g: int, edge_id: int, a: int, b: int) -> tuple[int, bool]:
+    def _slot_in_face(self, g: int, edge_id: int, a: int) -> tuple[int, bool]:
         """Locate ``edge_id`` inside face ``g``.
 
         Returns (slot, flipped) where ``flipped`` says whether g's
-        directed edge runs b->a rather than a->b.
+        directed edge starts at a vertex other than ``a`` (i.e. runs
+        b->a rather than a->b).
         """
-        mesh = self.mesh
-        for slot in range(3):
-            if mesh.face_edges[g, slot] == edge_id:
-                ga = int(mesh.faces[g][slot])
-                return slot, ga != a
+        faces = self._faces3[g]
+        for slot, eid in enumerate(self._fedges3[g]):
+            if eid == edge_id:
+                return slot, faces[slot] != a
         raise GeodesicError(f"edge {edge_id} not found in face {g}")
 
     # ------------------------------------------------------------------
@@ -202,10 +243,10 @@ class ExactGeodesic:
         self._push(w.min_key(), "window", w)
 
     def _edge_endpoints(self, w: _Window) -> tuple[int, int, float]:
-        face = self.mesh.faces[w.face]
-        a = int(face[w.slot])
-        b = int(face[(w.slot + 1) % 3])
-        length = float(self.mesh.edge_lengths[self.mesh.face_edges[w.face, w.slot]])
+        face = self._faces3[w.face]
+        a = face[w.slot]
+        b = face[(w.slot + 1) % 3]
+        length = self._elen[self._fedges3[w.face][w.slot]]
         return a, b, length
 
     def _dominated(self, w: _Window) -> bool:
@@ -233,15 +274,17 @@ class ExactGeodesic:
 
     def _propagate(self, w: _Window) -> None:
         """Push the window across its face onto the two far edges."""
-        mesh = self.mesh
-        face = mesh.faces[w.face]
-        a = int(face[w.slot])
-        b = int(face[(w.slot + 1) % 3])
-        c = int(face[(w.slot + 2) % 3])
-        length = float(mesh.edge_lengths[mesh.face_edges[w.face, w.slot]])
+        face = self._faces3[w.face]
+        fedges = self._fedges3[w.face]
+        elen = self._elen
+        slot = w.slot
+        c = face[(slot + 2) % 3]
+        length = elen[fedges[slot]]
         # Unfold the apex C into the window's frame (interior: y > 0).
-        d_ac = mesh.edge_length(a, c)
-        d_bc = mesh.edge_length(b, c)
+        # Edge slot+2 is c->a, edge slot+1 is b->c: same ids (and so
+        # the same floats) as edge_length(a, c) / edge_length(b, c).
+        d_ac = elen[fedges[(slot + 2) % 3]]
+        d_bc = elen[fedges[(slot + 1) % 3]]
         cx = (d_ac * d_ac - d_bc * d_bc + length * length) / (2.0 * length)
         cy2 = d_ac * d_ac - cx * cx
         cy = math.sqrt(cy2) if cy2 > 0.0 else 0.0
@@ -270,8 +313,7 @@ class ExactGeodesic:
     def _propagate_onto(self, w: _Window, src, p0, p1, e0, e1, slot: int) -> None:
         """Clip the source cone against the far edge e0→e1 (local
         coordinates) and emit the child window across it."""
-        mesh = self.mesh
-        g = mesh.face_neighbors[w.face, slot]
+        g = self._fneigh3[w.face][slot]
         # Compute the lit parameter interval [t0, t1] along e0->e1.
         # Inside the cone means cross(p0-src, x-src) <= 0 (right of the
         # left ray) and cross(p1-src, x-src) >= 0 (left of the right
@@ -291,11 +333,12 @@ class ExactGeodesic:
         if t1 - t0 <= _EPS:
             return
 
-        edge_id = mesh.face_edges[w.face, slot]
-        length = float(mesh.edge_lengths[edge_id])
+        edge_id = self._fedges3[w.face][slot]
+        length = self._elen[edge_id]
         # Vertex updates for far-edge endpoints hit by the cone.
-        u = int(mesh.faces[w.face][slot])
-        v = int(mesh.faces[w.face][(slot + 1) % 3])
+        face = self._faces3[w.face]
+        u = face[slot]
+        v = face[(slot + 1) % 3]
         if t0 <= _EPS:
             self._update_vertex(
                 u, w.sigma + math.hypot(src[0] - e0[0], src[1] - e0[1])
@@ -306,7 +349,7 @@ class ExactGeodesic:
             )
         if g < 0:
             return  # boundary: the path cannot continue beyond
-        g_slot, flipped = self._slot_in_face(int(g), edge_id, u, v)
+        g_slot, flipped = self._slot_in_face(g, edge_id, u)
         # Source distances to the child edge's endpoints survive
         # unfolding, so re-derive the child-frame source from them.
         d_u = math.hypot(src[0] - e0[0], src[1] - e0[1])
@@ -324,7 +367,7 @@ class ExactGeodesic:
         sy = -math.sqrt(sy2) if sy2 > 0.0 else 0.0
         self._enqueue_window(
             _Window(
-                face=int(g), slot=g_slot, b0=b0n, b1=b1n, sx=sx, sy=sy, sigma=w.sigma
+                face=g, slot=g_slot, b0=b0n, b1=b1n, sx=sx, sy=sy, sigma=w.sigma
             )
         )
 
@@ -364,19 +407,20 @@ class ExactGeodesic:
                     return
                 if kind == "vertex":
                     v = int(payload)
-                    if key > self.best[v] + _EPS:
+                    bv = self.best[v]
+                    if key > bv + _EPS:
                         continue  # stale event
                     vertices_settled += 1
                     # Relax along mesh edges: edge paths are valid surface
                     # paths, and the domination filter's "via a vertex,
                     # then along the edge" alternative relies on them
                     # being materialized here.
-                    for w in self.mesh.vertex_neighbors[v]:
-                        self._update_vertex(
-                            w, float(self.best[v]) + self.mesh.edge_length(v, w)
-                        )
+                    for w, dl in zip(
+                        self.mesh.vertex_neighbors[v], self._vneigh_len[v]
+                    ):
+                        self._update_vertex(w, bv + dl)
                     if self._is_spreader(v) and v != self.source:
-                        self._spawn_pseudo_source(v, float(self.best[v]))
+                        self._spawn_pseudo_source(v, bv)
                 else:
                     w = payload
                     if self._dominated(w):
@@ -418,7 +462,7 @@ class ExactGeodesic:
     def distances(self) -> np.ndarray:
         """Exact distances to every vertex (full propagation)."""
         self.run()
-        return self.best.copy()
+        return np.asarray(self.best, dtype=float)
 
 
 def exact_surface_distance(

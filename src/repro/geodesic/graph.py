@@ -6,6 +6,12 @@ itself).  :class:`KeyedGraph` maps hashable keys to dense integer ids
 and compiles an adjacency list suitable for
 :func:`repro.geodesic.dijkstra.dijkstra`, plus a memoized CSR form
 for the flat-array kernels in :mod:`repro.geodesic.csr`.
+
+Graphs normally grow by :meth:`KeyedGraph.add_node` /
+:meth:`KeyedGraph.add_edge`; :meth:`KeyedGraph.from_arrays` adopts a
+pre-compiled CSR form wholesale (the vectorised pathnet builder in
+:mod:`repro.geodesic.frontier`), deferring the Python adjacency-list
+mirror until something actually needs it.
 """
 
 from __future__ import annotations
@@ -19,12 +25,45 @@ class KeyedGraph:
     def __init__(self):
         self._ids: dict = {}
         self._keys: list = []
-        self._adj: list[list[tuple[int, float]]] = []
+        self._adj: list[list[tuple[int, float]]] | None = []
         self._positions: list = []  # per-node 3D position or None
         # Compiled CSR form, memoized until the next mutation — many
         # searches run over each extracted network, so the compile
         # cost is paid once per graph, not once per call.
         self._csr = None
+
+    @classmethod
+    def from_arrays(cls, keys: list, positions, csr) -> "KeyedGraph":
+        """Adopt a pre-compiled :class:`~repro.geodesic.csr.CSRGraph`.
+
+        ``keys[i]`` is node i's key, ``positions`` an ``(n, 3)`` array
+        (or None).  The Python adjacency mirror is reconstructed
+        lazily from the CSR arrays — only reference-mode searches and
+        post-hoc mutation ever need it.
+        """
+        graph = cls.__new__(cls)
+        graph._keys = list(keys)
+        graph._ids = {key: i for i, key in enumerate(graph._keys)}
+        if len(graph._ids) != len(graph._keys):
+            raise GeodesicError("from_arrays keys are not unique")
+        if positions is not None:
+            graph._positions = list(positions)
+        else:
+            graph._positions = [None] * len(graph._keys)
+        graph._adj = None  # lazily mirrored from the CSR form
+        graph._csr = csr
+        return graph
+
+    def _ensure_adj(self) -> list[list[tuple[int, float]]]:
+        adj = self._adj
+        if adj is None:
+            indptr, indices, weights = self._csr.lists()
+            adj = self._adj = [
+                list(zip(indices[indptr[u] : indptr[u + 1]],
+                         weights[indptr[u] : indptr[u + 1]]))
+                for u in range(len(indptr) - 1)
+            ]
+        return adj
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -42,6 +81,7 @@ class KeyedGraph:
         node_id = self._ids.get(key)
         if node_id is None:
             node_id = len(self._keys)
+            self._ensure_adj()
             self._ids[key] = node_id
             self._keys.append(key)
             self._adj.append([])
@@ -49,6 +89,9 @@ class KeyedGraph:
             self._csr = None
         elif position is not None and self._positions[node_id] is None:
             self._positions[node_id] = position
+            # The compiled CSR captured a positions snapshot (or the
+            # lack of one): filling a position must invalidate it too.
+            self._csr = None
         return node_id
 
     def add_edge(self, key_a, key_b, weight: float) -> None:
@@ -59,6 +102,7 @@ class KeyedGraph:
         b = self.add_node(key_b)
         if a == b:
             return
+        self._ensure_adj()
         self._adj[a].append((b, float(weight)))
         self._adj[b].append((a, float(weight)))
         self._csr = None
@@ -78,7 +122,7 @@ class KeyedGraph:
     @property
     def adjacency(self) -> list[list[tuple[int, float]]]:
         """The compiled adjacency list (shared, do not mutate)."""
-        return self._adj
+        return self._ensure_adj()
 
     def csr(self):
         """The compiled :class:`repro.geodesic.csr.CSRGraph`.
@@ -96,9 +140,9 @@ class KeyedGraph:
 
             positions = self._positions
             if positions and all(p is not None for p in positions):
-                csr = csr_from_adjacency(self._adj, positions=positions)
+                csr = csr_from_adjacency(self._ensure_adj(), positions=positions)
             else:
-                csr = csr_from_adjacency(self._adj)
+                csr = csr_from_adjacency(self._ensure_adj())
             self._csr = csr
         return csr
 
@@ -110,7 +154,7 @@ class KeyedGraph:
         return self._csr
 
     def degree(self, key) -> int:
-        return len(self._adj[self.node_id(key)])
+        return len(self._ensure_adj()[self.node_id(key)])
 
     def num_edges(self) -> int:
-        return sum(len(nbrs) for nbrs in self._adj) // 2
+        return sum(len(nbrs) for nbrs in self._ensure_adj()) // 2

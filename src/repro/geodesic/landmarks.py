@@ -34,12 +34,25 @@ count, selection seed and a format version — warm batch/service runs
 skip the exact propagations entirely (``landmark.cache_hits``), cold
 builds count once under ``landmark.build`` and profile under the
 ``landmark-build`` phase.
+
+:class:`LazyLandmarkIndex` amortizes the exact-table cost across a
+query sweep instead of paying it up front: selection and the cheap
+``graph`` rows are built eagerly, while each exact ``surface`` row is
+built on demand (``ensure_progress``, one row per query by default)
+under the ``landmark-lazy-build`` profiler phase and persisted
+*per row* through the same bound cache — so a second sweep starts
+fully warm even if the first was interrupted.  Every bound served
+from a partial table is a bound over a **subset** of the landmarks,
+which is always admissible: lower bounds are maxima (a smaller max is
+still a lower bound) and concatenation upper bounds are minima (a
+smaller set can only loosen them toward ``inf``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,6 +77,13 @@ def mesh_fingerprint(mesh) -> str:
 
 def _cache_key(fingerprint: str, count: int, seed: int) -> tuple:
     return ("landmarks", fingerprint, int(count), int(seed), TABLE_VERSION)
+
+
+def _row_cache_key(fingerprint: str, landmark: int) -> tuple:
+    """Per-landmark exact-row key: lazy builds persist row by row, so
+    partial progress survives interruption and is shared with any
+    other index (lazy or eager count) selecting the same vertex."""
+    return ("landmark-row", fingerprint, int(landmark), TABLE_VERSION)
 
 
 @dataclass(frozen=True)
@@ -256,27 +276,60 @@ class LandmarkIndex:
             np.maximum(out, row, out=out)
         return np.maximum(out, 0.0, out=out)
 
-    def kth_upper_bound(self, anchors, vertices, k: int) -> float:
-        """Admissible seed for the ranking loop's pruning threshold:
-        the k-th smallest landmark-concatenation upper bound
-        ``min_a (offset_a + min_l (dS(l,a) + dS(l,v)))`` over the
-        candidate vertices.  Each term is the length of a genuine
-        surface path (query→anchor→landmark→candidate), so the k-th
-        smallest over-estimates the true k-th distance — skipping a
-        candidate whose lower bound already exceeds it is safe before
-        any DMTM upper bound exists.  ``inf`` when fewer than ``k``
-        candidates get a finite bound.
+    def concat_upper_bounds(self, anchors, vertices) -> np.ndarray:
+        """Landmark-concatenation upper bounds per candidate vertex:
+        ``min_a (offset_a + min_l (dS(l,a) + dS(l,v)))``.
+
+        Each term is the length of a genuine surface path
+        (query→anchor→landmark→candidate), so every entry
+        over-estimates ``dS(q, v)`` — the ranking loop composes these
+        with DMTM network bounds (running min) and seeds its pruning
+        threshold from the k-th smallest.  ``inf`` where no landmark
+        sees both sides (and everywhere on a lazy index with no rows
+        built yet — a subset of landmarks only loosens the min).
         """
         t = np.atleast_1d(np.asarray(vertices, dtype=np.intp))
         best = np.full(t.shape, np.inf)
+        surface = self._surface
+        if surface.shape[0] == 0:
+            return best
         for vertex, offset in anchors:
-            via = self._surface[:, [int(vertex)]] + self._surface[:, t]
+            via = surface[:, [int(vertex)]] + surface[:, t]
             via = np.where(np.isfinite(via), via, np.inf)
             np.minimum(best, float(offset) + via.min(axis=0), out=best)
+        return best
+
+    def kth_upper_bound(self, anchors, vertices, k: int) -> float:
+        """Admissible seed for the ranking loop's pruning threshold:
+        the k-th smallest :meth:`concat_upper_bounds` entry over the
+        candidate vertices.  Skipping a candidate whose lower bound
+        already exceeds it is safe before any DMTM upper bound exists.
+        ``inf`` when fewer than ``k`` candidates get a finite bound.
+        """
+        best = self.concat_upper_bounds(anchors, vertices)
         finite = np.sort(best[np.isfinite(best)])
         if finite.size >= k:
             return float(finite[k - 1])
         return float("inf")
+
+    # ------------------------------------------------------------------
+    # lazy-build protocol (no-ops on the eager index)
+    # ------------------------------------------------------------------
+
+    @property
+    def built(self) -> int:
+        """Number of exact surface rows available (== :attr:`count`
+        here; lazy indexes report their incremental progress)."""
+        return self._surface.shape[0]
+
+    def ensure_progress(self, rows: int | None = None) -> int:
+        """Advance an incremental build; the eager index is always
+        complete, so this is a no-op returning :attr:`built`."""
+        return self.built
+
+    def warm(self, parallel: bool = False) -> int:
+        """Complete an incremental build; no-op on the eager index."""
+        return self.built
 
     # ------------------------------------------------------------------
     # A* heuristic assembly (pathnet graphs)
@@ -320,3 +373,168 @@ class LandmarkIndex:
             alt = np.where(np.isfinite(alt), alt, 0.0)
             h.append(max(straight, float(alt.max(initial=0.0))))
         return h
+
+
+class LazyLandmarkIndex(LandmarkIndex):
+    """Landmark index whose exact rows are built incrementally.
+
+    Selection (farthest-point over the edge network) and the cheap
+    ``graph`` rows run eagerly at :meth:`build` time; the expensive
+    per-landmark :class:`~repro.geodesic.exact.ExactGeodesic`
+    propagations are deferred.  Each call to :meth:`ensure_progress`
+    (the ranking loop makes one per query) appends up to
+    ``rows_per_query`` more exact rows, so the table cost amortizes
+    across a sweep instead of blocking the first query; :meth:`warm`
+    completes the table at once, optionally on a thread pool.
+
+    Every row is persisted individually through the bound cache
+    (``landmark-row`` keys), so partial progress is never lost.  All
+    bound methods serve the rows built so far — admissible by the
+    subset argument in the module docstring — and the class inherits
+    them unchanged: only the ``_surface`` table grows underneath.
+    Growth swaps the array reference atomically under a lock, so
+    concurrent readers see either the old or the new table, both
+    sound.
+    """
+
+    def __init__(self, mesh, landmarks, graph, cache=None, fingerprint=None,
+                 rows_per_query: int = 1):
+        # Deliberately does not call LandmarkIndex.__init__: there is
+        # no complete LandmarkTables yet.
+        self.mesh = mesh
+        self._landmark_order = tuple(int(l) for l in landmarks)
+        self._graph = graph
+        self._cache = cache
+        self._fingerprint = (
+            fingerprint if fingerprint is not None else mesh_fingerprint(mesh)
+        )
+        self.rows_per_query = max(1, int(rows_per_query))
+        self._rows: list[np.ndarray] = []
+        self._surface = np.zeros((0, mesh.num_vertices))
+        self._lock = threading.Lock()
+
+    @classmethod
+    def build(
+        cls,
+        mesh,
+        count: int = 8,
+        seed: int = 0,
+        cache=None,
+        rows_per_query: int = 1,
+        **_unused,
+    ) -> "LazyLandmarkIndex":
+        """Select landmarks and build the graph table only — exact
+        rows come later, one :meth:`ensure_progress` at a time."""
+        if count < 1:
+            raise GeodesicError(f"landmark count must be >= 1, got {count}")
+        count = min(int(count), mesh.num_vertices)
+        csr = _edge_csr(mesh)
+        landmarks = _select_landmarks(mesh, csr, count, seed)
+        graph = np.vstack([_graph_row(csr, l) for l in landmarks])
+        return cls(
+            mesh,
+            landmarks,
+            graph,
+            cache=cache,
+            rows_per_query=rows_per_query,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tables(self) -> LandmarkTables:
+        """Snapshot of the rows built so far (grows over time)."""
+        surface = self._surface
+        built = surface.shape[0]
+        return LandmarkTables(
+            landmarks=self._landmark_order[:built],
+            surface=surface,
+            graph=self._graph[:built],
+        )
+
+    @property
+    def landmarks(self) -> tuple[int, ...]:
+        return self._landmark_order
+
+    @property
+    def count(self) -> int:
+        return len(self._landmark_order)
+
+    @property
+    def built(self) -> int:
+        return self._surface.shape[0]
+
+    # ------------------------------------------------------------------
+
+    def _exact_row(self, landmark: int) -> np.ndarray:
+        key = _row_cache_key(self._fingerprint, landmark)
+        if self._cache is not None:
+            found, row = self._cache.lookup(key)
+            if found:
+                active_registry().counter("landmark.row_cache_hits").add(1)
+                return np.asarray(row)
+        row = ExactGeodesic(self.mesh, int(landmark)).distances()
+        active_registry().counter("landmark.lazy_rows").add(1)
+        if self._cache is not None:
+            self._cache.store(key, row)
+        return row
+
+    def _append_rows(self, rows: list[np.ndarray]) -> None:
+        self._rows.extend(rows)
+        self._surface = np.vstack(self._rows)
+
+    def ensure_progress(self, rows: int | None = None) -> int:
+        """Build up to ``rows`` more exact rows (default
+        ``rows_per_query``); returns the rows now built.  Cached rows
+        don't count against the budget — a warm sweep catches the
+        table up for free."""
+        budget = self.rows_per_query if rows is None else int(rows)
+        with self._lock:
+            done = len(self._rows)
+            if done >= self.count or budget < 1:
+                return done
+            fresh: list[np.ndarray] = []
+            spent = 0
+            with active_profiler().phase("landmark-lazy-build"):
+                for landmark in self._landmark_order[done:]:
+                    if spent >= budget:
+                        break
+                    key = _row_cache_key(self._fingerprint, landmark)
+                    if self._cache is not None:
+                        found, row = self._cache.lookup(key)
+                        if found:
+                            active_registry().counter(
+                                "landmark.row_cache_hits"
+                            ).add(1)
+                            fresh.append(np.asarray(row))
+                            continue
+                    row = ExactGeodesic(self.mesh, int(landmark)).distances()
+                    active_registry().counter("landmark.lazy_rows").add(1)
+                    if self._cache is not None:
+                        self._cache.store(key, row)
+                    fresh.append(row)
+                    spent += 1
+                if fresh:
+                    self._append_rows(fresh)
+            return len(self._rows)
+
+    def warm(self, parallel: bool = False) -> int:
+        """Build every remaining exact row at once.  ``parallel=True``
+        runs the cache-missing propagations on a thread pool (the
+        amortized warm-build path — same rows, same order)."""
+        with self._lock:
+            missing = self._landmark_order[len(self._rows):]
+            if not missing:
+                return len(self._rows)
+            with active_profiler().phase("landmark-lazy-build"):
+                if parallel and len(missing) > 1:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    with ThreadPoolExecutor(
+                        max_workers=min(8, len(missing))
+                    ) as pool:
+                        rows = list(pool.map(self._exact_row, missing))
+                else:
+                    rows = [self._exact_row(l) for l in missing]
+                self._append_rows(rows)
+            return len(self._rows)

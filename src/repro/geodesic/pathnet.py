@@ -14,6 +14,7 @@ its "200 % resolution" level, where it treats ``dN`` as ``dS``.
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 
 import numpy as np
@@ -70,6 +71,12 @@ def build_pathnet(
     """
     if steiner_per_edge < 0:
         raise GeodesicError("steiner_per_edge must be >= 0")
+    if kernel_mode() == "frontier":
+        graph = _build_pathnet_frontier(
+            mesh, steiner_per_edge, faces, forbidden_faces
+        )
+        if graph is not None:
+            return graph
     forbidden = frozenset(int(f) for f in forbidden_faces) if forbidden_faces else frozenset()
     graph = KeyedGraph()
     face_ids = range(mesh.num_faces) if faces is None else faces
@@ -89,8 +96,40 @@ def build_pathnet(
                     # compiled CSR graph.
                     graph.add_node(key, position=pos)
         for (ka, pa), (kb, pb) in combinations(points, 2):
-            graph.add_edge(ka, kb, float(np.linalg.norm(pa - pb)))
+            graph.add_edge(ka, kb, _segment_length(pa, pb))
     return graph
+
+
+def _segment_length(pa, pb) -> float:
+    """Straight-segment weight, composed as ``(dx² + dy²) + dz²``
+    under the radical — the exact float expression the vectorised
+    builder evaluates columnwise, so both builders produce
+    bit-identical weights."""
+    dx = float(pa[0]) - float(pb[0])
+    dy = float(pa[1]) - float(pb[1])
+    dz = float(pa[2]) - float(pb[2])
+    return math.sqrt(dx * dx + dy * dy + dz * dz)
+
+
+def _build_pathnet_frontier(mesh, steiner_per_edge, faces, forbidden_faces):
+    """Array-built pathnet for frontier mode (None on degenerate
+    meshes, where the Python builder takes over)."""
+    from repro.geodesic.frontier import build_pathnet_arrays
+
+    built = build_pathnet_arrays(mesh, steiner_per_edge, faces, forbidden_faces)
+    if built is None:
+        return None
+    codes, positions, csr = built
+    num_vertices = int(mesh.vertices.shape[0])
+    spe = int(steiner_per_edge)
+    keys = []
+    for code in codes.tolist():
+        if code < num_vertices:
+            keys.append(("v", code))
+        else:
+            sc = code - num_vertices
+            keys.append(("s", sc // spe, sc % spe + 1))
+    return KeyedGraph.from_arrays(keys, positions, csr)
 
 
 def pathnet_distance(
@@ -119,7 +158,8 @@ def pathnet_distance(
         raise GeodesicError("source or target vertex missing from pathnet region")
     s = graph.node_id(src_key)
     t = graph.node_id(dst_key)
-    if kernel_mode() == "reference":
+    mode = kernel_mode()
+    if mode == "reference":
         d = graph_dijkstra(graph, s, targets={t}).get(t)
     else:
         heuristic = (
@@ -127,7 +167,12 @@ def pathnet_distance(
             if landmarks is not None
             else None
         )
-        d = astar_csr(graph.csr(), s, t, heuristic=heuristic)
+        if mode == "frontier":
+            from repro.geodesic.frontier import astar_frontier
+
+            d = astar_frontier(graph.csr(), s, t, heuristic=heuristic)
+        else:
+            d = astar_csr(graph.csr(), s, t, heuristic=heuristic)
     if d is None:
         raise GeodesicError(f"no pathnet route from {source} to {target}")
     return d

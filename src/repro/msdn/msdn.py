@@ -32,7 +32,14 @@ from repro.msdn.crossing import (
     plane_positions,
     supersample_polyline,
 )
-from repro.msdn.sdn import SdnChunk, build_sdn_chunks, lower_bound_via_planes
+from repro.geodesic.csr import kernel_mode
+from repro.msdn.sdn import (
+    SdnChunk,
+    _boxes_to_boxes,
+    build_sdn_chunks,
+    lower_bound_via_planes,
+    lower_bound_via_planes_arrays,
+)
 from repro.storage.locator import LocatorStore
 from repro.storage.pages import PageManager
 from repro.storage.stats import PAGE_CLASS_MSDN
@@ -149,6 +156,17 @@ class MSDN:
                     for chunks in per_plane
                 ]
         self._store: LocatorStore | None = None
+        # Lazy caches: per-(axis, resolution) 3D chunk-MBR arrays for
+        # the frontier-mode array DP, the per-resolution key → chunk
+        # index for corridor_from_path, per-plane page-id arrays for
+        # vectorized I/O charging, and full plane-pair hop matrices
+        # for the DP (entries are per-(row, col) independent, so a
+        # sliced cached matrix is bit-identical to one computed on
+        # the kept subsets).
+        self._chunk_boxes3d: dict[tuple[int, float], list] = {}
+        self._corridor_index: dict[float, dict[tuple, SdnChunk]] = {}
+        self._chunk_pages: dict[tuple[int, float], list[np.ndarray]] = {}
+        self._hop_cache: dict[tuple[int, float, int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # storage
@@ -164,6 +182,7 @@ class MSDN:
                     cluster = (axis, round(res * 1000), chunk.plane_index, chunk.first)
                     items.append((cluster, ("chunk",) + cluster, chunk.encode()))
         self._store = LocatorStore(items, pages, page_class=PAGE_CLASS_MSDN)
+        self._chunk_pages.clear()
 
     def _touch(self, chunks: list[SdnChunk], resolution: float) -> None:
         if self._store is None:
@@ -173,6 +192,30 @@ class MSDN:
             for c in chunks
         ]
         self._store.touch(ids)
+
+    def _plane_pages(self, axis: int, resolution: float) -> list[np.ndarray]:
+        """Per-plane arrays of the page id backing each chunk, aligned
+        with ``self._chunks[(axis, resolution)]`` rows — resolves the
+        record-id → page mapping once so the frontier-mode hot path
+        charges I/O by page array instead of rebuilding record-id
+        tuples per call."""
+        key = (axis, resolution)
+        cached = self._chunk_pages.get(key)
+        if cached is None:
+            store = self._store
+            rk = round(resolution * 1000)
+            cached = [
+                np.array(
+                    [
+                        store.page_of(("chunk", c.axis, rk, c.plane_index, c.first))
+                        for c in layer
+                    ],
+                    dtype=np.int64,
+                )
+                for layer in self._chunks[key]
+            ]
+            self._chunk_pages[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # resolution policy
@@ -221,6 +264,22 @@ class MSDN:
         ``charge_io=False``)."""
         resolution = self.nearest_resolution(resolution)
         roi = _roi_list(roi)
+        if kernel_mode() == "frontier" and self._store is not None:
+            # Page-array fast path: same distinct pages read per
+            # plane, in the same ascending order, without building
+            # per-chunk record-id tuples.
+            store = self._store
+            for axis in axes:
+                bounds = self._chunk_xy[(axis, resolution)]
+                pages = self._plane_pages(axis, resolution)
+                for xy, page_arr in zip(bounds, pages):
+                    if roi is None:
+                        plane_pages = page_arr
+                    else:
+                        plane_pages = page_arr[_box_mask(xy, roi)]
+                    if plane_pages.size:
+                        store.touch_pages(plane_pages)
+            return
         for axis in axes:
             layers = self._chunks[(axis, resolution)]
             bounds = self._chunk_xy[(axis, resolution)]
@@ -307,6 +366,23 @@ class MSDN:
             for point_b, roi in zip(targets, rois)
         ]
 
+    def _boxes3d(self, axis: int, resolution: float) -> list:
+        """Cached per-plane 3D chunk-MBR ``(lo, hi)`` row arrays —
+        the frontier-mode DP input, built once per (axis, resolution)
+        instead of rebuilt from chunk objects on every estimation."""
+        key = (axis, resolution)
+        cached = self._chunk_boxes3d.get(key)
+        if cached is None:
+            cached = [
+                (
+                    np.array([c.mbr.lo for c in layer], dtype=float).reshape(-1, 3),
+                    np.array([c.mbr.hi for c in layer], dtype=float).reshape(-1, 3),
+                )
+                for layer in self._chunks[key]
+            ]
+            self._chunk_boxes3d[key] = cached
+        return cached
+
     def _lower_bound_at(
         self, pa, pb, resolution: float, roi, corridor_boxes, charge_io: bool
     ) -> LowerBoundResult:
@@ -318,6 +394,10 @@ class MSDN:
             pa, pb = pb, pa
         stride = self.plane_stride(resolution)
         layers = self._layers_between(axis, resolution, lo, hi, stride)
+        if kernel_mode() == "frontier":
+            return self._lower_bound_arrays(
+                pa, pb, axis, resolution, layers, roi, corridor_boxes, charge_io
+            )
 
         filtered: list[list[SdnChunk]] = []
         used = 0
@@ -345,6 +425,113 @@ class MSDN:
             chunks_used=used,
         )
 
+    def _hops_for(
+        self, axis, resolution, plane_indices, keep_idxs
+    ) -> list[np.ndarray] | None:
+        """Consecutive-layer hop matrices sliced from the per-plane-
+        pair cache (full-plane matrices computed once, reused by every
+        estimation that crosses the same pair)."""
+        if len(plane_indices) < 2:
+            return None
+        boxes3d = self._boxes3d(axis, resolution)
+        hops: list[np.ndarray] = []
+        for (pi, ki), (pj, kj) in zip(
+            zip(plane_indices, keep_idxs),
+            zip(plane_indices[1:], keep_idxs[1:]),
+        ):
+            key = (axis, resolution, pi, pj)
+            full = self._hop_cache.get(key)
+            if full is None:
+                lo_u, hi_u = boxes3d[pi]
+                lo_l, hi_l = boxes3d[pj]
+                full = _boxes_to_boxes(lo_u, hi_u, lo_l, hi_l)
+                self._hop_cache[key] = full
+            if ki is None and kj is None:
+                hop = full
+            elif ki is None:
+                hop = full[:, kj]
+            elif kj is None:
+                hop = full[ki, :]
+            else:
+                hop = full[np.ix_(ki, kj)]
+            hops.append(hop)
+        return hops
+
+    def _lower_bound_arrays(
+        self, pa, pb, axis, resolution, layers, roi, corridor_boxes, charge_io
+    ) -> LowerBoundResult:
+        """Frontier-mode estimation over the cached 3D box arrays —
+        index-filtered slices instead of per-call object walks; the
+        DP is bit-identical to :func:`lower_bound_via_planes`."""
+        boxes3d = self._boxes3d(axis, resolution)
+        per_plane = self._chunks[(axis, resolution)]
+        pages = (
+            self._plane_pages(axis, resolution)
+            if charge_io and self._store is not None
+            else None
+        )
+        kept_layers: list = []  # (chunk_list, kept_row_indices)
+        plane_indices: list[int] = []
+        layer_boxes: list[tuple[np.ndarray, np.ndarray]] = []
+        used = 0
+        for layer, xy in layers:
+            if not layer:
+                continue
+            # chunk.plane_index is the row in self._chunks[(axis, res)]
+            # (planes are built in self._planes[axis] order).
+            plane_index = layer[0].plane_index
+            lo3, hi3 = boxes3d[plane_index]
+            if roi is None and corridor_boxes is None:
+                keep_idx = None
+                kept_lo, kept_hi = lo3, hi3
+                count = len(layer)
+            else:
+                mask = np.ones(xy.shape[0], dtype=bool)
+                if roi is not None:
+                    mask &= _box_mask(xy, roi)
+                if corridor_boxes is not None:
+                    mask &= _box_mask(xy, corridor_boxes)
+                keep_idx = np.nonzero(mask)[0]
+                count = int(keep_idx.size)
+                if count == 0:
+                    continue
+                kept_lo = lo3[keep_idx]
+                kept_hi = hi3[keep_idx]
+            kept_layers.append((layer, keep_idx))
+            plane_indices.append(plane_index)
+            layer_boxes.append((kept_lo, kept_hi))
+            used += count
+            if charge_io:
+                if pages is not None:
+                    page_arr = pages[plane_index]
+                    self._store.touch_pages(
+                        page_arr if keep_idx is None else page_arr[keep_idx]
+                    )
+                else:
+                    chunks = (
+                        layer
+                        if keep_idx is None
+                        else [layer[j] for j in keep_idx]
+                    )
+                    self._touch(chunks, resolution)
+        hops = self._hops_for(
+            axis, resolution, plane_indices,
+            [idx for _layer, idx in kept_layers],
+        )
+        value, picks = lower_bound_via_planes_arrays(
+            pa, pb, layer_boxes, hops=hops
+        )
+        path_keys = []
+        for (layer, keep_idx), row in zip(kept_layers, picks):
+            chunk = layer[row] if keep_idx is None else layer[int(keep_idx[row])]
+            path_keys.append(chunk.key)
+        return LowerBoundResult(
+            value=value,
+            path_keys=path_keys,
+            resolution=resolution,
+            chunks_used=used,
+        )
+
     def corridor_from_path(
         self, path_keys, resolution: float, thickness: float | None = None
     ) -> list[BoundingBox]:
@@ -354,12 +541,18 @@ class MSDN:
         if thickness is None:
             thickness = 2.0 * self.spacing
         resolution = self.nearest_resolution(resolution)
+        # The key → chunk index is memoized per resolution: chunks are
+        # immutable after construction and the ranking loop rebuilds a
+        # corridor for every surviving candidate at every level.
+        index = self._corridor_index.get(resolution)
+        if index is None:
+            index = {}
+            for axis in (0, 1):
+                for layer in self._chunks[(axis, resolution)]:
+                    for chunk in layer:
+                        index[chunk.key] = chunk
+            self._corridor_index[resolution] = index
         boxes = []
-        index: dict[tuple, SdnChunk] = {}
-        for axis in (0, 1):
-            for layer in self._chunks[(axis, resolution)]:
-                for chunk in layer:
-                    index[chunk.key] = chunk
         for key in path_keys:
             chunk = index.get(key)
             if chunk is not None:

@@ -178,3 +178,59 @@ def lower_bound_via_planes(
         chunk_layers[layer][idx].key for layer, idx in enumerate(indices)
     ]
     return max(bound, euclid), path_keys
+
+
+def lower_bound_via_planes_arrays(
+    point_a,
+    point_b,
+    layer_boxes: list[tuple[np.ndarray, np.ndarray]],
+    hops: list[np.ndarray] | None = None,
+) -> tuple[float, list[int]]:
+    """Array-input twin of :func:`lower_bound_via_planes`.
+
+    ``layer_boxes`` holds each selected plane's chunk MBRs as
+    ``(lo, hi)`` row arrays — pre-sliced from cached per-plane arrays
+    instead of rebuilt from chunk objects per call (the frontier-mode
+    hot path).  The min-plus dynamic program runs the exact float
+    operations of the object-input twin, so the bound is
+    bit-identical; the backtrack returns one *row index per layer*
+    (into the given arrays) for the caller to map back to chunk keys.
+
+    ``hops`` (optional) supplies the consecutive-layer min-distance
+    matrices, one per layer pair, typically sliced from a per-plane-
+    pair cache.  Each hop entry depends only on its own row/col boxes,
+    so a sliced cached matrix is bit-identical to one computed on the
+    kept subsets.
+    """
+    pa = np.asarray(point_a, dtype=float)
+    pb = np.asarray(point_b, dtype=float)
+    euclid = float(np.linalg.norm(pa - pb))
+    if not layer_boxes:
+        return euclid, []
+    if any(lo.shape[0] == 0 for lo, _ in layer_boxes):
+        raise GeometryError("empty chunk layer; caller must drop empty planes")
+
+    lo0, hi0 = layer_boxes[0]
+    dist = _point_to_boxes(pa, lo0, hi0)
+    choices: list[np.ndarray] = []
+    for li, ((lo_u, hi_u), (lo_l, hi_l)) in enumerate(
+        zip(layer_boxes, layer_boxes[1:])
+    ):
+        if hops is not None:
+            hop = hops[li]
+        else:
+            hop = _boxes_to_boxes(lo_u, hi_u, lo_l, hi_l)
+        total = dist[:, np.newaxis] + hop
+        picks = np.argmin(total, axis=0)
+        choices.append(picks)
+        dist = total[picks, np.arange(hop.shape[1])]
+    lo_n, hi_n = layer_boxes[-1]
+    final = dist + _point_to_boxes(pb, lo_n, hi_n)
+    best = int(np.argmin(final))
+    bound = float(final[best])
+
+    indices = [best]
+    for picks in reversed(choices):
+        indices.append(int(picks[indices[-1]]))
+    indices.reverse()
+    return max(bound, euclid), indices

@@ -43,6 +43,12 @@ class DistanceDirectMesh:
         )
         self._mbr_lo = np.array([b.lo for b in self._node_mbrs])
         self._mbr_hi = np.array([b.hi for b in self._node_mbrs])
+        self._positions = np.array([n.position for n in nodes], dtype=float)
+        # Lazily flattened record lists for vectorized cut-edge
+        # selection (see cut_edge_arrays).
+        self._rec_src: np.ndarray | None = None
+        self._rec_dst: np.ndarray | None = None
+        self._rec_d: np.ndarray | None = None
 
     # -- derived structure ------------------------------------------------
 
@@ -107,6 +113,53 @@ class DistanceDirectMesh:
     def cut_edges(self, cut: list[int]):
         """(u, w, dist) edges among the cut (see CollapseHistory)."""
         return self.history.edges_of_cut(cut)
+
+    def _record_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._rec_src is None:
+            src: list[int] = []
+            dst: list[int] = []
+            dists: list[float] = []
+            for node in self.history.nodes:
+                for nbr, d in node.records:
+                    src.append(node.node_id)
+                    dst.append(nbr)
+                    dists.append(d)
+            self._rec_src = np.asarray(src, dtype=np.int64)
+            self._rec_dst = np.asarray(dst, dtype=np.int64)
+            self._rec_d = np.asarray(dists, dtype=float)
+        return self._rec_src, self._rec_dst, self._rec_d
+
+    def cut_edge_arrays(
+        self, cut_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized twin of :meth:`cut_edges`: ``(u, w, d)`` arrays
+        of the recorded edges alive in the cut, each edge once with
+        ``u < w``.
+
+        Applies the same first-occurrence rule as
+        ``CollapseHistory.edges_of_cut``: when a pair is recorded from
+        both endpoints, the distance of the record met first in
+        ascending (node, record-slot) order wins — the flattened
+        record arrays preserve exactly that order, and ``np.unique``'s
+        ``return_index`` picks the smallest index per key.
+        """
+        src, dst, d = self._record_arrays()
+        alive = np.zeros(self.num_nodes, dtype=bool)
+        alive[cut_ids] = True
+        keep = alive[src] & alive[dst]
+        s, t, dd = src[keep], dst[keep], d[keep]
+        u = np.minimum(s, t)
+        w = np.maximum(s, t)
+        packed = u * np.int64(self.num_nodes) + w
+        _uniq, first = np.unique(packed, return_index=True)
+        u, w, dd = u[first], w[first], dd[first]
+        loops = u != w  # add_edge drops self-loops; mirror that here
+        return u[loops], w[loops], dd[loops]
+
+    def node_positions(self) -> np.ndarray:
+        """(num_nodes, 3) array of representative positions (shared,
+        do not mutate)."""
+        return self._positions
 
     def ancestor(self, leaf_id: int, step: int) -> tuple[int, float]:
         """(cut ancestor, representative path offset) for a vertex."""

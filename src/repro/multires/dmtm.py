@@ -98,6 +98,10 @@ class DMTM:
         self.steiner_per_edge = steiner_per_edge
         self._node_store: LocatorStore | None = None
         self._face_store: LocatorStore | None = None
+        # Frontier-mode I/O fast path: record-id → page resolved once
+        # per store (same pages read, same order, no per-call tuples).
+        self._node_pages: np.ndarray | None = None
+        self._face_pages: np.ndarray | None = None
 
     def save(self, path) -> None:
         """Persist the collapse history (the expensive build product);
@@ -146,6 +150,8 @@ class DMTM:
         self._face_store = LocatorStore(
             face_items, pages, page_class=PAGE_CLASS_DMTM
         )
+        self._node_pages = None
+        self._face_pages = None
 
     def _encode_node(self, node) -> bytes:
         head = struct.pack(
@@ -191,12 +197,39 @@ class DMTM:
         )
 
     def _touch_nodes(self, node_ids) -> None:
-        if self._node_store is not None:
-            self._node_store.touch(node_ids)
+        store = self._node_store
+        if store is None:
+            return
+        if kernel_mode() == "frontier":
+            if self._node_pages is None:
+                self._node_pages = np.array(
+                    [
+                        store.page_of(node.node_id)
+                        for node in self.ddm.history.nodes
+                    ],
+                    dtype=np.int64,
+                )
+            store.touch_pages(
+                self._node_pages[np.asarray(node_ids, dtype=np.int64)]
+            )
+            return
+        store.touch(node_ids)
 
     def _touch_faces(self, face_ids) -> None:
-        if self._face_store is not None:
-            self._face_store.touch(int(fi) for fi in face_ids)
+        store = self._face_store
+        if store is None:
+            return
+        if kernel_mode() == "frontier":
+            if self._face_pages is None:
+                self._face_pages = np.array(
+                    [store.page_of(fi) for fi in range(self.mesh.num_faces)],
+                    dtype=np.int64,
+                )
+            store.touch_pages(
+                self._face_pages[np.asarray(list(face_ids), dtype=np.int64)]
+            )
+            return
+        store.touch(int(fi) for fi in face_ids)
 
     # ------------------------------------------------------------------
     # extraction
@@ -235,7 +268,10 @@ class DMTM:
 
     def _extract_cut(self, resolution: float, roi, charge_io: bool) -> NetworkView:
         step = self.ddm.step_for_fraction(resolution)
-        cut = [int(n) for n in self.ddm.cut_node_ids(step, roi)]
+        cut_ids = self.ddm.cut_node_ids(step, roi)
+        if kernel_mode() == "frontier" and cut_ids.size:
+            return self._extract_cut_arrays(resolution, step, cut_ids, charge_io)
+        cut = [int(n) for n in cut_ids]
         if charge_io:
             self._touch_nodes(cut)
         graph = KeyedGraph()
@@ -247,6 +283,42 @@ class DMTM:
             graph.add_edge(("n", u), ("n", w), d)
         return NetworkView(
             graph=graph, resolution=resolution, records_used=len(cut), step=step
+        )
+
+    def _extract_cut_arrays(
+        self, resolution: float, step: int, cut_ids: np.ndarray, charge_io: bool
+    ) -> NetworkView:
+        """Frontier-mode cut extraction: the cut's recorded edges are
+        selected and compiled to CSR with array operations instead of
+        per-edge ``add_edge`` calls.  The node set, edge set and edge
+        weights are exactly those of the object path (same
+        first-occurrence dedupe — see DDM.cut_edge_arrays), so
+        searches over either build return the same distances."""
+        from repro.geodesic.csr import CSRGraph
+
+        if charge_io:
+            self._touch_nodes(cut_ids)
+        u, w, d = self.ddm.cut_edge_arrays(cut_ids)
+        nnodes = int(cut_ids.size)
+        # cut_ids is ascending (np.nonzero order), so local ids come
+        # from binary search.
+        lu = np.searchsorted(cut_ids, u)
+        lw = np.searchsorted(cut_ids, w)
+        src_dir = np.concatenate([lu, lw])
+        dst_dir = np.concatenate([lw, lu])
+        w_dir = np.concatenate([d, d])
+        order = np.argsort(src_dir, kind="stable")
+        indptr = np.zeros(nnodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src_dir, minlength=nnodes), out=indptr[1:])
+        positions = self.ddm.node_positions()[cut_ids]
+        csr = CSRGraph(
+            indptr, dst_dir[order], w_dir[order], positions=positions
+        )
+        graph = KeyedGraph.from_arrays(
+            [("n", int(i)) for i in cut_ids], positions, csr
+        )
+        return NetworkView(
+            graph=graph, resolution=resolution, records_used=nnodes, step=step
         )
 
     def _faces_in_roi(self, roi) -> np.ndarray:
@@ -480,9 +552,16 @@ class DMTM:
             for v in target_vertices
             if vertex_key(v) in graph
         }
-        found = multi_source_dijkstra_csr(
-            network.csr(), sources, targets=set(target_ids)
-        )
+        if kernel_mode() == "frontier":
+            from repro.geodesic.frontier import multi_source_frontier
+
+            found = multi_source_frontier(
+                network.csr(), sources, targets=set(target_ids)
+            )
+        else:
+            found = multi_source_dijkstra_csr(
+                network.csr(), sources, targets=set(target_ids)
+            )
         best: dict[int, tuple[float, list]] = {}
         for v in target_vertices:
             key_v = vertex_key(v)

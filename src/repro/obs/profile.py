@@ -46,7 +46,9 @@ PHASES = (
     "interval-ranking", # one per DistanceRanker resolution level
     "bound-composition",# DMTM ub + MSDN lb updates within a level
     "graph-kernel",     # one per Dijkstra/A* kernel invocation
+    "frontier-relaxation",  # one per frontier-batched kernel invocation
     "refinement",       # Kanai-Suzuki selective polish
+    "landmark-lazy-build",  # incremental landmark rows built on demand
     "page-io",          # physical page fetches (buffer-pool misses)
 )
 
@@ -351,9 +353,9 @@ def profile_from_record(record: dict) -> Profile:
     return Profile.from_record(record)
 
 
-def kernel_phase(fn):
-    """Decorator wrapping a graph-search kernel in the
-    ``graph-kernel`` phase of the *active* context's profiler.
+def kernel_phase_named(phase: str):
+    """Decorator factory wrapping a graph-search kernel in ``phase``
+    on the *active* context's profiler.
 
     Kernels are free functions without an engine handle, so they find
     the profiler through :func:`repro.obs.context.active_profiler`;
@@ -364,14 +366,22 @@ def kernel_phase(fn):
     """
     import functools
 
-    @functools.wraps(fn)
-    def wrapper(*args, **kwargs):
-        from repro.obs.context import active_profiler
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro.obs.context import active_profiler
 
-        profiler = active_profiler()
-        if not profiler.enabled:
-            return fn(*args, **kwargs)
-        with profiler.phase("graph-kernel"):
-            return fn(*args, **kwargs)
+            profiler = active_profiler()
+            if not profiler.enabled:
+                return fn(*args, **kwargs)
+            with profiler.phase(phase):
+                return fn(*args, **kwargs)
 
-    return wrapper
+        return wrapper
+
+    return decorate
+
+
+#: The heap/dict kernels bill to ``graph-kernel``; the frontier-batched
+#: kernels bill to ``frontier-relaxation`` via the same factory.
+kernel_phase = kernel_phase_named("graph-kernel")

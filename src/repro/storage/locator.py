@@ -10,6 +10,8 @@ buffer pool for every page the requested id set touches.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.storage.pages import PageManager
 from repro.storage.records import pack_page, paginate, unpack_page
@@ -65,6 +67,23 @@ class LocatorStore:
         for page_id in sorted(needed):
             self._pages.read(page_id)
         return len(needed)
+
+    def page_of(self, record_id) -> int:
+        """Page id holding a record (for callers that pre-resolve the
+        id → page mapping once and then touch by page array)."""
+        return self._locator(record_id)[0]
+
+    def touch_pages(self, page_ids) -> int:
+        """Array twin of :meth:`touch` for pre-resolved page ids.
+
+        ``page_ids`` may contain duplicates; the distinct pages are
+        read in ascending order — the same reads, in the same order,
+        that :meth:`touch` issues for the records living on them.
+        """
+        needed = np.unique(np.asarray(page_ids))
+        for page_id in needed:
+            self._pages.read(int(page_id))
+        return int(needed.size)
 
     def fetch(self, record_id) -> bytes:
         """Read and return one record's blob."""

@@ -49,6 +49,8 @@ class TriangleMesh:
         self.faces = f
         self._build_adjacency()
         self._locator_grid = None
+        self._total_angle_cache: dict[int, float] = {}
+        self._boundary_cache: set[int] | None = None
         if validate:
             self.validate()
 
@@ -199,14 +201,22 @@ class TriangleMesh:
                 )
 
     def boundary_vertices(self) -> set[int]:
-        """Vertices on a boundary edge (edge with a single face)."""
-        result: set[int] = set()
-        for eid, incident in enumerate(self.edge_faces):
-            if len(incident) == 1:
-                u, w = self.edge_vertices[eid]
-                result.add(int(u))
-                result.add(int(w))
-        return result
+        """Vertices on a boundary edge (edge with a single face).
+
+        Cached per mesh: every :class:`ExactGeodesic` run (one per
+        landmark row, plus the fig7 oracles) consults it, and the
+        answer only depends on immutable adjacency.  Callers must
+        treat the returned set as read-only.
+        """
+        if self._boundary_cache is None:
+            result: set[int] = set()
+            for eid, incident in enumerate(self.edge_faces):
+                if len(incident) == 1:
+                    u, w = self.edge_vertices[eid]
+                    result.add(int(u))
+                    result.add(int(w))
+            self._boundary_cache = result
+        return self._boundary_cache
 
     def vertex_total_angle(self, vi: int) -> float:
         """Sum of incident face angles at a vertex.
@@ -214,7 +224,15 @@ class TriangleMesh:
         Interior vertices with total angle > 2*pi are *saddle*
         vertices; exact geodesics may pass through them, which is why
         the exact algorithm spawns pseudo-sources there.
+
+        Memoized per (mesh, vertex) with the scalar loop kept as the
+        single source of truth — a vectorized re-derivation could
+        round the angle sum differently and flip a borderline saddle
+        classification, changing exact geodesics between callers.
         """
+        cached = self._total_angle_cache.get(vi)
+        if cached is not None:
+            return cached
         total = 0.0
         p = self.vertices[vi]
         for fi in self.vertex_faces[vi]:
@@ -228,6 +246,7 @@ class TriangleMesh:
                 continue
             cosang = float(np.clip(np.dot(u, w) / (nu * nw), -1.0, 1.0))
             total += math.acos(cosang)
+        self._total_angle_cache[vi] = total
         return total
 
     # ------------------------------------------------------------------

@@ -9,6 +9,8 @@ pair                contract
 ==================  =================================================
 CSR vs reference    bit-identical results, intervals and logical
 kernels             page reads (PR 4's kernel transparency)
+frontier vs CSR     the bucketed numpy kernels carry the same
+kernels             bit-identity contract, logical reads included
 batch w=N vs        bit-identical per-query results, intervals and
 sequential          logical reads (PR 2's bound-cache transparency)
 faulted + retry     identical answers to the clean engine; fault
@@ -51,6 +53,7 @@ from repro.core.baseline import exact_knn
 from repro.core.batch import BatchQueryExecutor
 from repro.core.budget import QueryBudget
 from repro.errors import QueryError
+from repro.geodesic import use_kernel_mode
 from repro.geodesic.csr import use_reference_kernels
 from repro.testkit.generators import (
     Scenario,
@@ -279,6 +282,22 @@ def run_scenario(
                 )
                 check("kernel", index, result)
                 _compare("kernel", index, baseline[index], result,
+                         report.findings)
+
+    # ------------------------------------------------------------------
+    # frontier vs CSR kernels: bit-identity on the same engine (the
+    # bucketed numpy kernels share the CSR kernels' full contract,
+    # logical page reads included)
+    # ------------------------------------------------------------------
+    if active("frontier"):
+        report.modes_run.append("frontier")
+        with use_kernel_mode("frontier"):
+            for index, q in enumerate(queries):
+                result = mutate(
+                    engine.query(q.vertex, q.k, step_length=q.step_length)
+                )
+                check("frontier", index, result)
+                _compare("frontier", index, baseline[index], result,
                          report.findings)
 
     # ------------------------------------------------------------------

@@ -283,6 +283,51 @@ class TestKeyedGraphMemoization:
         g.add_node("a")  # already present: no structural change
         assert g.csr_if_compiled() is first
 
+    def test_position_fill_invalidates_memo(self):
+        """Filling a missing position on an existing node must drop
+        the compiled CSR: the old compilation snapshotted its (absent)
+        positions table, and A* availability depends on it."""
+        g = KeyedGraph()
+        g.add_node("a", position=(0.0, 0.0, 0.0))
+        g.add_edge("a", "b", 1.0)  # b joins without a position
+        first = g.csr()
+        assert first.positions is None
+        g.add_node("b", position=(1.0, 0.0, 0.0))
+        assert g.csr_if_compiled() is None
+        second = g.csr()
+        assert second is not first
+        assert second.positions is not None
+        # Idempotent: re-adding with the position already set keeps
+        # the fresh compilation.
+        g.add_node("b", position=(9.0, 9.0, 9.0))
+        assert g.csr_if_compiled() is second
+        assert tuple(second.positions[g.node_id("b")]) == (1.0, 0.0, 0.0)
+
+    def test_views_rematerialise_after_list_growth(self):
+        """A caller growing the list storage after the numpy views
+        were materialised must not search on stale views (the frontier
+        kernels read the arrays, not the lists)."""
+        from repro.geodesic.frontier import dijkstra_frontier
+
+        adj = [[(1, 2.0)], [(0, 2.0)]]
+        csr = csr_from_adjacency(adj)
+        assert csr.indptr.shape[0] == 3  # views materialised
+        indptr, indices, weights = csr.lists()
+        # Grow in place: new node 2 linked to node 1 (2 appends to the
+        # end of node 1's block, then gets its own block).
+        indices.insert(2, 2)
+        weights.insert(2, 1.0)
+        indptr[2] = 3
+        indices.append(1)
+        weights.append(1.0)
+        indptr.append(4)
+        adj[1].append((2, 1.0))
+        adj.append([(1, 1.0)])
+        assert csr.num_nodes == 3
+        assert csr.indptr.shape[0] == 4  # re-materialised, not stale
+        assert dijkstra_csr(csr, 0) == dijkstra_reference(adj, 0)
+        assert dijkstra_frontier(csr, 0) == dijkstra_reference(adj, 0)
+
     def test_positions_attached_only_when_complete(self):
         g = KeyedGraph()
         g.add_node("a", position=(0.0, 0.0, 0.0))

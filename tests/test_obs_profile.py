@@ -238,6 +238,100 @@ class TestQueryProfile:
         assert "interval-ranking" in text
 
 
+class TestFrontierCounters:
+    """The ``geodesic.frontier.*`` counters reconcile with the shared
+    kernel counters and with the profiler's phase-attributed counts.
+
+    The graph must clear ``MIN_FRONTIER_NODES`` — smaller searches
+    delegate to the heap kernels and emit no frontier counters (that
+    delegation is itself pinned here).
+    """
+
+    def _big_graph(self, n=700, seed=11):
+        import math
+        import random
+
+        from repro.geodesic.csr import csr_from_adjacency
+
+        rng = random.Random(seed)
+        adj = [[] for _ in range(n)]
+        pos = [(rng.uniform(0, 50), rng.uniform(0, 50), 0.0) for _ in range(n)]
+        for u in range(n):
+            for _ in range(3):
+                v = rng.randrange(n)
+                if v == u:
+                    continue
+                w = math.dist(pos[u], pos[v]) + 0.01
+                adj[u].append((v, w))
+                adj[v].append((u, w))
+        # Ring to keep it connected.
+        for u in range(n):
+            v = (u + 1) % n
+            adj[u].append((v, 1.0))
+            adj[v].append((u, 1.0))
+        return adj, csr_from_adjacency(adj)
+
+    def test_counters_reconcile(self):
+        from repro.geodesic.frontier import (
+            MIN_FRONTIER_NODES,
+            multi_source_frontier,
+        )
+
+        adj, csr = self._big_graph()
+        assert csr.num_nodes >= MIN_FRONTIER_NODES
+        ctx = ObsContext("frontier", profiling=True)
+        names = (
+            "geodesic.frontier.buckets",
+            "geodesic.frontier.batch_relaxations",
+            "geodesic.frontier.max_frontier",
+            "geodesic.dijkstra.settled",
+        )
+        counters = [ctx.registry.counter(name) for name in names]
+        before = [c.value for c in counters]
+        with ctx.activate():
+            with ctx.profiler.phase("query"):
+                found = multi_source_frontier(csr, [(0, 0.5), (3, 0.0)])
+        buckets, batches, max_frontier, settled = (
+            c.value - b for c, b in zip(counters, before)
+        )
+        assert len(found.value) == csr.num_nodes  # full sweep settled all
+        assert settled == csr.num_nodes
+        # Each bucket settles at least one node; at most one batched
+        # relaxation runs per bucket; no single bucket (and so no
+        # accumulated per-call maximum) exceeds the settled total.
+        assert 0 < buckets <= settled
+        assert 0 < batches <= buckets
+        assert 0 < max_frontier <= settled
+        # The same deltas land on the profiler's open phase frame.
+        (profile,) = ctx.profiler.take()
+        totals = profile.total_counters()
+        assert totals.get("frontier_buckets", 0) == buckets
+        assert totals.get("frontier_batch_relaxations", 0) == batches
+        assert totals.get("frontier_max_frontier", 0) == max_frontier
+        assert totals.get("settled", 0) == settled
+        assert "frontier-relaxation" in {
+            node.name for node in profile.root.walk()
+        }
+
+    def test_small_graphs_emit_no_frontier_counters(self):
+        from repro.geodesic.csr import csr_from_adjacency
+        from repro.geodesic.frontier import (
+            MIN_FRONTIER_NODES,
+            dijkstra_frontier,
+        )
+
+        csr = csr_from_adjacency([[(1, 1.0)], [(0, 1.0), (2, 2.0)], [(1, 2.0)]])
+        assert csr.num_nodes < MIN_FRONTIER_NODES
+        ctx = ObsContext("small", profiling=True)
+        buckets = ctx.registry.counter("geodesic.frontier.buckets")
+        settled = ctx.registry.counter("geodesic.dijkstra.settled")
+        before = (buckets.value, settled.value)
+        with ctx.activate():
+            dijkstra_frontier(csr, 0)
+        assert buckets.value == before[0]  # delegated: no bucket counters
+        assert settled.value == before[1] + 3  # heap twin still reports
+
+
 # ----------------------------------------------------------------------
 # ObsContext scoping
 # ----------------------------------------------------------------------
