@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro.bench <figure> [--quick]``.
 
 Figures: fig7, fig8, fig9, fig10, fig11, related, batch, faults,
-chaos, kernels, landmarks, all.  The ``batch`` mode takes ``--batch N
+chaos, kernels, landmarks, shard, all.  The ``batch`` mode takes ``--batch N
 --workers W`` and reports throughput / latency percentiles of the
 concurrent executor against the sequential baseline.  The ``faults``
 mode sweeps injected storage fault rates and per-query page budgets,
@@ -12,9 +12,12 @@ recover) and reports availability, storage-degraded rates, quarantine
 activity and engine health — the degraded-mode execution contract.  The ``kernels`` mode compares the
 dict reference kernels against the flat CSR kernels (micro +
 end-to-end) and the ``landmarks`` mode runs the fig10 k-sweep with
-ALT landmark pruning on vs off; both merge their series into the
-``repro.bench/v1`` document at ``--out`` (default
-``BENCH_GEODESIC.json``).  ``--profile-out PATH`` additionally runs
+ALT landmark pruning on vs off; the ``shard`` mode asserts the tiled
+:class:`~repro.shard.ShardedEngine` answers identically to the
+monolithic engine, times parallel-vs-serial tile warm-up and runs a
+sharded-only scale sweep (257x257, 1e4 objects).  All three merge
+their series into the ``repro.bench/v1`` document at ``--out``
+(default ``BENCH_GEODESIC.json``).  ``--profile-out PATH`` additionally runs
 every query under a profiling context and writes one
 ``repro.profile/v1`` record per query — two such files diff with
 ``python -m repro.obs.diff``.
@@ -40,6 +43,7 @@ _FIGURES = {
     "chaos": experiments.chaos,
     "kernels": experiments.kernels,
     "landmarks": experiments.landmarks,
+    "shard": experiments.shard,
 }
 
 
@@ -118,7 +122,7 @@ def main(argv=None) -> int:
                 kwargs["batch"] = args.batch
         elif name in ("faults", "chaos"):
             kwargs["workers"] = args.workers
-        elif name in ("kernels", "landmarks"):
+        elif name in ("kernels", "landmarks", "shard"):
             kwargs["out"] = args.out
         if obs is not None:
             with obs.activate():

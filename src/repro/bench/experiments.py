@@ -1448,3 +1448,242 @@ def landmarks(
         document["rows"]["landmarks"] = rows
         _write_bench_document(out, document)
     return {"tables": [table], "rows": {"landmarks": rows}}
+
+
+# ----------------------------------------------------------------------
+# Tiled terrain sharding — identity, parallel builds, scale
+# ----------------------------------------------------------------------
+
+
+def shard(
+    quick: bool = False,
+    identity_size: int | None = None,
+    build_size: int | None = None,
+    scale_size: int | None = None,
+    out: str | None = None,
+) -> dict:
+    """Not a paper figure: the tiled-sharding extension
+    (:mod:`repro.shard`) measured three ways.
+
+    Table 1 (identity) answers a spread of queries — including probes
+    on the tile-cut cross, the ones sub-window certification finds
+    hardest — through sharded engines of several grids on a DEM the
+    monolithic engine also builds.  Neighbour sets and
+    degraded/budget flags are *asserted* identical per query (the
+    sharding contract); wall clock is cold end-to-end (engine build +
+    queries) because lazy window builds are the whole point of the
+    sharded path.
+
+    Table 2 (build parallelism) warms every tile of a fresh engine on
+    the thread pool vs serially and reports the wall-clock ratio.
+    Today the per-tile DMTM build is CPython-bound, so the pool
+    roughly breaks even (the ratio is a *measurement*, gated softly
+    in CI) — the win arrives when tile builds block on real storage
+    I/O or release the GIL.
+
+    Table 3 (scale) builds a DEM the monolithic engine is never asked
+    to mesh — 257x257 with 1e4 objects in full mode — and answers
+    tile-interior queries entirely through the sharded path,
+    reporting setup cost, per-query latency and how few windows the
+    router needed.  When ``out`` is set all three series merge into
+    the ``repro.bench/v1`` document (the checked-in
+    ``BENCH_GEODESIC.json``), preserving the kernels and landmarks
+    rows.
+    """
+    from repro.core.engine import SurfaceKNNEngine
+    from repro.core.objects import ObjectSet
+    from repro.shard import ShardedEngine, uniform_grid_objects
+    from repro.terrain.mesh import TriangleMesh
+    from repro.terrain.synthetic import fractal_dem
+
+    if identity_size is None:
+        identity_size = 17 if quick else 33
+    if build_size is None:
+        build_size = 33 if quick else 65
+    if scale_size is None:
+        scale_size = 129 if quick else 257
+
+    # ---- Table 1: answer identity vs the monolithic engine ----------
+    dem = fractal_dem(identity_size, 90.0, 500.0, 0.65, seed=7)
+    vids = [int(v) for v in uniform_grid_objects(dem, 40, seed=2)]
+    mid = dem.rows // 2
+    probes = [
+        (2, 2), (2, dem.cols - 3), (dem.rows - 3, 2),
+        (dem.rows - 3, dem.cols - 3), (mid, mid), (mid, 2), (2, mid),
+    ]
+    queries = [r * dem.cols + c for r, c in probes]
+    k = 3
+
+    t0 = time.perf_counter()
+    mesh = TriangleMesh.from_dem(dem)
+    mono = SurfaceKNNEngine(mesh, objects=ObjectSet(mesh, vids))
+    base = [mono.query(qv, k) for qv in queries]
+    mono_wall = time.perf_counter() - t0
+    identity_rows = [
+        {
+            "engine": "monolithic",
+            "queries": len(queries),
+            "wall_seconds": mono_wall,
+            "speedup_vs_monolithic": 1.0,
+            "identical_results": True,
+            "identical_flags": True,
+            "windows_built": 1,
+        }
+    ]
+    grids = ((1, 1), (2, 2)) if quick else ((1, 1), (2, 2), (3, 3))
+    for tiles in grids:
+        t0 = time.perf_counter()
+        eng = ShardedEngine(dem, objects=vids, grid=tiles)
+        answers = [eng.query(qv, k) for qv in queries]
+        wall = time.perf_counter() - t0
+        same_sets = all(
+            sorted(a.object_ids) == sorted(b.object_ids)
+            for a, b in zip(base, answers)
+        )
+        same_flags = all(
+            (a.degraded, a.degraded_reason, a.budget_reason, a.converged)
+            == (b.degraded, b.degraded_reason, b.budget_reason, b.converged)
+            for a, b in zip(base, answers)
+        )
+        if not (same_sets and same_flags):
+            raise AssertionError(
+                f"shard divergence: grid {tiles} disagrees with the "
+                "monolithic engine"
+            )
+        identity_rows.append(
+            {
+                "engine": f"sharded-{tiles[0]}x{tiles[1]}",
+                "queries": len(queries),
+                "wall_seconds": wall,
+                "speedup_vs_monolithic": mono_wall / wall if wall > 0 else None,
+                "identical_results": same_sets,
+                "identical_flags": same_flags,
+                "windows_built": len(eng.windows_built),
+            }
+        )
+
+    # ---- Table 2: parallel vs serial tile warm-up --------------------
+    dem2 = fractal_dem(build_size, 90.0, 900.0, 0.65, seed=5)
+    vids2 = [int(v) for v in uniform_grid_objects(dem2, 60, seed=3)]
+
+    def warm_wall(parallel: bool):
+        eng = ShardedEngine(dem2, objects=vids2, grid=(2, 2), max_workers=4)
+        t0 = time.perf_counter()
+        eng.warm(parallel=parallel)
+        return eng, time.perf_counter() - t0
+
+    serial_eng, serial_wall = warm_wall(False)
+    parallel_eng, parallel_wall = warm_wall(True)
+    probe2 = (dem2.rows // 2) * dem2.cols + dem2.cols // 2
+    same_warm = sorted(serial_eng.query(probe2, 3).object_ids) == sorted(
+        parallel_eng.query(probe2, 3).object_ids
+    )
+    build_rows = [
+        {
+            "mode": "serial",
+            "tiles": 4,
+            "wall_seconds": serial_wall,
+            "speedup": 1.0,
+            "identical_results": True,
+        },
+        {
+            "mode": "parallel-4",
+            "tiles": 4,
+            "wall_seconds": parallel_wall,
+            "speedup": (
+                serial_wall / parallel_wall if parallel_wall > 0 else None
+            ),
+            "identical_results": same_warm,
+        },
+    ]
+
+    # ---- Table 3: sharded-only scale ---------------------------------
+    tiles3 = (4, 4) if quick else (8, 8)
+    n_objects = 2_500 if quick else 10_000
+    # Quick mode keeps the relief gentler: at 129x129 the full-mode
+    # amplitude makes dE3d so loose that every probe escalates to a
+    # near-full window, which is a stress test, not a CI smoke test.
+    amplitude = 700.0 if quick else 2200.0
+    dem3 = fractal_dem(scale_size, 90.0, amplitude, 0.7, seed=11)
+    vids3 = [int(v) for v in uniform_grid_objects(dem3, n_objects, seed=3)]
+    t0 = time.perf_counter()
+    eng3 = ShardedEngine(dem3, objects=vids3, grid=tiles3)
+    setup_wall = time.perf_counter() - t0
+    picks = sorted({1, tiles3[0] // 2, tiles3[0] - 2})
+    queries3 = []
+    for ti in picks:
+        r = (eng3.grid.row_cuts[ti] + eng3.grid.row_cuts[ti + 1]) // 2
+        c = (eng3.grid.col_cuts[ti] + eng3.grid.col_cuts[ti + 1]) // 2
+        queries3.append(r * dem3.cols + c)
+    latencies = []
+    all_converged = True
+    for qv in queries3:
+        t0 = time.perf_counter()
+        result = eng3.query(qv, 5)
+        latencies.append(time.perf_counter() - t0)
+        all_converged = all_converged and result.converged
+    scale_rows = [
+        {
+            "dem": f"{scale_size}x{scale_size}",
+            "grid": f"{tiles3[0]}x{tiles3[1]}",
+            "objects": len(vids3),
+            "queries": len(queries3),
+            "k": 5,
+            "setup_seconds": setup_wall,
+            "mean_query_seconds": sum(latencies) / len(latencies),
+            "max_query_seconds": max(latencies),
+            "windows_built": len(eng3.windows_built),
+            "tiles_total": tiles3[0] * tiles3[1],
+            "all_converged": all_converged,
+        }
+    ]
+
+    tables = [
+        format_table(
+            f"Shard identity — BH {identity_size}x{identity_size}, "
+            f"{len(queries)} queries (k={k}), cold engine + queries",
+            [
+                "engine", "queries", "wall_seconds",
+                "speedup_vs_monolithic", "identical_results",
+                "identical_flags", "windows_built",
+            ],
+            identity_rows,
+        ),
+        format_table(
+            f"Shard build parallelism — BH {build_size}x{build_size}, "
+            "2x2 grid, warm() all tiles",
+            ["mode", "tiles", "wall_seconds", "speedup", "identical_results"],
+            build_rows,
+        ),
+        format_table(
+            f"Shard scale (sharded-only) — BH {scale_size}x{scale_size}, "
+            f"{n_objects} objects, {tiles3[0]}x{tiles3[1]} grid",
+            [
+                "dem", "grid", "objects", "queries", "k", "setup_seconds",
+                "mean_query_seconds", "max_query_seconds", "windows_built",
+                "tiles_total", "all_converged",
+            ],
+            scale_rows,
+        ),
+    ]
+    rows = {
+        "shard_identity": identity_rows,
+        "shard_build": build_rows,
+        "shard_scale": scale_rows,
+    }
+    if out:
+        document = _load_bench_document(out)
+        document["params"]["shard"] = {
+            "dataset": "BH",
+            "identity_size": identity_size,
+            "build_size": build_size,
+            "scale_size": scale_size,
+            "identity_grids": [list(g) for g in grids],
+            "scale_grid": list(tiles3),
+            "scale_objects": n_objects,
+            "scale_amplitude": amplitude,
+            "quick": quick,
+        }
+        document["rows"].update(rows)
+        _write_bench_document(out, document)
+    return {"tables": tables, "rows": rows}

@@ -105,6 +105,13 @@ class QueryResult:
     # Phase profile of the query (repro.obs.profile.Profile) when it
     # ran under a profiling ObsContext; None otherwise.
     profile_data: object | None = None
+    # Non-winner step-4 candidates as ``(object_id, lower_bound)``
+    # pairs.  Every object whose straight-line distance could beat the
+    # reported k-th upper bound appears here (the step-3 circle
+    # contains all such objects), so a caller holding the result can
+    # certify separation of the answer set from the rest of the
+    # dataset — the sharded engine's acceptance test.
+    rest: tuple = ()
 
     def profile(self):
         """The query's phase profile (:class:`repro.obs.Profile`), or
@@ -301,6 +308,14 @@ class MR3QueryProcessor:
             lbs = sorted(c.lb for c in out2.all_candidates)
             kth_lb = lbs[k - 1] if len(lbs) >= k else 0.0
             max_error = max(0.0, winners[-1].ub - kth_lb)
+        winner_ids = {c.object_id for c in winners}
+        rest = tuple(
+            sorted(
+                (c.object_id, float(c.lb))
+                for c in out2.all_candidates
+                if c.object_id not in winner_ids
+            )
+        )
         return QueryResult(
             query_vertex=query_vertex,
             k=k,
@@ -316,6 +331,7 @@ class MR3QueryProcessor:
             max_error=max_error,
             budget_reason=tracker.exhausted_reason if tracker else None,
             degraded_reason=degraded_reason,
+            rest=rest,
         )
 
     def _conservative_radius(self, anchors, cands1, k: int) -> float:

@@ -46,6 +46,33 @@ def _anchors_key(anchors) -> tuple:
     return tuple((int(v), float(off)) for v, off in anchors)
 
 
+def _structure_scope(mesh, dmtm, msdn) -> tuple:
+    """Identity token for the structures a cached bound was computed
+    from.
+
+    A :class:`repro.core.batch.BoundCache` can be shared across
+    engines (the batch executor's shared cache, one sharded engine's
+    many tile engines).  Bound keys like ``("net", resolution, box)``
+    are only pure given the *structures*, so without this token two
+    tile engines whose regions happen to coincide would alias each
+    other's entries.  The token fingerprints the mesh geometry plus
+    the DMTM/MSDN build parameters; it is memoized on the mesh object
+    because hashing the vertex array is the expensive part.
+    """
+    token = getattr(mesh, "_bound_scope_token", None)
+    if token is None:
+        from repro.geodesic.landmarks import mesh_fingerprint
+
+        token = mesh_fingerprint(mesh)[:16]
+        mesh._bound_scope_token = token
+    return (
+        token,
+        int(dmtm.steiner_per_edge),
+        float(msdn.spacing),
+        int(msdn.supersample),
+    )
+
+
 @dataclass(frozen=True)
 class RankerOptions:
     """Tuning knobs of the ranking loop (all paper-described)."""
@@ -165,6 +192,9 @@ class DistanceRanker:
         # skipped on a hit, so cached and uncached runs are identical
         # in results AND logical reads — the cache only saves CPU.
         self.bound_cache = bound_cache
+        # Every cache key below carries this token so engines over
+        # different structures can share one cache without aliasing.
+        self._scope = _structure_scope(mesh, dmtm, msdn)
 
     # ------------------------------------------------------------------
 
@@ -660,7 +690,7 @@ class DistanceRanker:
         out: dict = {}
         missing: list[int] = []
         for vertex in dict.fromkeys(target_vertices):
-            key = ("ub", anchors_key, vertex, res_u, group_box)
+            key = ("ub", self._scope, anchors_key, vertex, res_u, group_box)
             found, value = cache.lookup(key)
             if found:
                 if value is not None:
@@ -672,7 +702,10 @@ class DistanceRanker:
             computed = self._combined_ubs(anchors, missing, shared)
             for vertex in missing:
                 value = computed.get(vertex)
-                cache.store(("ub", anchors_key, vertex, res_u, group_box), value)
+                cache.store(
+                    ("ub", self._scope, anchors_key, vertex, res_u, group_box),
+                    value,
+                )
                 if value is not None:
                     out[vertex] = value
         return out
@@ -684,7 +717,7 @@ class DistanceRanker:
         cache = self.bound_cache
         if cache is None:
             return self.dmtm.extract_network(res_u, group_box, charge_io=False)
-        key = ("net", res_u, group_box)
+        key = ("net", self._scope, res_u, group_box)
         found, network = cache.lookup_network(key)
         if not found:
             network = self.dmtm.extract_network(
@@ -706,7 +739,8 @@ class DistanceRanker:
         cache = self.bound_cache
         if cache is not None:
             key = (
-                "ubr", _anchors_key(anchors), cand.vertex, res_u, tuple(boxes),
+                "ubr", self._scope, _anchors_key(anchors), cand.vertex, res_u,
+                tuple(boxes),
             )
             found, value = cache.lookup(key)
             if found:
@@ -884,6 +918,7 @@ class DistanceRanker:
     def _lb_cache_key(self, q_pos, position, res_l: float, roi):
         return (
             "lb",
+            self._scope,
             tuple(float(c) for c in q_pos),
             tuple(float(c) for c in position),
             res_l,
@@ -959,7 +994,7 @@ class DistanceRanker:
             return kanai_suzuki_distance(
                 self.mesh, anchor_vertex, vertex, tolerance=tolerance
             )
-        key = ("ks", int(anchor_vertex), int(vertex), tolerance)
+        key = ("ks", self._scope, int(anchor_vertex), int(vertex), tolerance)
         found, value = cache.lookup(key)
         if not found:
             value = kanai_suzuki_distance(

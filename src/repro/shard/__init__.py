@@ -1,0 +1,26 @@
+"""repro.shard — tiled terrain sharding with boundary-anchor stitching.
+
+Partitions a DEM into a grid of overlapping tiles, each with its own
+DMTM/MSDN, paged store and spatial-index slice, and answers sk-NN
+queries through the smallest tile window it can certify against the
+monolithic answer (:mod:`~repro.shard.engine`).  Cross-tile distances
+stitch through shared border vertices with the same multi-source
+composition the ranking hot path uses (:mod:`~repro.shard.stitch`).
+See ``docs/sharding.md`` for the layout, the border-anchor contract
+and the identity guarantees.
+"""
+
+from repro.shard.engine import ShardedEngine, uniform_grid_objects
+from repro.shard.stitch import border_offsets, detour_lower_bounds, stitch_into
+from repro.shard.tiles import TileGrid, TileSpan, tile_cuts
+
+__all__ = [
+    "ShardedEngine",
+    "uniform_grid_objects",
+    "border_offsets",
+    "detour_lower_bounds",
+    "stitch_into",
+    "TileGrid",
+    "TileSpan",
+    "tile_cuts",
+]

@@ -1,0 +1,90 @@
+"""Boundary-anchor stitching and border detour bounds.
+
+Two bound families make cross-tile reasoning sound without ever
+building a global DMTM:
+
+* **Stitched upper bounds** — genuine concatenated path lengths.  The
+  home window's DMTM bounds the query to each shared border vertex
+  (:func:`border_offsets`); those ``(vertex, offset)`` pairs then seed
+  a *multi-source* search over the neighbouring tile's DMTM
+  (:func:`stitch_into`, the same composition
+  :meth:`~repro.multires.dmtm.DMTM.upper_bounds_multi` uses on the
+  ranking hot path).  Every stitched value is ``ub_home(q, b) +
+  ub_neighbour(b, t)`` for some shared border vertex ``b`` — a real
+  q→b→t surface path, hence an upper bound on the global distance.
+
+* **Detour lower bounds** — :func:`detour_lower_bounds`.  Any surface
+  path that leaves a window must cross the vertical wall over the
+  window's interior border; its xy projection passes through a border
+  point ``p``, so its length is at least ``|q'p| + |p t'|``.  The
+  border is sampled at grid spacing, and the continuous minimiser
+  lies within half a ``cell_size`` of a sample along the border
+  polyline, so subtracting one ``cell_size`` keeps the bound
+  admissible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multires.dmtm import RESOLUTION_PATHNET
+
+
+def detour_lower_bounds(q_xy, border_xy, target_xy, cell_size: float):
+    """Admissible lower bounds on border-crossing paths.
+
+    ``q_xy`` is the query projection, ``border_xy`` an ``(B, 2)``
+    array of border samples spaced at most ``cell_size`` apart along
+    the border polyline, ``target_xy`` a ``(T, 2)`` array of target
+    projections.  Returns a ``(T,)`` array: for each target, a sound
+    lower bound on the length of *any* surface path from the query
+    that crosses the sampled border before reaching that target.
+    Infinite when the border is empty (no crossing is possible).
+    """
+    target_xy = np.asarray(target_xy, dtype=float).reshape(-1, 2)
+    if len(border_xy) == 0:
+        return np.full(len(target_xy), np.inf)
+    q = np.asarray(q_xy, dtype=float)[:2]
+    dq = np.linalg.norm(border_xy - q[None, :], axis=1)
+    diff = target_xy[:, None, :] - border_xy[None, :, :]
+    dt = np.sqrt((diff**2).sum(axis=2))
+    best = (dq[None, :] + dt).min(axis=1) - float(cell_size)
+    return np.maximum(best, 0.0)
+
+
+def border_offsets(engine, source_vertex: int, border_vertices) -> dict[int, float]:
+    """Upper bounds from a query vertex to each border vertex of its
+    own window — the anchor offsets of a stitched search.
+
+    Each value is a genuine surface-path length through the window's
+    pathnet DMTM level; unreachable border vertices are omitted.
+    """
+    if not border_vertices:
+        return {}
+    network = engine.dmtm.extract_network(RESOLUTION_PATHNET, charge_io=False)
+    results = engine.dmtm.upper_bounds_from(
+        int(source_vertex), [int(v) for v in border_vertices], network
+    )
+    return {
+        int(v): float(r.value) for v, r in results.items() if r is not None
+    }
+
+
+def stitch_into(engine, anchors, target_vertices) -> dict[int, float]:
+    """Stitched upper bounds into a neighbouring tile.
+
+    ``anchors`` are ``(local_border_vertex, offset)`` pairs in the
+    neighbour's vertex numbering, where each offset is the home-side
+    path length to that border vertex (:func:`border_offsets`);
+    ``target_vertices`` are local vertex ids in the neighbour.
+    Returns ``{target_vertex: value}`` with each value realised by a
+    concatenated q→border→target path; unreachable targets are
+    omitted.
+    """
+    anchors = [(int(v), float(off)) for v, off in anchors]
+    target_vertices = [int(v) for v in target_vertices]
+    if not anchors or not target_vertices:
+        return {}
+    network = engine.dmtm.extract_network(RESOLUTION_PATHNET, charge_io=False)
+    found = engine.dmtm.upper_bounds_multi(anchors, target_vertices, network)
+    return {int(v): float(value) for v, (value, _path) in found.items()}

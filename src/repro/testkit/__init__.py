@@ -26,13 +26,16 @@ from repro.testkit.generators import (
     ResolvedQuery,
     Scenario,
     TerrainSpec,
+    build_dem,
     build_engine,
     build_mesh,
     build_objects,
+    build_sharded_engine,
     generate_scenario,
     resolve_queries,
     standard_engine,
     standard_mesh,
+    with_tiles,
 )
 from repro.testkit.oracles import (
     ORACLES,
@@ -61,13 +64,16 @@ __all__ = [
     "ResolvedQuery",
     "Scenario",
     "TerrainSpec",
+    "build_dem",
     "build_engine",
     "build_mesh",
     "build_objects",
+    "build_sharded_engine",
     "generate_scenario",
     "resolve_queries",
     "standard_engine",
     "standard_mesh",
+    "with_tiles",
     "ORACLES",
     "Oracle",
     "OracleContext",

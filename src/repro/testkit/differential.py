@@ -29,6 +29,11 @@ persistent          queries never crash: every answer is exact or
 clean               "storage"`` and sound intervals; quarantined
                     pages are never re-read past the probe cap
                     (``storage_degradation_sound``)
+sharded vs          identical answer sets and degraded/budget flags,
+monolithic          rewritten intervals stay sound
+                    (``shard_consistency``); the sharded run itself
+                    keeps its identity across the kernel, frontier,
+                    batch and transient-fault axes (tentpole PR)
 ==================  =================================================
 
 Every mode's results additionally run the full invariant-oracle
@@ -59,6 +64,7 @@ from repro.testkit.generators import (
     Scenario,
     build_engine,
     build_mesh,
+    build_sharded_engine,
     resolve_queries,
 )
 from repro.testkit.oracles import OracleContext, Violation, run_oracles
@@ -509,6 +515,89 @@ def run_scenario(
                 fault_injector=dead_engine.pages.fault_injector,
                 retry_attempts=scenario.fault.retry_attempts,
             )
+
+    # ------------------------------------------------------------------
+    # sharded vs monolithic: identical answer sets and flags, sound
+    # rewritten intervals — composed with the kernel, frontier, batch
+    # and transient-fault axes (budget and kill-list legs stay
+    # monolithic: budget accounting and dead-page schedules are
+    # whole-store properties a tile split deliberately changes)
+    # ------------------------------------------------------------------
+    if active("shards") and scenario.terrain.tiles > 1:
+        report.modes_run.append("shards")
+        sharded = build_sharded_engine(scenario)
+        shard_results = []
+        for index, q in enumerate(queries):
+            result = mutate(
+                sharded.query(q.vertex, q.k, step_length=q.step_length)
+            )
+            shard_results.append(result)
+            check(
+                "shards", index, result, shard_baseline=baseline[index]
+            )
+        with use_reference_kernels():
+            for index, q in enumerate(queries):
+                result = mutate(
+                    sharded.query(q.vertex, q.k, step_length=q.step_length)
+                )
+                check(
+                    "shards+kernel", index, result,
+                    shard_baseline=baseline[index],
+                )
+        with use_kernel_mode("frontier"):
+            for index, q in enumerate(queries):
+                result = mutate(
+                    sharded.query(q.vertex, q.k, step_length=q.step_length)
+                )
+                check(
+                    "shards+frontier", index, result,
+                    shard_baseline=baseline[index],
+                )
+        executor = BatchQueryExecutor(
+            sharded, workers=max(1, scenario.batch_workers)
+        )
+        batch_report = executor.run(
+            [
+                {"vertex": q.vertex, "k": q.k, "step_length": q.step_length}
+                for q in queries
+            ]
+        )
+        for error in batch_report.errors:
+            report.findings.append(
+                Finding(
+                    mode="shards+batch",
+                    query_index=error.index,
+                    violation=Violation(
+                        oracle="shard_consistency",
+                        message=f"batch query failed: {error.kind}: "
+                                f"{error.message}",
+                    ),
+                )
+            )
+        for index, result in enumerate(batch_report.results):
+            if result is None:
+                continue
+            check(
+                "shards+batch", index, mutate(result),
+                shard_baseline=baseline[index],
+            )
+        if (
+            scenario.fault is not None
+            and scenario.fault.dead_page_fraction == 0.0
+        ):
+            faulted_sharded = build_sharded_engine(
+                scenario, with_faults=True
+            )
+            for index, q in enumerate(queries):
+                result = mutate(
+                    faulted_sharded.query(
+                        q.vertex, q.k, step_length=q.step_length
+                    )
+                )
+                check(
+                    "shards+faults", index, result,
+                    shard_baseline=baseline[index],
+                )
 
     report.seconds = time.perf_counter() - start
     return report

@@ -158,7 +158,13 @@ OBJECT_PATTERNS = ("uniform", "clustered", "colocated", "collinear")
 
 @dataclass(frozen=True)
 class TerrainSpec:
-    """Seeded DEM parameters for one scenario."""
+    """Seeded DEM parameters for one scenario.
+
+    ``tiles > 1`` adds a sharding axis: the differential matrix runs
+    a :class:`~repro.shard.engine.ShardedEngine` over a
+    ``tiles x tiles`` grid of the same DEM next to the monolithic
+    engine (``tiles = 1`` keeps the scenario shard-free).
+    """
 
     kind: str = "fractal"
     size: int = 13
@@ -167,6 +173,7 @@ class TerrainSpec:
     roughness: float = 0.6
     ridged: bool = False
     seed: int = 0
+    tiles: int = 1
 
     @property
     def flat(self) -> bool:
@@ -185,6 +192,13 @@ class ObjectSpec:
     packs *all* objects around one centre (maximal ties, degenerate
     2D filter circles); ``collinear`` places them on a straight line
     (degenerate R-tree boxes).
+
+    ``border_tiles > 1`` overlays border pressure on any pattern: a
+    fraction of the objects is re-aimed at the interior cut lines of a
+    ``border_tiles x border_tiles`` tile grid (on the line and
+    straddling it by about one cell) — the placement the sharded
+    engine's stitching logic finds hardest.  ``0`` leaves the pattern
+    and its RNG stream untouched.
     """
 
     pattern: str = "uniform"
@@ -192,6 +206,7 @@ class ObjectSpec:
     seed: int = 0
     clusters: int = 3
     spread: float = 0.08  # cluster sigma, fraction of terrain extent
+    border_tiles: int = 0
 
 
 @dataclass(frozen=True)
@@ -288,11 +303,16 @@ class Scenario:
             if self.budget_pages is not None
             else "unbudgeted"
         )
+        tiled = (
+            f" tiles={self.terrain.tiles}x{self.terrain.tiles}"
+            if self.terrain.tiles > 1
+            else ""
+        )
         return (
             f"seed={self.seed} {self.terrain.kind}[{self.terrain.size}] "
             f"{self.objects.pattern} x{self.objects.count} "
             f"queries={len(self.queries)} kmax={self.max_k()} "
-            f"{fault} {budget} w={self.batch_workers}"
+            f"{fault} {budget} w={self.batch_workers}{tiled}"
         )
 
 
@@ -356,6 +376,14 @@ def generate_scenario(seed: int) -> Scenario:
             dead_page_fraction=round(rng.uniform(0.02, 0.10), 3),
             dead_page_seed=rng.randrange(10_000),
         )
+    # Sharding component, also drawn after every pre-existing field so
+    # old seeds keep their byte-identical scenarios.  Half the tiled
+    # scenarios add border-straddling object pressure.
+    tiles = rng.choice((1, 1, 1, 2, 2, 3))
+    if tiles > 1:
+        terrain = replace(terrain, tiles=tiles)
+        if rng.random() < 0.5:
+            objects = replace(objects, border_tiles=tiles)
     return Scenario(
         seed=seed,
         terrain=terrain,
@@ -372,10 +400,15 @@ def generate_scenario(seed: int) -> Scenario:
 # ----------------------------------------------------------------------
 
 
-def build_mesh(terrain: TerrainSpec) -> TriangleMesh:
-    """Mesh for a terrain spec (uncached — scenarios are throwaway)."""
+def build_dem(terrain: TerrainSpec) -> DemGrid:
+    """DEM for a terrain spec (uncached — scenarios are throwaway).
+
+    The sharded engine consumes the DEM directly; :func:`build_mesh`
+    triangulates the very same grid, so monolithic and sharded legs
+    of a scenario always see one terrain.
+    """
     if terrain.kind == "fractal":
-        dem = fractal_dem(
+        return fractal_dem(
             size=terrain.size,
             cell_size=terrain.cell_size,
             relief=terrain.relief,
@@ -383,16 +416,19 @@ def build_mesh(terrain: TerrainSpec) -> TriangleMesh:
             seed=terrain.seed,
             ridged=terrain.ridged,
         )
-    elif terrain.kind == "gaussian":
-        dem = gaussian_hills_dem(
+    if terrain.kind == "gaussian":
+        return gaussian_hills_dem(
             size=terrain.size,
             cell_size=terrain.cell_size,
             relief=max(terrain.relief, 1.0),
             seed=terrain.seed,
         )
-    else:
-        dem = _dem_for(terrain.kind, terrain.size, seed=terrain.seed)
-    return TriangleMesh.from_dem(dem)
+    return _dem_for(terrain.kind, terrain.size, seed=terrain.seed)
+
+
+def build_mesh(terrain: TerrainSpec) -> TriangleMesh:
+    """Mesh for a terrain spec (uncached — scenarios are throwaway)."""
+    return TriangleMesh.from_dem(build_dem(terrain))
 
 
 def build_objects(mesh: TriangleMesh, spec: ObjectSpec) -> ObjectSet:
@@ -413,8 +449,33 @@ def build_objects(mesh: TriangleMesh, spec: ObjectSpec) -> ObjectSet:
     lo = np.asarray(bounds.lo, dtype=float)
     hi = np.asarray(bounds.hi, dtype=float)
     extent = float(np.linalg.norm(hi - lo))
+    span = hi - lo
+    # Interior tile-cut lines for border-pressure placement.  Computed
+    # only when requested: border_tiles == 0 must leave every RNG draw
+    # below at the stream position it had before this field existed.
+    cut_lines: tuple[int, ...] = ()
+    cell_xy = span  # placeholder; overwritten when cut_lines is set
+    if spec.border_tiles > 1:
+        from repro.shard.tiles import tile_cuts
+
+        side = max(int(round(np.sqrt(mesh.num_vertices))), 2)
+        cell_xy = span / (side - 1)
+        cut_lines = tile_cuts(side, spec.border_tiles)[1:-1]
 
     def sample_xy() -> np.ndarray:
+        if cut_lines and rng.random() < 0.6:
+            # On or straddling a tile border: pick a cut line, walk
+            # uniformly along it, jitter across by about one cell.
+            axis = int(rng.integers(2))
+            cut = cut_lines[int(rng.integers(len(cut_lines)))]
+            xy = np.empty(2)
+            xy[1 - axis] = rng.uniform(lo[1 - axis], hi[1 - axis])
+            xy[axis] = (
+                lo[axis]
+                + cut * cell_xy[axis]
+                + rng.normal(0.0, 0.8) * cell_xy[axis]
+            )
+            return xy
         if spec.pattern == "uniform":
             return rng.uniform(lo, hi)
         if spec.pattern == "clustered":
@@ -534,7 +595,77 @@ def build_engine(
     return engine
 
 
+def build_sharded_engine(
+    scenario: Scenario,
+    grid: int | tuple[int, int] | None = None,
+    with_faults: bool = False,
+    max_workers: int = 2,
+):
+    """Fresh :class:`~repro.shard.engine.ShardedEngine` twin of
+    :func:`build_engine` over the same scenario.
+
+    The DEM, the object vertex ids and their ordering are exactly the
+    monolithic engine's (the object set is built on the monolithic
+    mesh and handed over as global vertex ids), so result object ids
+    compare directly.  ``grid`` defaults to the scenario's
+    ``terrain.tiles``.  ``with_faults=True`` gives every tile store
+    its own seeded injector (same rates and retry budget as the
+    monolithic faulted leg; per-span seeds, because one shared
+    injector is not thread-safe under parallel tile builds).
+    """
+    from repro.shard import ShardedEngine
+    from repro.storage.faults import FaultInjector, RetryPolicy
+
+    dem = build_dem(scenario.terrain)
+    mesh = TriangleMesh.from_dem(dem)
+    objects = build_objects(mesh, scenario.objects)
+    tiles = grid if grid is not None else scenario.terrain.tiles
+    kwargs = {}
+    if with_faults:
+        if scenario.fault is None:
+            raise QueryError("scenario has no fault spec")
+        fault = scenario.fault
+
+        def factory(span, _f=fault):
+            derived = _f.seed + 17 * (
+                1 + span.t_r0 + 5 * span.t_r1
+                + 11 * span.t_c0 + 23 * span.t_c1
+            )
+            return FaultInjector(
+                seed=derived,
+                transient_rate=_f.transient_rate,
+                corrupt_rate=_f.corrupt_rate,
+                latency_rate=_f.latency_rate,
+                max_faults=_f.max_faults,
+            )
+
+        kwargs["fault_injector_factory"] = factory
+        kwargs["retry_policy"] = RetryPolicy(max_attempts=fault.retry_attempts)
+    return ShardedEngine(
+        dem,
+        objects=[int(v) for v in objects.vertex_ids],
+        grid=tiles,
+        max_workers=max_workers,
+        **kwargs,
+    )
+
+
 def with_fewer_objects(scenario: Scenario, count: int) -> Scenario:
     """Scenario copy with the object count lowered (shrinker helper;
     k values are clamped at resolve time)."""
     return replace(scenario, objects=replace(scenario.objects, count=count))
+
+
+def with_tiles(scenario: Scenario, tiles: int) -> Scenario:
+    """Scenario copy with the tile grid collapsed or shrunk (shrinker
+    helper; border placement follows the grid down and disappears
+    with it)."""
+    border = scenario.objects.border_tiles
+    return replace(
+        scenario,
+        terrain=replace(scenario.terrain, tiles=tiles),
+        objects=replace(
+            scenario.objects,
+            border_tiles=0 if tiles <= 1 else min(border, tiles),
+        ),
+    )

@@ -63,6 +63,11 @@ class OracleContext:
     :class:`~repro.storage.faults.FaultInjector` and the retry
     policy's attempt count, so the storage-degradation oracle can
     bound the disk attempts any quarantined page ever saw.
+
+    ``shard_baseline`` carries the *monolithic* engine's result for
+    the same query when ``result`` came from a
+    :class:`~repro.shard.engine.ShardedEngine` — the shard-consistency
+    oracle then asserts the tiled run changed nothing observable.
     """
 
     result: object
@@ -76,6 +81,7 @@ class OracleContext:
     quarantine: object = None
     fault_injector: object = None
     retry_attempts: int = 0
+    shard_baseline: object = None
 
     @property
     def truth_dist(self) -> dict:
@@ -431,6 +437,50 @@ def check_storage_degradation_sound(ctx: OracleContext) -> list[str]:
     return out
 
 
+def check_shard_consistency(ctx: OracleContext) -> list[str]:
+    """Sharded execution is observably identical to monolithic.
+
+    Active only when ``shard_baseline`` (the monolithic engine's
+    result for the same query) is present.  Three legs:
+
+    1. **Answer identity** — the sharded neighbour set equals the
+       monolithic set exactly (no tie allowance: the sharded engine's
+       separation test only accepts a sub-window answer it can prove
+       is the unique monolithic top-k, and the full-window fallback is
+       byte-identical by construction).
+    2. **Flag identity** — ``degraded``, ``degraded_reason``,
+       ``budget_reason`` and ``converged`` all match: sharding may
+       not manufacture or hide degradation.
+    3. **Interval soundness** — the sharded result's own intervals
+       still sandwich the exact surface distances.  Certified
+       sub-window answers rewrite their lower bounds to globally
+       sound compositions (window bound vs border detour vs straight
+       line); an unsound rewrite shows up here even though the
+       neighbour ids agree.
+    """
+    base = ctx.shard_baseline
+    if base is None:
+        return []
+    result = ctx.result
+    out = []
+    if sorted(base.object_ids) != sorted(result.object_ids):
+        out.append(
+            f"sharded answer set {sorted(result.object_ids)} != "
+            f"monolithic {sorted(base.object_ids)}"
+        )
+    for flag in ("degraded", "degraded_reason", "budget_reason",
+                 "converged"):
+        got = getattr(result, flag, None)
+        want = getattr(base, flag, None)
+        if got != want:
+            out.append(
+                f"sharded run changed {flag}: {got!r} vs monolithic "
+                f"{want!r}"
+            )
+    out.extend(check_interval_sandwich(ctx))
+    return out
+
+
 # ----------------------------------------------------------------------
 # catalog
 # ----------------------------------------------------------------------
@@ -509,6 +559,14 @@ ORACLES: dict[str, Oracle] = {
             "repro.storage.faults / repro.core.ranking",
             "storage-degraded answers stay sound; quarantined pages "
             "are never re-read past the probe cap",
+        ),
+        Oracle(
+            "shard_consistency",
+            check_shard_consistency,
+            "sharding extension",
+            "repro.shard.engine / repro.shard.stitch",
+            "sharded answer sets and degraded/budget flags identical "
+            "to monolithic; rewritten intervals stay sound",
         ),
     )
 }

@@ -3,8 +3,9 @@
 When the differential runner finds a violation, the triggering
 :class:`~repro.testkit.generators.Scenario` is often far bigger than
 the bug needs.  :func:`shrink_scenario` walks a fixed ladder of
-reductions — fewer queries, no faults/budget, fewer objects, smaller
-DEM, lower k, shorter fault schedule — accepting every reduction that
+reductions — fewer queries, no faults/budget, fewer objects, fewer
+tiles, smaller DEM, lower k, shorter fault schedule — accepting every
+reduction that
 *still fails* the caller's predicate, until a full pass accepts
 nothing.  The result is written as a ``repro.testkit.case/v1`` JSON
 file under ``tests/cases/`` that replays bit-for-bit:
@@ -23,7 +24,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.errors import QueryError
-from repro.testkit.generators import Scenario, with_fewer_objects
+from repro.testkit.generators import Scenario, with_fewer_objects, with_tiles
 
 CASE_SCHEMA = "repro.testkit.case/v1"
 
@@ -50,14 +51,22 @@ def _reductions(scenario: Scenario):
         yield with_fewer_objects(scenario, count // 2)
     if count - 1 >= floor:
         yield with_fewer_objects(scenario, count - 1)
-    # 4. smaller terrain.
+    # 4. collapse the tile grid *before* shrinking the DEM: a sharding
+    # bug that survives on one tile is no sharding bug at all, and a
+    # smaller DEM would silently re-clamp the grid anyway.
+    tiles = scenario.terrain.tiles
+    if tiles > 1:
+        yield with_tiles(scenario, 1)
+        if tiles > 2:
+            yield with_tiles(scenario, tiles - 1)
+    # 5. smaller terrain.
     for size in _SIZES:
         if size < scenario.terrain.size:
             yield replace(
                 scenario, terrain=replace(scenario.terrain, size=size)
             )
             break
-    # 5. lower k / simpler schedule per query.
+    # 6. lower k / simpler schedule per query.
     for index, q in enumerate(scenario.queries):
         smaller = []
         if q.k > 1:
@@ -68,7 +77,7 @@ def _reductions(scenario: Scenario):
             queries = list(scenario.queries)
             queries[index] = candidate
             yield replace(scenario, queries=tuple(queries))
-    # 6. shorter/milder fault schedule.
+    # 7. shorter/milder fault schedule.
     fault = scenario.fault
     if fault is not None and fault.max_faults > 4:
         yield replace(

@@ -1,0 +1,168 @@
+"""Key-scoping regressions for engines that share storage and caches.
+
+A :class:`~repro.shard.engine.ShardedEngine` owns many tile stores
+behind one :class:`~repro.storage.pages.BufferPool` and may serve them
+all from one :class:`~repro.core.batch.BoundCache`.  Tile stores
+number their pages from zero, and same-shaped tiles produce colliding
+ROI boxes and anchor tuples — so both layers need a per-structure
+scope in their keys:
+
+* the buffer pool keys entries by ``(owner, page_id)`` with a fresh
+  owner token per :class:`~repro.storage.pages.PageManager`;
+* the ranker inserts a structure scope (mesh fingerprint + DMTM/MSDN
+  parameters) into every bound-cache key family.
+
+These tests hammer two tiles that share page ids through one pool and
+one cache and assert zero cross-talk: answers equal isolated runs,
+and dropping one tile's buffer leaves the other's pages resident.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BoundCache
+from repro.core.engine import SurfaceKNNEngine
+from repro.core.objects import ObjectSet
+from repro.core.ranking import _structure_scope
+from repro.shard import ShardedEngine, TileGrid, uniform_grid_objects
+from repro.storage.pages import BufferPool
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import fractal_dem
+
+
+@pytest.fixture(scope="module")
+def dem():
+    return fractal_dem(17, 90.0, 500.0, 0.6, seed=13)
+
+
+@pytest.fixture(scope="module")
+def vids(dem):
+    return uniform_grid_objects(dem, 24, seed=5)
+
+
+def _tile_engines(dem, vids, buffer_pool=None):
+    """Two standalone engines over the (0,0) and (0,1) tile windows
+    of a 2x2 grid, optionally sharing one buffer pool."""
+    grid = TileGrid(dem, (2, 2))
+    engines = []
+    for tile in ((0, 0), (0, 1)):
+        span = grid.tile_span(tile)
+        r0, r1, c0, c1 = grid.span_window(span)
+        sub = grid.window_dem(span)
+        mesh = TriangleMesh.from_dem(sub)
+        wcols = c1 - c0 + 1
+        local = [
+            (v // dem.cols - r0) * wcols + (v % dem.cols - c0)
+            for v in vids
+            if r0 <= v // dem.cols <= r1 and c0 <= v % dem.cols <= c1
+        ]
+        engines.append(
+            SurfaceKNNEngine(
+                mesh,
+                objects=ObjectSet(mesh, local),
+                buffer_pool=buffer_pool,
+            )
+        )
+    return engines
+
+
+class TestBufferPoolScoping:
+    def test_tile_stores_share_page_ids_but_not_pages(self, dem, vids):
+        pool = BufferPool(4096)
+        a, b = _tile_engines(dem, vids, buffer_pool=pool)
+        # The regression precondition: both stores really do number
+        # their pages from the same range.
+        assert a.pages._owner != b.pages._owner
+        ra = a.query(8, 3)
+        rb = b.query(8, 3)
+        owners = {owner for owner, _pid in pool._entries}
+        page_ids = [
+            {pid for owner, pid in pool._entries if owner == o}
+            for o in sorted(owners)
+        ]
+        assert len(owners) == 2
+        assert page_ids[0] & page_ids[1], "expected colliding page ids"
+        # Isolated twins (private pools) must answer identically —
+        # any cross-owner page aliasing would corrupt reads.
+        a2, b2 = _tile_engines(dem, vids)
+        ra2 = a2.query(8, 3)
+        rb2 = b2.query(8, 3)
+        assert ra.object_ids == ra2.object_ids
+        assert ra.intervals == ra2.intervals
+        assert ra.metrics.logical_reads == ra2.metrics.logical_reads
+        assert rb.object_ids == rb2.object_ids
+        assert rb.intervals == rb2.intervals
+        assert rb.metrics.logical_reads == rb2.metrics.logical_reads
+
+    def test_drop_buffer_only_evicts_own_owner(self, dem, vids):
+        pool = BufferPool(4096)
+        a, b = _tile_engines(dem, vids, buffer_pool=pool)
+        a.query(8, 2)
+        b.query(8, 2)
+        b_pages = sum(
+            1 for owner, _pid in pool._entries if owner == b.pages._owner
+        )
+        assert b_pages > 0
+        a.pages.drop_buffer()
+        remaining = {owner for owner, _pid in pool._entries}
+        assert a.pages._owner not in remaining
+        assert (
+            sum(1 for o, _p in pool._entries if o == b.pages._owner)
+            == b_pages
+        )
+
+    def test_sharded_engine_tiles_survive_interleaved_hammering(
+        self, dem, vids
+    ):
+        # Interleave queries across two tiles of one sharded engine
+        # (shared pool, shared everything) and compare against a fresh
+        # engine answering each query exactly once.
+        hammered = ShardedEngine(dem, objects=vids, grid=(2, 2))
+        left = 4 * dem.cols + 2      # tile (0, 0)
+        right = 4 * dem.cols + 13    # tile (0, 1)
+        for _ in range(3):
+            hammered.query(left, 3)
+            hammered.query(right, 3)
+        fresh = ShardedEngine(dem, objects=vids, grid=(2, 2))
+        for vertex in (left, right):
+            a = hammered.query(vertex, 3)
+            b = fresh.query(vertex, 3)
+            assert sorted(a.object_ids) == sorted(b.object_ids)
+            assert a.intervals == b.intervals
+
+
+class TestBoundCacheScoping:
+    def test_structure_scope_distinguishes_meshes(self, dem, vids):
+        a, b = _tile_engines(dem, vids)
+        scope_a = _structure_scope(a.mesh, a.dmtm, a.msdn)
+        scope_b = _structure_scope(b.mesh, b.dmtm, b.msdn)
+        assert scope_a != scope_b
+        # Memoized token: recomputing yields the identical scope.
+        assert scope_a == _structure_scope(a.mesh, a.dmtm, a.msdn)
+
+    def test_shared_cache_across_different_meshes_is_transparent(
+        self, dem, vids
+    ):
+        # Two same-shaped tiles produce identical anchor tuples, ROI
+        # boxes and resolutions — without the structure scope in the
+        # keys, tile A's cached bounds would answer tile B's lookups.
+        shared = BoundCache()
+        a, b = _tile_engines(dem, vids)
+        results_shared = []
+        for _ in range(2):  # second round hits the warm cache
+            for engine in (a, b):
+                results_shared.append(
+                    engine.query(8, 3, bound_cache=shared)
+                )
+        a2, b2 = _tile_engines(dem, vids)
+        results_private = []
+        for _ in range(2):
+            for engine in (a2, b2):
+                results_private.append(
+                    engine.query(8, 3, bound_cache=BoundCache())
+                )
+        for got, want in zip(results_shared, results_private):
+            assert got.object_ids == want.object_ids
+            assert got.intervals == want.intervals
+            assert got.metrics.logical_reads == want.metrics.logical_reads

@@ -1,0 +1,178 @@
+"""Boundary-anchor admissibility properties (satellite of the
+sharding tentpole), mirroring the landmark admissibility suite:
+
+* stitched cross-tile values are *upper* bounds on the exact global
+  surface distance, and every one is realised by a genuine
+  concatenated q -> border -> target path (the multi-source value
+  equals the best per-anchor offset + neighbour-leg composition);
+* border detour values are *lower* bounds on the exact global surface
+  distance for any target beyond the window.
+
+Ground truth is brute-force :class:`~repro.geodesic.ExactGeodesic`
+over the monolithic mesh — the structure the sharded engine never
+builds, which is exactly why these bounds carry the proof burden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geodesic import ExactGeodesic
+from repro.multires.dmtm import RESOLUTION_PATHNET
+from repro.shard import (
+    ShardedEngine,
+    border_offsets,
+    detour_lower_bounds,
+    stitch_into,
+    uniform_grid_objects,
+)
+from repro.terrain.mesh import TriangleMesh
+from repro.terrain.synthetic import fractal_dem
+
+SIZE = 13
+EPS = 1e-6
+
+
+def _setup(seed: int):
+    dem = fractal_dem(SIZE, 90.0, 450.0, 0.6, seed=seed)
+    vids = uniform_grid_objects(dem, 20, seed=seed + 1)
+    sharded = ShardedEngine(dem, objects=vids, grid=(2, 2))
+    mesh = TriangleMesh.from_dem(dem)  # ground truth only
+    return dem, vids, sharded, mesh
+
+
+@pytest.fixture(scope="module", params=[9, 31])
+def world(request):
+    return _setup(request.param)
+
+
+def _home_and_neighbour(sharded):
+    grid = sharded.grid
+    home_span = grid.tile_span((0, 0))
+    nb = (0, 1)
+    return grid, home_span, nb
+
+
+class TestDetourLowerBounds:
+    def test_admissible_for_targets_beyond_the_window(self, world):
+        dem, vids, sharded, mesh = world
+        grid, home_span, _nb = _home_and_neighbour(sharded)
+        r0, r1, c0, c1 = grid.span_window(home_span)
+        border = grid.window_border_xy(home_span)
+        cell = dem.cell_size
+        queries = [(2, 1), (3, 4), (5, 5)]
+        outside = [
+            (vid, divmod(vid, dem.cols))
+            for vid in vids
+            if not (
+                r0 <= vid // dem.cols <= r1 and c0 <= vid % dem.cols <= c1
+            )
+        ]
+        assert outside, "fixture needs objects beyond the home window"
+        target_xy = np.array(
+            [
+                (
+                    dem.origin[0] + c * cell,
+                    dem.origin[1] + r * cell,
+                )
+                for _vid, (r, c) in outside
+            ]
+        )
+        for qr, qc in queries:
+            q_vid = qr * dem.cols + qc
+            q_xy = (
+                dem.origin[0] + qc * cell,
+                dem.origin[1] + qr * cell,
+            )
+            exact = ExactGeodesic(mesh, q_vid).distances()
+            bounds = detour_lower_bounds(q_xy, border, target_xy, cell)
+            for (vid, _rc), lb in zip(outside, bounds):
+                ds = exact[vid]
+                assert np.isfinite(ds)
+                assert lb <= ds + EPS + 1e-9 * ds, (
+                    f"detour lb {lb} exceeds exact dS {ds} "
+                    f"(q={q_vid}, target={vid})"
+                )
+
+    def test_infinite_without_a_border(self, world):
+        dem, _vids, sharded, _mesh = world
+        grid = sharded.grid
+        full_border = grid.window_border_xy(grid.full_span())
+        bounds = detour_lower_bounds((0.0, 0.0), full_border, [(1.0, 1.0)], 1.0)
+        assert bounds.shape == (1,)
+        assert np.isinf(bounds[0])
+
+    def test_nonnegative(self, world):
+        dem, _vids, sharded, _mesh = world
+        grid, home_span, _nb = _home_and_neighbour(sharded)
+        border = grid.window_border_xy(home_span)
+        near = border[0]  # a target sitting on the border itself
+        bounds = detour_lower_bounds(near, border, [near], dem.cell_size)
+        assert bounds[0] == 0.0
+
+
+class TestStitchedUpperBounds:
+    def test_stitched_values_overestimate_exact_distance(self, world):
+        dem, _vids, sharded, mesh = world
+        grid, home_span, nb = _home_and_neighbour(sharded)
+        home = sharded.window_engine(home_span)
+        nb_engine = sharded.window_engine(grid.tile_span(nb))
+        r0, _r1, c0, _c1 = grid.span_window(home_span)
+        n0, _n1, m0, _m1 = grid.span_window(grid.tile_span(nb))
+        wcols_home = grid.span_window(home_span)[3] - c0 + 1
+        wcols_nb = grid.span_window(grid.tile_span(nb))[3] - m0 + 1
+
+        qr, qc = 3, 2
+        q_vid = qr * dem.cols + qc
+        local_q = (qr - r0) * wcols_home + (qc - c0)
+        shared = grid.shared_border_vertices(home_span, nb)
+        assert shared
+        home_vids = [(r - r0) * wcols_home + (c - c0) for r, c in shared]
+        offsets = border_offsets(home, local_q, home_vids)
+        assert offsets, "home window cannot reach its own border"
+        anchors = [
+            ((r - n0) * wcols_nb + (c - m0), offsets[hv])
+            for (r, c), hv in zip(shared, home_vids)
+            if hv in offsets
+        ]
+        targets = [int(v) for v in nb_engine.objects.vertex_ids]
+        values = stitch_into(nb_engine, anchors, targets)
+        assert values, "no cross-tile target was reachable"
+
+        exact = ExactGeodesic(mesh, q_vid).distances()
+        network = nb_engine.dmtm.extract_network(
+            RESOLUTION_PATHNET, charge_io=False
+        )
+        for local_t, value in values.items():
+            lr, lc = divmod(local_t, wcols_nb)
+            global_vid = (lr + n0) * dem.cols + (lc + m0)
+            ds = exact[global_vid]
+            assert np.isfinite(ds)
+            assert value >= ds - EPS - 1e-9 * ds, (
+                f"stitched ub {value} undershoots exact dS {ds} "
+                f"(target {global_vid})"
+            )
+            # The multi-source value is a genuine concatenation:
+            # exactly the best offset + neighbour-leg over the
+            # anchors that reach this target.
+            legs = []
+            for anchor_vid, offset in anchors:
+                found = nb_engine.dmtm.upper_bounds_from(
+                    anchor_vid, [local_t], network
+                )
+                leg = found.get(local_t)
+                if leg is not None:
+                    legs.append(offset + float(leg.value))
+            assert legs
+            best = min(legs)
+            assert value == pytest.approx(best, rel=1e-9, abs=1e-6)
+
+    def test_empty_anchor_or_target_lists(self, world):
+        _dem, _vids, sharded, _mesh = world
+        grid, home_span, nb = _home_and_neighbour(sharded)
+        nb_engine = sharded.window_engine(grid.tile_span(nb))
+        assert stitch_into(nb_engine, [], [0]) == {}
+        assert stitch_into(nb_engine, [(0, 0.0)], []) == {}
+        home = sharded.window_engine(home_span)
+        assert border_offsets(home, 0, []) == {}

@@ -19,6 +19,7 @@ from repro.errors import QueryError
 from repro.testkit import (
     MUTATORS,
     ORACLES,
+    ObjectSpec,
     OracleContext,
     Scenario,
     build_engine,
@@ -34,6 +35,7 @@ from repro.testkit import (
     shrink_scenario,
     standard_engine,
     standard_mesh,
+    with_tiles,
     write_case,
 )
 from repro.testkit.cli import main
@@ -290,3 +292,125 @@ class TestCLI:
             main(["--seed-range", "10"])
         with pytest.raises(SystemExit):
             main(["--seed-range", "5:5"])
+
+
+TILED_SEED = 15  # bearhead[9], 6 objects, 1 query, tiles=2x2 — cheap
+
+
+class TestShardAxis:
+    """The ``shards`` differential axis: spec round trips, border
+    object pressure, the ``shard_consistency`` oracle and the
+    tile-collapse shrinker step."""
+
+    def test_tiled_scenarios_round_trip(self):
+        for seed in (TILED_SEED, 21):  # 2x2 and 3x3 draws
+            scenario = generate_scenario(seed)
+            assert scenario.terrain.tiles > 1
+            assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_legacy_dicts_default_to_untiled(self):
+        data = generate_scenario(TILED_SEED).to_dict()
+        del data["terrain"]["tiles"]
+        del data["objects"]["border_tiles"]
+        scenario = Scenario.from_dict(data)
+        assert scenario.terrain.tiles == 1
+        assert scenario.objects.border_tiles == 0
+
+    def test_border_tiles_cluster_objects_on_cut_lines(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.shard import tile_cuts
+        from repro.testkit import TerrainSpec
+
+        terrain = TerrainSpec(kind="fractal", size=13, seed=3)
+        mesh = build_mesh(terrain)
+        spec = ObjectSpec(pattern="uniform", count=16, seed=7)
+        bordered = dc_replace(spec, border_tiles=2)
+
+        def near_cut(objects):
+            cell = terrain.cell_size
+            cut = tile_cuts(terrain.size, 2)[1]
+            hits = 0
+            for vid in objects.vertex_ids:
+                r, c = divmod(vid, terrain.size)
+                if abs(r - cut) <= 1 or abs(c - cut) <= 1:
+                    hits += 1
+            return hits
+
+        plain = build_objects(mesh, spec)
+        pressed = build_objects(mesh, bordered)
+        assert near_cut(pressed) > near_cut(plain)
+        again = build_objects(mesh, bordered)
+        assert list(pressed.vertex_ids) == list(again.vertex_ids)
+
+    def test_with_tiles_collapses_border_pressure_too(self):
+        scenario = generate_scenario(21)  # tiles=3, border_tiles=3
+        assert scenario.objects.border_tiles == 3
+        down = with_tiles(scenario, 2)
+        assert down.terrain.tiles == 2
+        assert down.objects.border_tiles == 2
+        flat = with_tiles(scenario, 1)
+        assert flat.terrain.tiles == 1
+        assert flat.objects.border_tiles == 0
+
+    def test_reduction_ladder_collapses_tiles_before_terrain(self):
+        from repro.testkit.shrink import _reductions
+
+        scenario = generate_scenario(21)
+        candidates = list(_reductions(scenario))
+        tile_at = next(
+            i for i, c in enumerate(candidates) if c.terrain.tiles == 1
+        )
+        size_at = next(
+            i
+            for i, c in enumerate(candidates)
+            if c.terrain.size < scenario.terrain.size
+        )
+        assert tile_at < size_at
+        assert any(c.terrain.tiles == 2 for c in candidates)
+
+    def test_oracle_registered(self):
+        assert "shard_consistency" in ORACLES
+        oracle = ORACLES["shard_consistency"]
+        assert "shard" in oracle.module
+
+    def test_shards_mode_passes_clean(self):
+        report = run_scenario(
+            generate_scenario(TILED_SEED), modes={"shards"}
+        )
+        assert report.ok, [str(f) for f in report.findings]
+        assert "shards" in report.modes_run
+
+    def test_shards_mode_inactive_without_tiles(self):
+        scenario = with_tiles(generate_scenario(TILED_SEED), 1)
+        report = run_scenario(scenario, modes={"shards"})
+        assert "shards" not in report.modes_run
+
+    def test_injected_unsound_bound_caught_and_kept_tiled(self, tmp_path):
+        scenario = generate_scenario(TILED_SEED)
+
+        def fails(candidate):
+            return scenario_fails(
+                candidate,
+                oracle_names=["shard_consistency"],
+                mutator="inflate_lb",
+                modes={"shards"},
+            )
+
+        assert fails(scenario), "unsound sharded bound not caught"
+        outcome = shrink_scenario(scenario, fails, max_attempts=12)
+        small = outcome.scenario
+        # Collapsing the grid turns the shards leg off, which makes
+        # the failure vanish — so the shrinker must keep tiles > 1.
+        assert small.terrain.tiles > 1
+        assert fails(small), "shrunk scenario no longer fails"
+        path = write_case(
+            small, tmp_path, mutator="inflate_lb",
+            oracles=["shard_consistency"],
+        )
+        report = replay_case(path)
+        assert not report.ok
+        assert any(
+            f.violation.oracle == "shard_consistency"
+            for f in report.findings
+        )
